@@ -1,0 +1,38 @@
+"""Section III-D benchmark — empirical scaling of the HAQJSK computation.
+
+The paper claims O(N^2 n^3) overall. This bench measures the two Gram
+stages separately over sweeps of the graph count N and the graph order n
+and fits per-stage log-log slopes. Expectations (see
+experiments.complexity docstring): the *pairwise QJSD* stage scales near 2
+in N — the paper's quadratic term — while preparation is linear in N; the
+n-slope stays well below the worst-case 3 because the aligned structures
+have fixed prototype size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.complexity import run_complexity
+
+
+def test_bench_complexity_scaling(once, benchmark):
+    result = once(
+        run_complexity,
+        vertex_sweep=(16, 24, 36, 54, 80),
+        graph_sweep=(8, 16, 32, 64, 128),
+        seed=0,
+    )
+    benchmark.extra_info.update(
+        {
+            "graph_prepare_slope": round(result["graph_prepare_slope"], 3),
+            "graph_pairwise_slope": round(result["graph_pairwise_slope"], 3),
+            "vertex_slope": round(result["vertex_slope"], 3),
+        }
+    )
+    # The paper's O(N^2) term: the pairwise stage must scale near 2.
+    assert 1.3 < result["graph_pairwise_slope"] < 3.0
+    # Preparation is linear-ish in N; n-slope below cubic.
+    assert 0.5 < result["graph_prepare_slope"] < 2.0
+    assert result["vertex_slope"] < 3.2
+    # Timings must grow monotonically over the sweeps (sanity).
+    graph_times = [row["total s"] for row in result["graph_rows"]]
+    assert graph_times[-1] > graph_times[0]

@@ -1,0 +1,26 @@
+"""Figure 2 benchmark — regenerate the hierarchical prototype construction.
+
+Times the hierarchy fit on real DB representations and asserts the
+structure the paper's figure depicts: strictly shrinking prototype counts,
+every level non-empty, and coarser levels fitting the points no better
+than finer ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_figure2_hierarchy(once, benchmark):
+    result = once(run_figure2, n_prototypes=16, n_levels=3, seed=0)
+    levels = result["levels"]
+    benchmark.extra_info.update(
+        {f"level_{row['Level h']}_prototypes": row["Prototypes |P^h|"] for row in levels}
+    )
+
+    sizes = [row["Prototypes |P^h|"] for row in levels]
+    assert sizes == sorted(sizes, reverse=True)
+    assert all(row["Occupied"] >= 1 for row in levels)
+    inertias = [row["Inertia"] for row in levels]
+    assert inertias == sorted(inertias)
+    assert "#" in result["ascii"]

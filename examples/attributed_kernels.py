@@ -1,0 +1,79 @@
+"""Attributed HAQJSK kernels — the paper's Section V future work, realised.
+
+The paper closes with: "Our future work is to [...] integrate the vertex
+label information into the kernel computation, resulting new attributed
+HAQJSK kernels." This example shows the attributed variants in action on a
+labelled molecule workload where the *label placement* carries signal the
+topology alone does not:
+
+* class 0 — rings whose hetero-atoms (label 1) sit adjacent to each other;
+* class 1 — the same ring topology with hetero-atoms spread apart.
+
+The plain HAQJSK(D) kernel is blind to the difference (both classes have
+identical topology and label *counts*). So — instructively — is the
+radius-0 attributed kernel: on a vertex-transitive ring every vertex has
+the same entropy-flow geometry, so alignment only sees the label *counts*,
+which match across classes. The radius-1 label-histogram channels break
+the tie: a hetero-atom next to another hetero-atom has a different 1-hop
+label mix than an isolated one, and the task becomes trivial (100%).
+
+Run:  python examples/attributed_kernels.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import generators as gen
+from repro.kernels import HAQJSKAttributedD, HAQJSKKernelD
+from repro.ml import condition_gram, cross_validate_kernel, gram_signal_summary
+
+
+def make_molecule(rng: np.random.Generator, *, clustered: bool):
+    """A 12-ring with two hetero-atoms: adjacent (clustered) or spread."""
+    ring = gen.cycle_graph(12)
+    labels = np.zeros(12, dtype=int)
+    start = int(rng.integers(0, 12))
+    if clustered:
+        labels[start] = labels[(start + 1) % 12] = 1
+    else:
+        labels[start] = labels[(start + 6) % 12] = 1
+    return ring.with_labels(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graphs = [make_molecule(rng, clustered=True) for _ in range(15)]
+    graphs += [make_molecule(rng, clustered=False) for _ in range(15)]
+    targets = [0] * 15 + [1] * 15
+
+    kernels = [
+        ("HAQJSK(D)      [plain]    ", HAQJSKKernelD(
+            n_prototypes=16, n_levels=3, max_layers=4, seed=0)),
+        ("HAQJSK-L(D)    [labels]   ", HAQJSKAttributedD(
+            n_prototypes=16, n_levels=3, max_layers=4, seed=0)),
+        ("HAQJSK-L(D) r=1 [context] ", HAQJSKAttributedD(
+            n_prototypes=16, n_levels=3, max_layers=4, radius=1, seed=0)),
+    ]
+
+    print("hetero-atom placement task: clustered vs spread (30 graphs)")
+    print(f"{'kernel':28s} {'1-NN':>6s}  {'10-fold CV accuracy':>20s}")
+    for name, kernel in kernels:
+        gram = condition_gram(kernel.gram(graphs, normalize=True))
+        signal = gram_signal_summary(gram, targets)
+        result = cross_validate_kernel(
+            gram, targets, n_folds=10, n_repeats=3, seed=1
+        )
+        print(f"{name:28s} {signal['one_nn_accuracy']:6.2f}  {result!s:>20s}")
+
+    print(
+        "\nBoth classes share topology and label counts, so the plain kernel"
+        "\n— and, on this vertex-transitive ring, even the radius-0 labelled"
+        "\nkernel — sit at chance. The radius-1 label histograms give each"
+        "\nvertex its neighbourhood's label mix, which differs between"
+        "\nclustered and spread placements: the task becomes trivial."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Embedding and scaling tools around the HAQJSK kernels.
+
+Two practical companions to the paper's kernels for downstream users:
+
+1. **Kernel PCA** — the kernels live in Gram-matrix space; kernel PCA
+   gives each graph explicit coordinates, which is how you *look* at what
+   the hierarchical alignment does to a collection (here: class spread
+   ratios in the leading components).
+2. **Nyström approximation** — Section III-D puts the kernels at O(N²n³);
+   the N² factor is the pairwise QJSD stage. Nyström replaces it with N·m
+   landmark evaluations and reports how the approximation error and the
+   downstream 1-NN accuracy degrade as m shrinks.
+
+Run:  python examples/embedding_and_scaling.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.kernels import HAQJSKKernelD
+from repro.ml import (
+    condition_gram,
+    kernel_embedding,
+    leave_one_out_knn_accuracy,
+    nystrom_gram,
+)
+
+
+def class_spread_ratio(embedding: np.ndarray, targets: np.ndarray) -> float:
+    """Between-class over within-class scatter in the embedding (higher =
+    classes more separated)."""
+    grand_mean = embedding.mean(axis=0)
+    within, between = 0.0, 0.0
+    for cls in np.unique(targets):
+        members = embedding[targets == cls]
+        center = members.mean(axis=0)
+        within += float(((members - center) ** 2).sum())
+        between += members.shape[0] * float(((center - grand_mean) ** 2).sum())
+    return between / max(within, 1e-12)
+
+
+def main() -> None:
+    dataset = load_dataset("MUTAG", scale=0.5, seed=0)
+    targets = np.asarray(dataset.targets)
+    kernel = HAQJSKKernelD(n_prototypes=32, n_levels=5, max_layers=6, seed=0)
+
+    print(f"dataset: {dataset}")
+    start = time.perf_counter()
+    exact = kernel.gram(dataset.graphs, normalize=True)
+    exact_seconds = time.perf_counter() - start
+    print(f"exact Gram: {exact.shape}, {exact_seconds:.1f}s\n")
+
+    # --- 1. kernel PCA ---------------------------------------------------
+    embedding = kernel_embedding(condition_gram(exact), n_components=2)
+    ratio = class_spread_ratio(embedding, targets)
+    print("kernel PCA (2 components):")
+    for cls in np.unique(targets):
+        center = embedding[targets == cls].mean(axis=0)
+        print(f"  class {cls}: centroid ({center[0]:+.3f}, {center[1]:+.3f})")
+    print(f"  between/within scatter ratio: {ratio:.2f}\n")
+
+    # --- 2. Nyström ------------------------------------------------------
+    n = len(dataset)
+    print(f"{'landmarks':>10s} {'rel. error':>11s} {'LOO 1-NN':>9s}")
+    loo_exact = leave_one_out_knn_accuracy(exact, targets)
+    print(f"{'exact':>10s} {0.0:11.4f} {loo_exact:9.3f}")
+    for m in (n // 2, n // 4, n // 8):
+        approx = nystrom_gram(kernel, dataset.graphs, n_landmarks=m, seed=0)
+        # compare on the same (cosine-normalised) footing
+        diag = np.sqrt(np.clip(np.diag(approx), 1e-12, None))
+        approx_normalised = approx / np.outer(diag, diag)
+        error = np.linalg.norm(approx_normalised - exact) / np.linalg.norm(exact)
+        loo = leave_one_out_knn_accuracy(approx_normalised, targets)
+        print(f"{m:>10d} {error:11.4f} {loo:9.3f}")
+
+    print(
+        "\nThe embedding separates the classes the SVM later classifies, and"
+        "\nthe Nyström columns show how far the Gram matrix can be compressed"
+        "\nbefore neighbourhood structure (1-NN accuracy) starts to decay."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Bio scenario: mutagenicity screening on molecule-like graphs.
+
+The paper's introduction motivates graph kernels with molecule-network
+analysis. This example runs a realistic screening workflow:
+
+1. build MUTAG- and PTC-style datasets (ring systems vs chains);
+2. compare quantum (HAQJSK, QJSK, JTQK) and classical (WLSK, SPGK)
+   kernels under the paper's CV protocol;
+3. inspect the confusion structure of the best kernel.
+
+Run:  python examples/molecule_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.kernels import (
+    HAQJSKKernelD,
+    JensenTsallisQKernel,
+    QJSKUnaligned,
+    ShortestPathKernel,
+    WeisfeilerLehmanKernel,
+)
+from repro.ml import (
+    KernelSVC,
+    confusion_matrix,
+    cross_validate_kernel,
+    stratified_k_fold,
+)
+
+
+def evaluate_kernels(dataset) -> dict:
+    """Paper-protocol accuracy for a roster of kernels."""
+    kernels = [
+        HAQJSKKernelD(n_prototypes=32, n_levels=5, max_layers=6, seed=0),
+        QJSKUnaligned(),
+        JensenTsallisQKernel(n_iterations=4),
+        WeisfeilerLehmanKernel(4),
+        ShortestPathKernel(),
+    ]
+    results = {}
+    for kernel in kernels:
+        gram = kernel.gram(
+            dataset.graphs,
+            normalize=True,
+            ensure_psd=not kernel.traits.positive_definite,
+        )
+        results[kernel.name] = (
+            cross_validate_kernel(gram, dataset.targets, n_repeats=3, seed=2),
+            gram,
+        )
+    return results
+
+
+def show_confusion(dataset, gram) -> None:
+    """Train/test split confusion matrix for the screening story."""
+    train, test = stratified_k_fold(dataset.targets, 5, seed=3)[0]
+    model = KernelSVC(c=10.0).fit(
+        gram[np.ix_(train, train)], dataset.targets[train]
+    )
+    predictions = model.predict(gram[np.ix_(test, train)])
+    matrix = confusion_matrix(dataset.targets[test], predictions, classes=[0, 1])
+    print("      predicted:  benign  mutagenic")
+    print(f"actual benign     {matrix[0, 0]:6d}  {matrix[0, 1]:9d}")
+    print(f"actual mutagenic  {matrix[1, 0]:6d}  {matrix[1, 1]:9d}")
+
+
+def main() -> None:
+    for name in ("MUTAG", "PTC"):
+        dataset = load_dataset(name, scale=0.4, seed=0)
+        print(f"=== {name}: {len(dataset)} molecules, "
+              f"{dataset.n_classes} classes ===")
+        results = evaluate_kernels(dataset)
+        ranked = sorted(
+            results.items(), key=lambda kv: -kv[1][0].mean_accuracy
+        )
+        for kernel_name, (cv, _) in ranked:
+            print(f"  {kernel_name:10s} {cv}")
+        best_name, (_, best_gram) = ranked[0]
+        print(f"\nconfusion matrix of the best kernel ({best_name}):")
+        show_confusion(dataset, best_gram)
+        print()
+
+
+if __name__ == "__main__":
+    main()

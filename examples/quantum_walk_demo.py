@@ -1,0 +1,98 @@
+"""Quantum-walk playground: interference, mixing, and tottering.
+
+Illustrates the Section II claims that motivate using CTQWs:
+
+1. the CTQW is *reversible* (unitary) while the classical walk mixes;
+2. interference gives occupation profiles a classical walk cannot reach;
+3. the time-averaged density matrix (Eq. 5) is exactly the long-run limit
+   of the finite-horizon average (Eq. 4);
+4. the classical random-walk kernel tangles "tottering" back-and-forth
+   walks, inflating similarity between a path and a path-with-a-pendant,
+   while the quantum kernels keep them apart.
+
+Run:  python examples/quantum_walk_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ops import transition_matrix
+from repro.kernels import QJSKUnaligned, RandomWalkKernel
+from repro.quantum import (
+    CTQW,
+    finite_time_density_matrix,
+    graph_density_matrix,
+    von_neumann_entropy,
+)
+
+
+def demo_reversibility() -> None:
+    print("--- 1. reversibility -------------------------------------------")
+    graph = gen.path_graph(7)
+    walk = CTQW.from_graph(graph)
+    forward = walk.unitary(3.0)
+    roundtrip = walk.unitary(-3.0) @ forward
+    print(f"|U(-t)U(t) - I|_max = {np.abs(roundtrip - np.eye(7)).max():.2e} "
+          "(CTQW runs backwards exactly)")
+    classical = transition_matrix(graph)
+    mixed = np.linalg.matrix_power(classical, 50)
+    print(f"classical walk after 50 steps: rows ~ stationary "
+          f"(row spread {np.ptp(mixed, axis=0).max():.3f})\n")
+
+
+def demo_interference() -> None:
+    print("--- 2. interference --------------------------------------------")
+    graph = gen.star_graph(6)
+    walk = CTQW.from_graph(graph)
+    stationary = graph.degrees() / graph.degrees().sum()
+    for t in (0.5, 1.0, 2.0):
+        probs = walk.probabilities_at(t)
+        print(f"t={t:3.1f}  hub occupation {probs[0]:.3f} "
+              f"(classical stationary {stationary[0]:.3f})")
+    print()
+
+
+def demo_density_limit() -> None:
+    print("--- 3. Eq. 4 -> Eq. 5 convergence ------------------------------")
+    graph = gen.barabasi_albert(10, 2, seed=0)
+    closed = graph_density_matrix(graph)
+    for horizon in (5.0, 50.0, 500.0):
+        sampled = finite_time_density_matrix(graph.adjacency, horizon, steps=2000)
+        print(f"T={horizon:6.1f}  |rho_T - rho_inf|_max = "
+              f"{np.abs(sampled - closed).max():.2e}")
+    print(f"H_N(rho_inf) = {von_neumann_entropy(closed):.4f} nats\n")
+
+
+def demo_tottering() -> None:
+    print("--- 4. tottering -----------------------------------------------")
+    path = gen.path_graph(6)
+    adjacency = np.zeros((6, 6))
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (2, 5)]:
+        adjacency[u, v] = adjacency[v, u] = 1.0
+    pendant = Graph(adjacency)  # path with one pendant vertex
+    star = gen.star_graph(6)
+
+    for kernel in (RandomWalkKernel(decay=0.08), QJSKUnaligned()):
+        gram = kernel.gram([path, pendant, star], normalize=True)
+        print(f"{kernel.name}: k(path, path+pendant) = {gram[0, 1]:.4f}   "
+              f"k(path, star) = {gram[0, 2]:.4f}   "
+              f"contrast = {gram[0, 1] - gram[0, 2]:+.4f}")
+    print(
+        "\nThe classical walk kernel's tottering walks blur all three graphs"
+        "\ntogether; the CTQW-based kernel keeps a usable contrast (paper"
+        "\nSection III-C, 'reduce tottering')."
+    )
+
+
+def main() -> None:
+    demo_reversibility()
+    demo_interference()
+    demo_density_limit()
+    demo_tottering()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: classify graphs with the HAQJSK kernels in ~30 lines.
+
+Builds a small two-class collection (molecule-like surrogates from the
+MUTAG registry entry), computes the HAQJSK(D) Gram matrix, and runs the
+paper's 10-fold C-SVM protocol.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.kernels import HAQJSKKernelA, HAQJSKKernelD, QJSKUnaligned
+from repro.ml import cross_validate_kernel
+
+
+def main() -> None:
+    # 1. A dataset: 94 molecule-like graphs, 2 classes (see repro.datasets
+    #    for the 12 paper benchmarks; scale trades size for speed).
+    dataset = load_dataset("MUTAG", scale=0.5, seed=0)
+    print(f"dataset: {dataset}")
+    print(f"statistics: {dataset.statistics().as_row()}\n")
+
+    # 2. Kernels. HAQJSK(A)/(D) are the paper's contribution; QJSK is the
+    #    unaligned predecessor they improve upon.
+    kernels = [
+        HAQJSKKernelA(n_prototypes=32, n_levels=5, max_layers=6, seed=0),
+        HAQJSKKernelD(n_prototypes=32, n_levels=5, max_layers=6, seed=0),
+        QJSKUnaligned(),
+    ]
+
+    # 3. Gram matrix -> repeated stratified 10-fold C-SVM (paper protocol).
+    for kernel in kernels:
+        gram = kernel.gram(
+            dataset.graphs,
+            normalize=True,
+            ensure_psd=not kernel.traits.positive_definite,
+        )
+        result = cross_validate_kernel(
+            gram, dataset.targets, n_folds=10, n_repeats=3, seed=1
+        )
+        print(f"{kernel.name:10s} accuracy: {result} (best C = {result.best_c})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Computer-vision scenario: shape retrieval with aligned kernels.
+
+The paper evaluates on 3D-shape graph datasets (GatorBait, BAR31, ...)
+where each class is one object under viewpoint/sampling noise. Beyond
+classification, kernels support *retrieval*: given a query shape, rank the
+collection by kernel similarity. This example measures precision@k for
+HAQJSK(D) against the unaligned QJSK baseline on the BAR31 surrogate —
+the regime where the paper's accuracy gap is most dramatic (71.7 vs 30.8).
+
+Run:  python examples/shape_retrieval.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.kernels import HAQJSKKernelD, QJSKUnaligned, WeisfeilerLehmanKernel
+
+
+def precision_at_k(gram: np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Mean fraction of same-class shapes among each query's top-k."""
+    n = gram.shape[0]
+    hits = []
+    for query in range(n):
+        similarity = gram[query].copy()
+        similarity[query] = -np.inf  # exclude the query itself
+        top = np.argsort(-similarity)[:k]
+        hits.append(np.mean(targets[top] == targets[query]))
+    return float(np.mean(hits))
+
+
+def main() -> None:
+    dataset = load_dataset("BAR31", scale=0.3, size_scale=0.5, seed=0)
+    targets = dataset.targets
+    per_class = int(np.bincount(targets).min())
+    print(
+        f"BAR31 surrogate: {len(dataset)} shapes, "
+        f"{dataset.n_classes} classes (~{per_class} views per shape)\n"
+    )
+
+    kernels = [
+        HAQJSKKernelD(n_prototypes=32, n_levels=5, max_layers=5, seed=0),
+        QJSKUnaligned(),
+        WeisfeilerLehmanKernel(4),
+    ]
+    print(f"{'kernel':12s} {'P@1':>6s} {'P@3':>6s}")
+    for kernel in kernels:
+        gram = kernel.gram(dataset.graphs, normalize=True)
+        p1 = precision_at_k(gram, targets, 1)
+        p3 = precision_at_k(gram, targets, min(3, per_class))
+        print(f"{kernel.name:12s} {p1:6.3f} {p3:6.3f}")
+
+    print(
+        "\nExpected shape (paper Table IV): the transitively aligned kernel "
+        "retrieves same-class views far better than the unaligned QJSK."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Social-network scenario: kernels vs a trained GNN on ego networks.
+
+Reproduces the Table V story on two social datasets: the HAQJSK kernels
+against a gradient-trained DGCNN and the DGK/AWE embedding methods, using
+the IMDB-B (actor ego networks) and RED-B (Reddit thread) surrogates.
+
+Run:  python examples/social_network_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.gnn import DGCNN, AnonymousWalkKernel, DeepGraphKernel
+from repro.gnn.models import evaluate_model
+from repro.gnn.training import train_graph_classifier
+from repro.kernels import HAQJSKKernelA, HAQJSKKernelD
+from repro.ml import cross_validate_kernel, stratified_k_fold
+
+
+def kernel_accuracy(kernel, dataset) -> str:
+    gram = kernel.gram(dataset.graphs, normalize=True)
+    result = cross_validate_kernel(gram, dataset.targets, n_repeats=2, seed=1)
+    return str(result)
+
+
+def dgcnn_accuracy(dataset, *, n_epochs: int = 25, seed: int = 0) -> str:
+    """10-fold CV with a freshly trained DGCNN per fold."""
+    max_degree = int(min(max(g.unweighted_degrees().max() for g in dataset.graphs), 25))
+    accuracies = []
+    for train_idx, test_idx in stratified_k_fold(dataset.targets, 10, seed=seed):
+        model = DGCNN(dataset.n_classes, max_degree=max_degree, seed=seed)
+        train_graph_classifier(
+            model,
+            [dataset.graphs[i] for i in train_idx],
+            dataset.targets[train_idx],
+            n_epochs=n_epochs,
+            seed=seed,
+        )
+        accuracies.append(
+            evaluate_model(
+                model,
+                [dataset.graphs[i] for i in test_idx],
+                dataset.targets[test_idx],
+            )
+        )
+    return f"{np.mean(accuracies) * 100:.2f} (10-fold)"
+
+
+def main() -> None:
+    scenarios = [
+        ("IMDB-B", dict(scale=0.06, seed=0)),
+        ("RED-B", dict(scale=0.03, size_scale=0.15, seed=0)),
+    ]
+    for name, load_kwargs in scenarios:
+        dataset = load_dataset(name, **load_kwargs)
+        print(f"=== {name}: {len(dataset)} graphs ===")
+        print(
+            "  HAQJSK(A) ",
+            kernel_accuracy(
+                HAQJSKKernelA(n_prototypes=32, n_levels=5, max_layers=5, seed=0),
+                dataset,
+            ),
+        )
+        print(
+            "  HAQJSK(D) ",
+            kernel_accuracy(
+                HAQJSKKernelD(n_prototypes=32, n_levels=5, max_layers=5, seed=0),
+                dataset,
+            ),
+        )
+        print("  DGK       ", kernel_accuracy(DeepGraphKernel(), dataset))
+        print("  AWE       ", kernel_accuracy(AnonymousWalkKernel(seed=0), dataset))
+        print("  DGCNN     ", dgcnn_accuracy(dataset))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Figure 1 narrative: why correspondence matters.
+
+The paper's Fig. 1 shows two photographs of the same house from different
+viewpoints: R-convolution kernels count matching substructures without
+asking whether they are *structurally aligned*, so they cannot tell "same
+house, new viewpoint" from "different house with similar parts".
+
+This example builds the graph version of that story: a base structure
+observed under vertex relabelling + light noise ("viewpoints" of one
+house) versus a different structure assembled from the same local motifs
+("a different house"). It then shows that
+
+* the unaligned QJSK similarity *fluctuates* across viewpoints of the
+  same structure (not permutation invariant), while HAQJSK is exact;
+* HAQJSK separates same-structure pairs from different-structure pairs
+  more cleanly than the motif-counting WL kernel.
+
+Run:  python examples/viewpoint_alignment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.synthetic import perturbed_template
+from repro.graphs import generators as gen
+from repro.kernels import HAQJSKKernelD, QJSKUnaligned, WeisfeilerLehmanKernel
+from repro.utils.rng import as_rng
+
+
+def build_scene(seed: int = 0):
+    """Viewpoints of house A, viewpoints of house B (shared motifs)."""
+    rng = as_rng(seed)
+    house_a = gen.watts_strogatz(24, 4, 0.15, seed=11)
+    house_b = gen.barabasi_albert(24, 2, seed=12)
+    views_a = [
+        perturbed_template(house_a, rng, rewire_fraction=0.04).permuted(
+            rng.permutation(24)
+        )
+        for _ in range(4)
+    ]
+    views_b = [
+        perturbed_template(house_b, rng, rewire_fraction=0.04).permuted(
+            rng.permutation(24)
+        )
+        for _ in range(4)
+    ]
+    return views_a, views_b
+
+
+def block_means(gram: np.ndarray, n_a: int):
+    same_a = gram[:n_a, :n_a][np.triu_indices(n_a, k=1)].mean()
+    same_b = gram[n_a:, n_a:][np.triu_indices(n_a, k=1)].mean()
+    cross = gram[:n_a, n_a:].mean()
+    return (same_a + same_b) / 2, cross
+
+
+def main() -> None:
+    views_a, views_b = build_scene()
+    graphs = views_a + views_b
+    kernels = [
+        HAQJSKKernelD(n_prototypes=16, n_levels=3, max_layers=5, seed=0),
+        QJSKUnaligned(),
+        WeisfeilerLehmanKernel(3),
+    ]
+    print("similarity between viewpoints of the SAME house vs DIFFERENT houses\n")
+    print(f"{'kernel':10s} {'same':>8s} {'cross':>8s} {'margin':>8s}")
+    margins = {}
+    for kernel in kernels:
+        gram = kernel.gram(graphs, normalize=True)
+        same, cross = block_means(gram, len(views_a))
+        margins[kernel.name] = same - cross
+        print(f"{kernel.name:10s} {same:8.4f} {cross:8.4f} {same - cross:+8.4f}")
+
+    print(
+        "\nHAQJSK's transitive alignment identifies the same structure across"
+        "\nviewpoints; the unaligned QJSK's padding is viewpoint-dependent, so"
+        "\nits margin collapses — the paper's Fig. 1 argument, quantified."
+    )
+    assert margins["HAQJSK(D)"] > margins["QJSK"], "expected alignment to win"
+
+
+if __name__ == "__main__":
+    main()

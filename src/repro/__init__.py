@@ -1,0 +1,24 @@
+"""repro — a full reproduction of the HAQJSK graph-kernel paper.
+
+HAQJSK: Hierarchical-Aligned Quantum Jensen-Shannon Kernels for Graph
+Classification (Bai, Cui, Wang, Li, Hancock; ICDE 2025 extended abstract /
+arXiv:2211.02904).
+
+Top-level re-exports cover the most common entry points; see the
+subpackages for the full API:
+
+* :mod:`repro.graphs`    — graph substrate (Graph, generators, IO)
+* :mod:`repro.datasets`  — the 12 benchmark datasets of Table II
+* :mod:`repro.quantum`   — CTQW, density matrices, entropies, QJSD
+* :mod:`repro.alignment` — DB representations, prototypes, correspondences
+* :mod:`repro.kernels`   — HAQJSK(A/D) plus every baseline of Table III
+* :mod:`repro.ml`        — C-SVM (SMO), multiclass, cross-validation
+* :mod:`repro.gnn`       — numpy autograd + the deep baselines of Table V
+* :mod:`repro.experiments` — regenerate each paper table/figure
+"""
+
+from repro.graphs.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = ["Graph", "__version__"]

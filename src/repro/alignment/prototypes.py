@@ -1,0 +1,139 @@
+"""Hierarchical prototype representations (paper Eq. 14/16, Fig. 2).
+
+Level-1 prototypes are κ-means centers over the vertex representations of
+*all* graphs in the collection; level-(h+1) prototypes are κ-means centers
+over the level-h prototypes. Aligning every graph to this one shared
+hierarchy is what makes the correspondence *transitive* (two vertices
+aligned to the same prototype are aligned to each other), the property the
+paper's positive-definiteness proof rests on.
+
+Under-specified in the paper (see DESIGN.md): the prototype counts for
+levels ``h >= 2``. Fig. 2 shows a strictly shrinking hierarchy; we halve the
+count per level by default (``shrink_factor = 0.5``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.alignment.kmeans import assign_to_centers, kmeans
+from repro.utils.rng import as_rng, spawn_seed
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def level_sizes(
+    n_prototypes: int, n_levels: int, *, shrink_factor: float = 0.5, minimum: int = 2
+) -> list:
+    """Prototype counts per level: ``[M, M*s, M*s^2, ...]`` floored at ``minimum``."""
+    n_prototypes = check_positive_int(n_prototypes, "n_prototypes", minimum=1)
+    n_levels = check_positive_int(n_levels, "n_levels", minimum=1)
+    shrink_factor = check_in_range(
+        shrink_factor, "shrink_factor", low=0.0, high=1.0, low_inclusive=False
+    )
+    sizes = []
+    current = float(n_prototypes)
+    for _ in range(n_levels):
+        sizes.append(max(int(round(current)), min(minimum, n_prototypes)))
+        current *= shrink_factor
+    return sizes
+
+
+class PrototypeHierarchy:
+    """A fitted hierarchy of prototype representations for one dimension k.
+
+    Attributes
+    ----------
+    centers:
+        ``centers[h-1]`` is the ``(M_h, dim)`` array of level-h prototypes.
+    memberships:
+        ``memberships[h-1]`` maps a level-h prototype index to its parent
+        level-(h+1) prototype index (length ``M_h``); the last level has no
+        entry. Chaining these maps is what turns a level-1 assignment into
+        the level-h correspondence of paper Eq. (17).
+    """
+
+    def __init__(self, centers: "list[np.ndarray]", memberships: "list[np.ndarray]"):
+        if len(memberships) != max(len(centers) - 1, 0):
+            raise AlignmentError(
+                f"expected {max(len(centers) - 1, 0)} membership maps, got {len(memberships)}"
+            )
+        self.centers = centers
+        self.memberships = memberships
+
+    @property
+    def n_levels(self) -> int:
+        """Number of hierarchy levels H."""
+        return len(self.centers)
+
+    def size(self, level: int) -> int:
+        """Number of prototypes ``|P^{h,k}|`` at 1-based ``level``."""
+        self._check_level(level)
+        return self.centers[level - 1].shape[0]
+
+    def assign_level1(self, points: np.ndarray) -> np.ndarray:
+        """Nearest level-1 prototype per point (paper Eq. 15 assignment)."""
+        return assign_to_centers(points, self.centers[0])
+
+    def lift_assignment(self, level1_assignment: np.ndarray, level: int) -> np.ndarray:
+        """Map level-1 assignments up the hierarchy to ``level``."""
+        self._check_level(level)
+        assignment = np.asarray(level1_assignment, dtype=int)
+        for h in range(1, level):
+            assignment = self.memberships[h - 1][assignment]
+        return assignment
+
+    def assign(self, points: np.ndarray, level: int) -> np.ndarray:
+        """Level-``level`` prototype index per point (via the chain)."""
+        return self.lift_assignment(self.assign_level1(points), level)
+
+    def _check_level(self, level: int) -> None:
+        if not (1 <= level <= self.n_levels):
+            raise AlignmentError(
+                f"level must be in 1..{self.n_levels}, got {level}"
+            )
+
+
+def fit_prototype_hierarchy(
+    points: np.ndarray,
+    *,
+    n_prototypes: int,
+    n_levels: int,
+    shrink_factor: float = 0.5,
+    seed=None,
+    init_centers: "np.ndarray | None" = None,
+    kmeans_max_iter: int = 100,
+) -> PrototypeHierarchy:
+    """Fit the full hierarchy on the pooled vertex representations.
+
+    ``init_centers`` warm-starts the level-1 κ-means; the HAQJSK transformer
+    passes the level-1 centers fitted at dimension ``k`` when fitting
+    dimension ``k+1``, keeping prototype indexings consistent across the
+    Eq. (23)/(25) average over k (see DESIGN.md).
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] == 0:
+        raise AlignmentError(f"points must be a non-empty 2-D array, got {arr.shape}")
+    rng = as_rng(seed)
+    sizes = level_sizes(n_prototypes, n_levels, shrink_factor=shrink_factor)
+
+    centers: list = []
+    memberships: list = []
+    current_points = arr
+    warm = init_centers
+    for level, size in enumerate(sizes, start=1):
+        result = kmeans(
+            current_points,
+            size,
+            seed=spawn_seed(rng),
+            init_centers=warm,
+            max_iter=kmeans_max_iter,
+        )
+        centers.append(result.centers)
+        if level > 1:
+            # The points clustered at this level *are* the previous level's
+            # prototypes, so the assignment is exactly the membership map.
+            memberships.append(result.assignments.astype(int))
+        current_points = result.centers
+        warm = None
+    return PrototypeHierarchy(centers, memberships)

@@ -1,0 +1,21 @@
+"""Datasets: the Table II benchmark collection (synthetic surrogates + TU IO)."""
+
+from repro.datasets.base import DatasetStatistics, GraphDataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_STATISTICS,
+    load_dataset,
+)
+from repro.datasets.synthetic import ClassRecipe, build_dataset
+from repro.datasets.tu import load_tu_directory
+
+__all__ = [
+    "ClassRecipe",
+    "DATASET_NAMES",
+    "DatasetStatistics",
+    "GraphDataset",
+    "PAPER_STATISTICS",
+    "build_dataset",
+    "load_dataset",
+    "load_tu_directory",
+]

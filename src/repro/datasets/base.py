@@ -1,0 +1,143 @@
+"""Dataset container and statistics (paper Table II columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The per-dataset summary the paper reports in Table II."""
+
+    name: str
+    max_vertices: int
+    mean_vertices: float
+    mean_edges: float
+    n_graphs: int
+    n_vertex_labels: "int | None"
+    n_classes: int
+    domain: str
+
+    def as_row(self) -> dict:
+        """Table II row as a plain dict (used by the reporting module)."""
+        return {
+            "Datasets": self.name,
+            "Max # vertices": self.max_vertices,
+            "Mean # vertices": round(self.mean_vertices, 2),
+            "Mean # edges": round(self.mean_edges, 2),
+            "# graphs": self.n_graphs,
+            "# vertex labels": self.n_vertex_labels if self.n_vertex_labels else "-",
+            "# classes": self.n_classes,
+            "Description": self.domain,
+        }
+
+
+class GraphDataset:
+    """A named collection of graphs with integer class targets.
+
+    Parameters
+    ----------
+    name:
+        Dataset identifier (Table II row name).
+    graphs:
+        The graphs; all non-empty.
+    targets:
+        Integer class label per graph.
+    domain:
+        ``"Bio"``, ``"CV"`` or ``"SN"``, per Table II's Description row.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        graphs: "list[Graph]",
+        targets,
+        *,
+        domain: str = "",
+        description: str = "",
+    ) -> None:
+        target_arr = np.asarray(targets, dtype=int)
+        if len(graphs) != target_arr.size:
+            raise DatasetError(
+                f"{name}: {len(graphs)} graphs but {target_arr.size} targets"
+            )
+        if len(graphs) == 0:
+            raise DatasetError(f"{name}: dataset is empty")
+        for i, g in enumerate(graphs):
+            if not isinstance(g, Graph):
+                raise DatasetError(f"{name}: item {i} is not a Graph")
+        self.name = name
+        self.graphs = list(graphs)
+        self.targets = target_arr
+        self.domain = domain
+        self.description = description
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDataset({self.name!r}, n={len(self)}, "
+            f"classes={self.n_classes})"
+        )
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels."""
+        return int(np.unique(self.targets).size)
+
+    def statistics(self) -> DatasetStatistics:
+        """Measured Table II statistics of this instance."""
+        vertex_counts = np.asarray([g.n_vertices for g in self.graphs])
+        edge_counts = np.asarray([g.n_edges for g in self.graphs])
+        labelled = all(g.labels is not None for g in self.graphs)
+        n_labels = None
+        if labelled:
+            values = set()
+            for g in self.graphs:
+                values.update(int(x) for x in g.labels)
+            n_labels = len(values)
+        return DatasetStatistics(
+            name=self.name,
+            max_vertices=int(vertex_counts.max()),
+            mean_vertices=float(vertex_counts.mean()),
+            mean_edges=float(edge_counts.mean()),
+            n_graphs=len(self.graphs),
+            n_vertex_labels=n_labels,
+            n_classes=self.n_classes,
+            domain=self.domain,
+        )
+
+    def subset(self, indices) -> "GraphDataset":
+        """New dataset restricted to ``indices`` (order preserved)."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.size == 0:
+            raise DatasetError(f"{self.name}: subset would be empty")
+        return GraphDataset(
+            self.name,
+            [self.graphs[i] for i in idx],
+            self.targets[idx],
+            domain=self.domain,
+            description=self.description,
+        )
+
+    def stratified_subsample(self, n_per_class: int, *, seed=None) -> "GraphDataset":
+        """Up to ``n_per_class`` graphs per class, drawn without replacement.
+
+        Used by the scaled benchmark harness; deterministic for fixed seed.
+        """
+        if n_per_class < 1:
+            raise DatasetError(f"n_per_class must be >= 1, got {n_per_class}")
+        rng = as_rng(seed)
+        chosen: list = []
+        for cls in np.unique(self.targets):
+            members = np.flatnonzero(self.targets == cls)
+            take = min(n_per_class, members.size)
+            chosen.extend(rng.choice(members, size=take, replace=False).tolist())
+        return self.subset(sorted(chosen))

@@ -1,0 +1,521 @@
+"""The twelve Table II benchmark datasets as seeded synthetic generators.
+
+No network access means the TU/CV datasets themselves cannot be downloaded;
+each loader below builds a drop-in replacement whose Table II statistics
+(graph counts, vertex/edge means, class and label counts, domain) match the
+paper, and whose classes differ by the kind of multi-scale topology the
+respective real dataset is known for (ring systems for the molecule sets,
+community structure for PPIs, cliques for the social sets, skeletons for
+the shape sets). DESIGN.md's substitution table records the rationale;
+``experiments.table2`` prints measured-vs-paper statistics side by side.
+
+Loaders accept:
+
+* ``scale`` — fraction of the paper's graph count (>= 2 graphs per class
+  is enforced so CV remains possible);
+* ``size_scale`` — multiplier on vertex counts (used by the scaled kernel
+  benches for the two largest datasets);
+* ``seed`` — master seed; every instance derives its own stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import DatasetStatistics, GraphDataset
+from repro.datasets.synthetic import (
+    ClassRecipe,
+    broadcast_tree,
+    build_dataset,
+    community_graph,
+    ego_collaboration,
+    grow_weighted,
+    limb_forest,
+    make_weighted_template,
+    molecule_like,
+    perturbed_template,
+    triangulate_chords,
+)
+from repro.errors import DatasetError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range
+
+#: Paper Table II, verbatim. COLLAB's class count is printed as 2 in the
+#: paper but the dataset (Yanardag & Vishwanathan 2015) has 3 classes and
+#: the paper's accuracy (~79%) matches 3-class results; we follow the
+#: dataset (see EXPERIMENTS.md note).
+PAPER_STATISTICS = {
+    "MUTAG": DatasetStatistics("MUTAG", 28, 17.93, 19.79, 188, 7, 2, "Bio"),
+    "PPIs": DatasetStatistics("PPIs", 218, 109.63, 531.50, 219, None, 5, "Bio"),
+    "CATH2": DatasetStatistics("CATH2", 568, 308.03, 1254.8, 190, None, 2, "Bio"),
+    "PTC": DatasetStatistics("PTC", 109, 25.56, 25.96, 344, 19, 2, "Bio"),
+    "GatorBait": DatasetStatistics("GatorBait", 545, 348.72, 796.11, 100, None, 30, "CV"),
+    "BAR31": DatasetStatistics("BAR31", 220, 95.42, 94.59, 300, None, 20, "CV"),
+    "BSPHERE31": DatasetStatistics("BSPHERE31", 227, 99.83, 56.58, 300, None, 20, "CV"),
+    "GEOD31": DatasetStatistics("GEOD31", 380, 57.24, 99.01, 300, None, 20, "CV"),
+    "IMDB-B": DatasetStatistics("IMDB-B", 136, 19.77, 96.53, 1000, None, 2, "SN"),
+    "IMDB-M": DatasetStatistics("IMDB-M", 89, 13.00, 65.93, 1500, None, 3, "SN"),
+    "RED-B": DatasetStatistics("RED-B", 3782, 429.62, 497.75, 2000, None, 2, "SN"),
+    "COLLAB": DatasetStatistics("COLLAB", 492, 74.49, 2457.50, 5000, None, 3, "SN"),
+}
+
+DATASET_NAMES = tuple(PAPER_STATISTICS)
+
+
+def load_dataset(
+    name: str, *, scale: float = 1.0, size_scale: float = 1.0, seed: int = 0
+) -> GraphDataset:
+    """Build the named dataset (see module docstring for parameters)."""
+    if name not in _LOADERS:
+        known = ", ".join(DATASET_NAMES)
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}")
+    check_in_range(scale, "scale", low=0.0, high=1.0, low_inclusive=False)
+    check_in_range(size_scale, "size_scale", low=0.0, high=1.0, low_inclusive=False)
+    paper = PAPER_STATISTICS[name]
+    n_graphs = max(int(round(paper.n_graphs * scale)), 2 * paper.n_classes)
+    return _LOADERS[name](n_graphs, size_scale, seed)
+
+
+def _scaled(base: float, size_scale: float, minimum: int = 5) -> int:
+    return max(int(round(base * size_scale)), minimum)
+
+
+def _normal_size(rng, mean: float, spread: float, low: int, high: int) -> int:
+    return int(np.clip(round(rng.normal(mean, spread)), low, high))
+
+
+# --------------------------------------------------------------------- #
+# Bio datasets
+# --------------------------------------------------------------------- #
+
+
+def _make_mutag(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Mutagenic (poly-ring) vs non-mutagenic (chain-dominated) molecules."""
+    mean = 17.93 * size_scale
+
+    def non_mutagenic(rng):
+        n = _normal_size(rng, mean, 3.5, max(int(8 * size_scale), 6), _scaled(28, size_scale, 10))
+        return molecule_like(rng, n_vertices=n, n_rings=int(rng.integers(0, 2)))
+
+    def mutagenic(rng):
+        n = _normal_size(rng, mean, 3.5, max(int(8 * size_scale), 6), _scaled(28, size_scale, 10))
+        return molecule_like(rng, n_vertices=n, n_rings=int(rng.integers(2, 4)))
+
+    recipes = [
+        ClassRecipe(0, non_mutagenic, "chain-dominated molecules"),
+        ClassRecipe(1, mutagenic, "fused-ring molecules"),
+    ]
+    return build_dataset(
+        "MUTAG", recipes, n_graphs, seed=seed, domain="Bio", n_vertex_labels=7,
+        description="nitroaromatic mutagenicity surrogate",
+    )
+
+
+def _make_ppis(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Five PPI classes distinguished by community count at fixed density."""
+    mean = 109.63 * size_scale
+
+    def make_class(n_communities: int):
+        # Classes differ both in module count and in interaction density,
+        # like the real PPI collections (which WLSK separates at ~88% in
+        # the paper — a pure community-count signal would be invisible to
+        # degree-based kernels). The densities average to the paper's
+        # Table II edge density (calibrated; block-size jitter makes the
+        # same-community fraction exceed 1/k, hence the low nominal values).
+        target_density = 0.040 + 0.012 * (n_communities - 2)
+
+        def build(rng):
+            n = _normal_size(rng, mean, 18 * size_scale, 20, _scaled(218, size_scale, 40))
+            p_out = 0.018
+            p_in = min(
+                n_communities * (target_density - p_out * (1 - 1 / n_communities)),
+                0.95,
+            )
+            return community_graph(
+                rng, n_vertices=n, n_communities=n_communities,
+                p_in=max(p_in, 0.05), p_out=p_out,
+            )
+
+        return build
+
+    recipes = [
+        ClassRecipe(c, make_class(c + 2), f"{c + 2} functional modules")
+        for c in range(5)
+    ]
+    return build_dataset(
+        "PPIs", recipes, n_graphs, seed=seed, domain="Bio",
+        description="protein-protein interaction surrogate",
+    )
+
+
+def _make_cath2(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Two protein-fold classes of *overlapping* contact-map graphs.
+
+    Both classes are small-world contact maps (as real CATH folds are);
+    they differ in rewiring rate and local neighbourhood width, with the
+    per-instance parameters drawn from overlapping ranges so the task sits
+    in the paper's 67-88% accuracy band instead of saturating — an earlier
+    geometric-vs-small-world recipe was separable by every kernel at 100%.
+    """
+    mean = 308.03 * size_scale
+
+    def fold(rng, rewire_low, rewire_high, k_choices):
+        n = _normal_size(rng, mean, 50 * size_scale, 30, _scaled(568, size_scale, 60))
+        k = int(rng.choice(k_choices))
+        rewire = float(rng.uniform(rewire_low, rewire_high))
+        return gen.watts_strogatz(max(n, 12), k, rewire, seed=rng)
+
+    def alpha_like(rng):
+        return fold(rng, 0.02, 0.12, (8, 8, 10))
+
+    def beta_like(rng):
+        return fold(rng, 0.08, 0.25, (8, 10, 10))
+
+    recipes = [
+        ClassRecipe(0, alpha_like, "mainly-alpha-like contact maps"),
+        ClassRecipe(1, beta_like, "mainly-beta-like folds"),
+    ]
+    return build_dataset(
+        "CATH2", recipes, n_graphs, seed=seed, domain="Bio",
+        description="CATH protein class surrogate",
+    )
+
+
+def _make_ptc(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Carcinogenicity surrogate: heavily overlapping molecule classes.
+
+    The real PTC(MR) task is intrinsically noisy (best published accuracies
+    ~60%); the two recipes overlap in ring count so chance-beating but
+    modest accuracy is the expected regime.
+    """
+    mean = 25.56 * size_scale
+
+    def negative(rng):
+        n = _normal_size(rng, mean, 7, 8, _scaled(109, size_scale, 20))
+        rings = int(rng.choice([0, 1, 1, 2]))
+        return molecule_like(rng, n_vertices=n, n_rings=rings, ring_size=5)
+
+    def positive(rng):
+        n = _normal_size(rng, mean, 7, 8, _scaled(109, size_scale, 20))
+        rings = int(rng.choice([1, 1, 2, 3]))
+        return molecule_like(rng, n_vertices=n, n_rings=rings, ring_size=6)
+
+    recipes = [
+        ClassRecipe(0, negative, "non-carcinogenic surrogate"),
+        ClassRecipe(1, positive, "carcinogenic surrogate"),
+    ]
+    return build_dataset(
+        "PTC", recipes, n_graphs, seed=seed, domain="Bio", n_vertex_labels=19,
+        description="PTC(MR) carcinogenicity surrogate",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Computer-vision shape datasets
+# --------------------------------------------------------------------- #
+
+
+def _shape_class_recipes(
+    *,
+    n_classes: int,
+    template_vertices,
+    size_sampler,
+    finalize=None,
+    rewire_fraction: float = 0.02,
+    concentration: float = 1.2,
+    seed: int,
+) -> "list[ClassRecipe]":
+    """Shape-dataset pattern: per-class weighted template, proportion-
+    preserving growth, plus light rewiring noise.
+
+    Real shape classes (fish silhouettes, articulated objects) share their
+    skeleton's *branching topology* and *limb proportions* across views
+    while vertex counts vary with sampling resolution. Each class draws a
+    random-tree template with a Dirichlet edge-weight profile once
+    (:func:`repro.datasets.synthetic.make_weighted_template`); instances
+    grow it to an independently drawn size with a single multinomial
+    allocation (:func:`repro.datasets.synthetic.grow_weighted`) so the
+    proportions are class-invariant — a fixed-size template would leak the
+    class through the graph order, exactly the cue the unaligned QJSK
+    baseline exploits, while uniform subdivision would wash the proportions
+    out entirely.
+    """
+    recipes = []
+    for class_index in range(n_classes):
+        template_rng = as_rng(
+            int(np.random.SeedSequence([seed, 7919, class_index]).generate_state(1)[0])
+        )
+        template = make_weighted_template(
+            template_rng,
+            n_vertices=template_vertices(class_index, template_rng),
+            concentration=concentration,
+        )
+
+        def build(rng, _template=template):
+            grown = grow_weighted(_template, size_sampler(rng), rng)
+            noisy = perturbed_template(grown, rng, rewire_fraction=rewire_fraction)
+            if finalize is not None:
+                noisy = finalize(noisy, rng)
+            return noisy
+
+        recipes.append(ClassRecipe(class_index, build, f"shape class {class_index}"))
+    return recipes
+
+
+def _make_gatorbait(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """30 fish-skeleton classes; triangulated skeletons (e/v ~ 2.28)."""
+
+    def size_sampler(rng) -> int:
+        return _normal_size(rng, 348.72 * size_scale, 35 * size_scale, 30,
+                            _scaled(545, size_scale, 60))
+
+    recipes = _shape_class_recipes(
+        n_classes=30,
+        template_vertices=lambda c, rng: 14 + c % 10,
+        size_sampler=size_sampler,
+        finalize=lambda g, rng: triangulate_chords(
+            g, rng, int(1.28 * g.n_vertices)
+        ),
+        concentration=0.7,
+        seed=seed,
+    )
+    return build_dataset(
+        "GatorBait", recipes, n_graphs, seed=seed, domain="CV",
+        description="fish shape skeleton surrogate",
+    )
+
+
+def _make_bar31(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """20 articulated-shape classes; tree-like skeletons (e ~ v - 1)."""
+
+    def size_sampler(rng) -> int:
+        return _normal_size(rng, 95.42 * size_scale, 14 * size_scale, 20,
+                            _scaled(220, size_scale, 40))
+
+    recipes = _shape_class_recipes(
+        n_classes=20,
+        template_vertices=lambda c, rng: 10 + c % 6,
+        size_sampler=size_sampler,
+        seed=seed,
+    )
+    return build_dataset(
+        "BAR31", recipes, n_graphs, seed=seed, domain="CV",
+        description="articulated shape skeleton surrogate",
+    )
+
+
+def _make_bsphere31(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """20 shape classes of sparse *forests* (mean edges < mean vertices)."""
+
+    def size_sampler(rng) -> int:
+        return _normal_size(rng, 99.83 * size_scale, 14 * size_scale, 20,
+                            _scaled(227, size_scale, 40))
+
+    recipes = []
+    for class_index in range(20):
+        class_rng = as_rng(
+            int(np.random.SeedSequence([seed, 104729, class_index]).generate_state(1)[0])
+        )
+        n_limbs = 2 + class_index % 5
+        limb_weights = class_rng.dirichlet(np.full(n_limbs, 1.2))
+
+        def build(rng, _weights=limb_weights):
+            return limb_forest(
+                rng, n_vertices=size_sampler(rng), limb_weights=_weights
+            )
+
+        recipes.append(
+            ClassRecipe(class_index, build, f"forest shape class {class_index}")
+        )
+    return build_dataset(
+        "BSPHERE31", recipes, n_graphs, seed=seed, domain="CV",
+        description="sphere-projection shape surrogate (forests)",
+    )
+
+
+def _make_geod31(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """20 geodesic-shape classes; lightly triangulated small skeletons."""
+
+    def size_sampler(rng) -> int:
+        return _normal_size(rng, 57.24 * size_scale, 9 * size_scale, 15,
+                            _scaled(380, size_scale, 30))
+
+    recipes = _shape_class_recipes(
+        n_classes=20,
+        template_vertices=lambda c, rng: 9 + c % 5,
+        size_sampler=size_sampler,
+        finalize=lambda g, rng: triangulate_chords(
+            g, rng, int(0.75 * g.n_vertices)
+        ),
+        seed=seed,
+    )
+    return build_dataset(
+        "GEOD31", recipes, n_graphs, seed=seed, domain="CV",
+        description="geodesic distance shape surrogate",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Social-network datasets
+# --------------------------------------------------------------------- #
+
+
+def _make_imdb_b(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Movie-genre ego networks: few large cliques vs many small cliques.
+
+    The clique-count and clique-size ranges of the two classes overlap
+    (an action movie can have three casts, a romance two), keeping the
+    task in the paper's ~63-74% band rather than saturating.
+    """
+
+    def action(rng):
+        n_cliques = int(rng.integers(1, 4))
+        return ego_collaboration(
+            rng, n_cliques=n_cliques,
+            clique_low=max(int(6 * size_scale), 3),
+            clique_high=max(int(16 * size_scale), 5),
+            overlap=0.35,
+        )
+
+    def romance(rng):
+        n_cliques = int(rng.integers(2, 6))
+        return ego_collaboration(
+            rng, n_cliques=n_cliques,
+            clique_low=max(int(4 * size_scale), 3),
+            clique_high=max(int(11 * size_scale), 4),
+            overlap=0.5,
+        )
+
+    recipes = [
+        ClassRecipe(0, action, "few large casts"),
+        ClassRecipe(1, romance, "many small casts"),
+    ]
+    return build_dataset(
+        "IMDB-B", recipes, n_graphs, seed=seed, domain="SN",
+        description="actor ego-network surrogate (binary)",
+    )
+
+
+def _make_imdb_m(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Three genre classes with heavily overlapping cast structure.
+
+    Real IMDB-M is the hardest of the SN sets (paper accuracies ~43-51%
+    for 3 classes): genre only shifts the *distribution* of cast counts
+    and sizes. Each class here is a mixture over 1-3 cliques with
+    class-dependent mixture weights, so single instances are often
+    ambiguous by construction.
+    """
+
+    def ego(rng, clique_weights):
+        n_cliques = 1 + int(rng.choice(3, p=clique_weights))
+        return ego_collaboration(
+            rng, n_cliques=n_cliques,
+            clique_low=max(int(5 * size_scale), 3),
+            clique_high=max(int(12 * size_scale), 4),
+            overlap=0.45,
+        )
+
+    recipes = [
+        ClassRecipe(0, lambda rng: ego(rng, (0.6, 0.3, 0.1)), "mostly one cast"),
+        ClassRecipe(1, lambda rng: ego(rng, (0.25, 0.5, 0.25)), "mostly two casts"),
+        ClassRecipe(2, lambda rng: ego(rng, (0.1, 0.3, 0.6)), "mostly three casts"),
+    ]
+    return build_dataset(
+        "IMDB-M", recipes, n_graphs, seed=seed, domain="SN",
+        description="actor ego-network surrogate (3 genres)",
+    )
+
+
+def _make_red_b(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Reddit threads: deep discussion trees vs star-like Q&A trees."""
+
+    def thread_size(rng) -> int:
+        size = rng.lognormal(mean=np.log(429.62 * size_scale) - 0.32, sigma=0.8)
+        return int(np.clip(size, max(int(40 * size_scale), 10),
+                           _scaled(3782, size_scale, 100)))
+
+    def add_cross_links(graph: Graph, rng) -> Graph:
+        adjacency = np.array(graph.adjacency)
+        n = graph.n_vertices
+        for _ in range(int(0.16 * n)):
+            a, b = int(rng.integers(0, n)), int(rng.integers(0, n))
+            if a != b:
+                adjacency[a, b] = adjacency[b, a] = 1.0
+        return Graph(adjacency)
+
+    def discussion(rng):
+        tree = broadcast_tree(rng, n_vertices=thread_size(rng), hub_bias=0.6)
+        return add_cross_links(tree, rng)
+
+    def question_answer(rng):
+        tree = broadcast_tree(rng, n_vertices=thread_size(rng), hub_bias=1.8)
+        return add_cross_links(tree, rng)
+
+    recipes = [
+        ClassRecipe(0, discussion, "discussion threads (deep)"),
+        ClassRecipe(1, question_answer, "Q&A threads (star-like)"),
+    ]
+    return build_dataset(
+        "RED-B", recipes, n_graphs, seed=seed, domain="SN",
+        description="Reddit thread surrogate",
+    )
+
+
+def _make_collab(n_graphs: int, size_scale: float, seed: int) -> GraphDataset:
+    """Research-field collaboration egos (3 classes, very dense).
+
+    Clique-count ranges overlap between adjacent fields (paper accuracies
+    top out near 79%, so the classes must not be cleanly separable).
+    """
+
+    def high_energy(rng):
+        return ego_collaboration(
+            rng, n_cliques=int(rng.integers(1, 4)),
+            clique_low=max(int(40 * size_scale), 5),
+            clique_high=max(int(88 * size_scale), 8),
+            overlap=0.4,
+        )
+
+    def condensed_matter(rng):
+        return ego_collaboration(
+            rng, n_cliques=int(rng.integers(2, 7)),
+            clique_low=max(int(18 * size_scale), 4),
+            clique_high=max(int(42 * size_scale), 6),
+            overlap=0.5,
+        )
+
+    def astro(rng):
+        return ego_collaboration(
+            rng, n_cliques=int(rng.integers(4, 9)),
+            clique_low=max(int(13 * size_scale), 3),
+            clique_high=max(int(30 * size_scale), 5),
+            overlap=0.6,
+        )
+
+    recipes = [
+        ClassRecipe(0, high_energy, "High Energy Physics"),
+        ClassRecipe(1, condensed_matter, "Condensed Matter"),
+        ClassRecipe(2, astro, "Astrophysics"),
+    ]
+    return build_dataset(
+        "COLLAB", recipes, n_graphs, seed=seed, domain="SN",
+        description="scientific collaboration ego surrogate",
+    )
+
+
+_LOADERS = {
+    "MUTAG": _make_mutag,
+    "PPIs": _make_ppis,
+    "CATH2": _make_cath2,
+    "PTC": _make_ptc,
+    "GatorBait": _make_gatorbait,
+    "BAR31": _make_bar31,
+    "BSPHERE31": _make_bsphere31,
+    "GEOD31": _make_geod31,
+    "IMDB-B": _make_imdb_b,
+    "IMDB-M": _make_imdb_m,
+    "RED-B": _make_red_b,
+    "COLLAB": _make_collab,
+}

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to discriminate the concrete cause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class GraphError(ReproError):
+    """A graph structure is malformed or an operation on it is undefined."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be constructed, parsed, or validated."""
+
+
+class QuantumError(ReproError):
+    """A quantum-information computation received an invalid operator/state."""
+
+
+class NotDensityMatrixError(QuantumError):
+    """A matrix expected to be a density matrix is not PSD / trace-one."""
+
+
+class AlignmentError(ReproError):
+    """Prototype construction or vertex correspondence failed."""
+
+
+class KernelError(ReproError):
+    """A graph-kernel computation failed or was configured inconsistently."""
+
+
+class NotFittedError(ReproError):
+    """A model or transformer was used before ``fit`` was called."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped at its iteration cap before converging."""

@@ -1,0 +1,70 @@
+"""Markdown-table reporting shared by all experiment modules.
+
+Every experiment returns a list of row dicts; :func:`format_table` renders
+them in the column order of the paper's table so the output can be compared
+cell-by-cell, and :func:`save_report` writes the result under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+
+def format_table(rows: Sequence[dict], *, columns: "list[str] | None" = None) -> str:
+    """Render row dicts as a GitHub-markdown table.
+
+    Column order follows ``columns`` when given, else the first row's key
+    order. Missing cells render as ``-``.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_cell(r.get(c))) for r in rows)) for c in columns
+    }
+    header = "| " + " | ".join(str(c).ljust(widths[c]) for c in columns) + " |"
+    rule = "|" + "|".join("-" * (widths[c] + 2) for c in columns) + "|"
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_cell(row.get(c)).ljust(widths[c]) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def save_report(name: str, content: str, *, directory: str = "results") -> str:
+    """Write a report file and return its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.md")
+    with open(path, "w") as f:
+        f.write(content if content.endswith("\n") else content + "\n")
+    return path
+
+
+def bold_best(rows: "list[dict]", columns: "list[str]", *, larger_is_better=True):
+    """Wrap the best value of each column in ``**bold**`` (paper style)."""
+    for column in columns:
+        values = []
+        for row in rows:
+            value = row.get(column)
+            if isinstance(value, (int, float)):
+                values.append(value)
+        if not values:
+            continue
+        best = max(values) if larger_is_better else min(values)
+        for row in rows:
+            value = row.get(column)
+            if isinstance(value, (int, float)) and value == best:
+                row[column] = f"**{value:.2f}**"
+    return rows

@@ -1,0 +1,66 @@
+"""CLI dispatcher: ``python -m repro.experiments.runner <experiment> ...``.
+
+Experiments: ``table1`` (properties), ``table2`` (dataset statistics),
+``table3`` (kernel taxonomy), ``table4`` (kernel accuracies), ``table5``
+(deep-learning comparison), ``figure2`` (prototype hierarchy),
+``complexity`` (Section III-D scaling). Reports are echoed and written
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import complexity, figure2, properties, table2, table4, table5
+from repro.experiments.kernel_zoo import make_kernel
+from repro.experiments.config import TABLE4_KERNELS
+from repro.experiments.reporting import format_table, save_report
+
+
+def run_table3() -> str:
+    """Table III — the kernel taxonomy, from each kernel's traits."""
+    rows = []
+    for name in TABLE4_KERNELS:
+        traits = make_kernel(name, n_prototypes=8).traits
+        rows.append(
+            {
+                "Kernel Methods": name,
+                "Kernel Frameworks": traits.framework,
+                "Aligned": "Yes" if traits.aligned else "No",
+                "Transitive": "Yes" if traits.transitive else "No",
+                "Structure Patterns": ", ".join(traits.structure_patterns),
+                "Computing Models": traits.computing_model,
+            }
+        )
+    return format_table(rows)
+
+
+_EXPERIMENTS = {
+    "table1": lambda argv: format_table(properties.run_properties()),
+    "table2": lambda argv: table2.main(argv),
+    "table3": lambda argv: run_table3(),
+    "table4": lambda argv: table4.main(argv),
+    "table5": lambda argv: table5.main(argv),
+    "figure2": lambda argv: figure2.main(argv),
+    "complexity": lambda argv: complexity.main(argv),
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help") or argv[0] not in _EXPERIMENTS:
+        names = ", ".join(sorted(_EXPERIMENTS))
+        print(f"usage: repro-experiments <experiment> [options]\n"
+              f"experiments: {names}")
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    name = argv[0]
+    output = _EXPERIMENTS[name](argv[1:])
+    if output:
+        path = save_report(name, output)
+        print(f"\n[saved to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

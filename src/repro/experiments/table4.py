@@ -1,0 +1,166 @@
+"""Table IV — classification accuracy of the kernels under 10-fold CV.
+
+For every (kernel, dataset) cell: build the dataset at the configured
+scale, compute the normalised Gram matrix, repair indefinite baselines to
+PSD, run the repeated stratified 10-fold C-SVM protocol, and report
+``mean ± standard error`` exactly as the paper does.
+
+Paper accuracies are included for side-by-side comparison; the *shape*
+(who wins where) is the reproduction target, not the absolute numbers —
+our datasets are synthetic surrogates (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import load_dataset
+from repro.experiments.config import (
+    TABLE4_DATASETS,
+    TABLE4_KERNELS,
+    cv_repeats,
+    dataset_scale,
+)
+from repro.experiments.kernel_zoo import INDEFINITE_KERNELS, make_kernel
+from repro.experiments.reporting import format_table
+from repro.ml import condition_gram, cross_validate_kernel
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("experiments.table4")
+
+#: Paper Table IV (mean accuracy only), for the comparison column.
+PAPER_TABLE4 = {
+    "HAQJSK(A)": {"MUTAG": 85.83, "PPIs": 89.71, "CATH2": 83.47, "PTC": 62.35,
+                  "GatorBait": 20.00, "BAR31": 68.00, "BSPHERE31": 58.40,
+                  "GEOD31": 45.26, "IMDB-B": 73.50, "IMDB-M": 50.08,
+                  "RED-B": 90.93, "COLLAB": 79.20},
+    "HAQJSK(D)": {"MUTAG": 86.33, "PPIs": 86.28, "CATH2": 87.89, "PTC": 59.05,
+                  "GatorBait": 22.80, "BAR31": 71.70, "BSPHERE31": 61.60,
+                  "GEOD31": 47.53, "IMDB-B": 72.57, "IMDB-M": 49.30,
+                  "RED-B": 89.50, "COLLAB": 78.82},
+    "QJSK": {"MUTAG": 82.72, "PPIs": 65.61, "CATH2": 71.11, "PTC": 56.70,
+             "GatorBait": 9.00, "BAR31": 30.80, "BSPHERE31": 24.80,
+             "GEOD31": 23.73, "IMDB-B": 62.10, "IMDB-M": 43.24},
+    "ASK": {"MUTAG": 87.50, "PPIs": 80.14, "CATH2": 78.52, "PTC": 56.22,
+            "GatorBait": 7.50, "BAR31": 73.10, "BSPHERE31": 60.30,
+            "GEOD31": 46.21, "IMDB-B": 63.57, "IMDB-M": 42.81},
+    "JTQK": {"MUTAG": 85.50, "PPIs": 88.47, "CATH2": 68.70, "PTC": 58.50,
+             "GatorBait": 11.40, "BAR31": 60.56, "BSPHERE31": 46.93,
+             "GEOD31": 40.10, "IMDB-B": 72.45, "IMDB-M": 50.33,
+             "RED-B": 77.60, "COLLAB": 76.85},
+    "GCGK": {"MUTAG": 81.66, "PPIs": 46.61, "CATH2": 73.68, "PTC": 52.26,
+             "GatorBait": 8.40, "BAR31": 22.96, "BSPHERE31": 17.10,
+             "GEOD31": 15.30, "IMDB-B": 65.87, "IMDB-M": 45.42, "RED-B": 77.34},
+    "WLSK": {"MUTAG": 82.88, "PPIs": 88.09, "CATH2": 67.36, "PTC": 58.26,
+             "GatorBait": 10.10, "BAR31": 58.53, "BSPHERE31": 42.10,
+             "GEOD31": 38.20, "IMDB-B": 71.88, "IMDB-M": 49.50,
+             "RED-B": 76.56, "COLLAB": 77.39},
+    "CORE WL": {"MUTAG": 87.47, "PTC": 59.43, "IMDB-B": 74.02, "IMDB-M": 51.35,
+                "RED-B": 78.02},
+    "SPGK": {"MUTAG": 83.38, "PPIs": 59.04, "CATH2": 81.89, "PTC": 55.52,
+             "GatorBait": 9.00, "BAR31": 55.73, "BSPHERE31": 48.20,
+             "GEOD31": 38.40, "IMDB-B": 71.26, "IMDB-M": 51.33,
+             "RED-B": 84.20, "COLLAB": 58.80},
+    "CORE SP": {"MUTAG": 88.29, "PTC": 59.06, "IMDB-B": 72.62, "IMDB-M": 49.43,
+                "RED-B": 90.84},
+    "PMGK": {"MUTAG": 86.67, "PTC": 60.22, "IMDB-B": 68.53, "IMDB-M": 45.75,
+             "RED-B": 82.70},
+    "SPEGK": {"MUTAG": 86.35, "PPIs": 84.13, "CATH2": 83.58, "PTC": 56.79,
+              "GatorBait": 14.40, "BAR31": 70.08, "BSPHERE31": 57.36,
+              "GEOD31": 43.57},
+}
+
+
+def evaluate_cell(
+    kernel_name: str, dataset_name: str, *, seed: int = 0, n_repeats: "int | None" = None
+) -> dict:
+    """One Table IV cell: accuracy of ``kernel_name`` on ``dataset_name``."""
+    scale_cfg = dataset_scale(dataset_name)
+    dataset = load_dataset(
+        dataset_name,
+        scale=scale_cfg.scale,
+        size_scale=scale_cfg.size_scale,
+        seed=seed,
+    )
+    kernel = make_kernel(
+        kernel_name, n_prototypes=scale_cfg.haqjsk_prototypes, seed=seed
+    )
+    started = time.perf_counter()
+    gram = kernel.gram(
+        dataset.graphs,
+        normalize=True,
+        ensure_psd=kernel_name in INDEFINITE_KERNELS,
+    )
+    gram_seconds = time.perf_counter() - started
+    result = cross_validate_kernel(
+        condition_gram(gram),
+        dataset.targets,
+        n_folds=10,
+        n_repeats=n_repeats or cv_repeats(),
+        seed=seed + 1,
+    )
+    _LOGGER.info(
+        "%s / %s: %s (gram %.1fs)", kernel_name, dataset_name, result, gram_seconds
+    )
+    return {
+        "kernel": kernel_name,
+        "dataset": dataset_name,
+        "accuracy": result.mean_accuracy * 100.0,
+        "stderr": result.standard_error * 100.0,
+        "paper": PAPER_TABLE4.get(kernel_name, {}).get(dataset_name),
+        "gram_seconds": gram_seconds,
+        "n_graphs": len(dataset),
+    }
+
+
+def run_table4(
+    *, kernels=None, datasets=None, seed: int = 0, n_repeats: "int | None" = None
+) -> "list[dict]":
+    """All requested Table IV cells (defaults: the full paper grid)."""
+    cells = []
+    for dataset_name in datasets or TABLE4_DATASETS:
+        for kernel_name in kernels or TABLE4_KERNELS:
+            cells.append(
+                evaluate_cell(
+                    kernel_name, dataset_name, seed=seed, n_repeats=n_repeats
+                )
+            )
+    return cells
+
+
+def cells_to_rows(cells: "list[dict]") -> "list[dict]":
+    """Pivot cells into paper-shaped rows (kernel x dataset)."""
+    datasets = []
+    for cell in cells:
+        if cell["dataset"] not in datasets:
+            datasets.append(cell["dataset"])
+    rows: dict = {}
+    for cell in cells:
+        row = rows.setdefault(cell["kernel"], {"Kernel": cell["kernel"]})
+        row[cell["dataset"]] = f"{cell['accuracy']:.2f} ± {cell['stderr']:.2f}"
+        if cell["paper"] is not None:
+            row[cell["dataset"]] += f" (paper {cell['paper']:.2f})"
+    ordered = [rows[k] for k in rows]
+    return ordered
+
+
+def main(argv=None) -> str:  # pragma: no cover - CLI glue
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Regenerate Table IV")
+    parser.add_argument("--datasets", nargs="*", default=None)
+    parser.add_argument("--kernels", nargs="*", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+    cells = run_table4(
+        kernels=args.kernels, datasets=args.datasets, seed=args.seed,
+        n_repeats=args.repeats,
+    )
+    table = format_table(cells_to_rows(cells))
+    print(table)
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,38 @@
+"""Deep-learning baselines for Table V, on a from-scratch numpy autograd."""
+
+from repro.gnn.autograd import Parameter, Tensor, glorot
+from repro.gnn.awe import AnonymousWalkKernel, anonymous_pattern
+from repro.gnn.dgk import DeepGraphKernel
+from repro.gnn.layers import (
+    Conv1D,
+    Dense,
+    GCNLayer,
+    Module,
+    degree_features,
+    renormalized_adjacency,
+    sort_pooling_indices,
+)
+from repro.gnn.models import DCNN, DGCNN, PSGCNN, evaluate_model
+from repro.gnn.training import Adam, train_graph_classifier
+
+__all__ = [
+    "Adam",
+    "AnonymousWalkKernel",
+    "Conv1D",
+    "DCNN",
+    "DGCNN",
+    "Dense",
+    "DeepGraphKernel",
+    "GCNLayer",
+    "Module",
+    "PSGCNN",
+    "Parameter",
+    "Tensor",
+    "anonymous_pattern",
+    "degree_features",
+    "evaluate_model",
+    "glorot",
+    "renormalized_adjacency",
+    "sort_pooling_indices",
+    "train_graph_classifier",
+]

@@ -1,0 +1,288 @@
+"""Minimal reverse-mode automatic differentiation over numpy arrays.
+
+The Table V deep baselines (DGCNN, DCNN, PSGCNN) need gradient training and
+no deep-learning framework is available offline, so this module implements
+a small tape-based autograd: a :class:`Tensor` wraps an ndarray, records the
+operation that produced it, and :meth:`Tensor.backward` accumulates
+gradients by reverse topological traversal.
+
+Supported ops cover exactly what the models need: matmul, elementwise
+arithmetic, relu/tanh/sigmoid, sum/mean, reshape/transpose/concatenate,
+row gather (for sort-pooling and im2col convolutions) and a fused
+softmax-cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class Tensor:
+    """A node in the autograd tape.
+
+    Parameters
+    ----------
+    data:
+        The value (any numpy-coercible array).
+    requires_grad:
+        Track gradients through this tensor (parameters set this).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(self, data, requires_grad: bool = False) -> None:
+        self.data = np.asarray(data, dtype=float)
+        self.grad: "np.ndarray | None" = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple = ()
+        self._backward = None
+
+    # ------------------------------------------------------------------ #
+    # Graph construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @staticmethod
+    def _make(data, parents, backward) -> "Tensor":
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        gradient = _unbroadcast(gradient, self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad += gradient
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other):
+        other = self._lift(other)
+
+        def backward(grad):
+            self._accumulate(grad)
+            other._accumulate(grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other):
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other):
+        other = self._lift(other)
+
+        def backward(grad):
+            self._accumulate(grad * other.data)
+            other._accumulate(grad * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._lift(other)
+
+        def backward(grad):
+            self._accumulate(grad / other.data)
+            other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product (2-D only, which is all the models use)."""
+        other = self._lift(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise ValidationError("matmul expects 2-D tensors")
+
+        def backward(grad):
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities
+    # ------------------------------------------------------------------ #
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(float)
+
+        def backward(grad):
+            self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+
+        def backward(grad):
+            self._accumulate(grad * (1.0 - value**2))
+
+        return self._make(value, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
+
+        def backward(grad):
+            self._accumulate(grad * value * (1.0 - value))
+
+        return self._make(value, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and shape ops
+    # ------------------------------------------------------------------ #
+
+    def sum(self) -> "Tensor":
+        def backward(grad):
+            self._accumulate(np.full_like(self.data, float(grad)))
+
+        return self._make(self.data.sum(), (self,), backward)
+
+    def mean(self, axis: "int | None" = None) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+
+            def backward(grad):
+                self._accumulate(np.full_like(self.data, float(grad) / count))
+
+            return self._make(self.data.mean(), (self,), backward)
+
+        count = self.data.shape[axis]
+
+        def backward_axis(grad):
+            self._accumulate(np.expand_dims(grad, axis) / count * np.ones_like(self.data))
+
+        return self._make(self.data.mean(axis=axis), (self,), backward_axis)
+
+    def reshape(self, *shape) -> "Tensor":
+        original = self.data.shape
+
+        def backward(grad):
+            self._accumulate(grad.reshape(original))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        def backward(grad):
+            self._accumulate(grad.T)
+
+        return self._make(self.data.T, (self,), backward)
+
+    def gather_rows(self, indices) -> "Tensor":
+        """Select rows (with repetition allowed); gradients scatter-add back."""
+        idx = np.asarray(indices, dtype=int)
+
+        def backward(grad):
+            out = np.zeros_like(self.data)
+            np.add.at(out, idx, grad)
+            self._accumulate(out)
+
+        return self._make(self.data[idx], (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: "list[Tensor]", axis: int = 1) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(int(lo), int(hi))
+                t._accumulate(grad[tuple(slicer)])
+
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        return Tensor._make(data, tensors, backward)
+
+    # ------------------------------------------------------------------ #
+    # Loss
+    # ------------------------------------------------------------------ #
+
+    def softmax_cross_entropy(self, target_index: int) -> "Tensor":
+        """Fused softmax + NLL for a single ``(1, n_classes)`` logit row."""
+        logits = self.data.reshape(-1)
+        shifted = logits - logits.max()
+        exp = np.exp(shifted)
+        probs = exp / exp.sum()
+        loss = -float(np.log(max(probs[int(target_index)], 1e-12)))
+
+        def backward(grad):
+            delta = probs.copy()
+            delta[int(target_index)] -= 1.0
+            self._accumulate(float(grad) * delta.reshape(self.data.shape))
+
+        return self._make(loss, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+
+    def backward(self) -> None:
+        """Accumulate gradients of this scalar w.r.t. every ancestor."""
+        if self.data.size != 1:
+            raise ValidationError("backward() requires a scalar tensor")
+        ordering: list = []
+        seen: set = set()
+
+        def topo(node: "Tensor") -> None:
+            if id(node) in seen or not node.requires_grad:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                topo(parent)
+            ordering.append(node)
+
+        topo(self)
+        self.grad = np.ones_like(self.data)
+        for node in reversed(ordering):
+            if node._backward is not None:
+                node._backward(node.grad)
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce a broadcasted gradient back to the original shape."""
+    grad = np.asarray(gradient, dtype=float)
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by construction)."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier-uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))

@@ -1,0 +1,118 @@
+"""Neural layers for the Table V graph models, built on the numpy autograd."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gnn.autograd import Parameter, Tensor, glorot
+from repro.graphs.graph import Graph
+
+
+class Module:
+    """Base class: anything with trainable :class:`Parameter` attributes."""
+
+    def parameters(self) -> "list[Parameter]":
+        params: list = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        params.append(item)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+
+class Dense(Module):
+    """Affine layer ``X W + b``."""
+
+    def __init__(self, fan_in: int, fan_out: int, rng: np.random.Generator):
+        self.weight = Parameter(glorot(rng, fan_in, fan_out))
+        self.bias = Parameter(np.zeros((1, fan_out)))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class GCNLayer(Module):
+    """Graph convolution ``\\hat{A} X W`` with renormalised adjacency.
+
+    ``\\hat{A} = D^{-1/2} (A + I) D^{-1/2}`` is precomputed per graph by
+    :func:`renormalized_adjacency` and passed in as a constant tensor, as in
+    Kipf & Welling / DGCNN.
+    """
+
+    def __init__(self, fan_in: int, fan_out: int, rng: np.random.Generator):
+        self.weight = Parameter(glorot(rng, fan_in, fan_out))
+
+    def __call__(self, a_hat: Tensor, x: Tensor) -> Tensor:
+        return a_hat @ (x @ self.weight)
+
+
+class Conv1D(Module):
+    """1-D convolution over rows via gather + matmul (im2col).
+
+    Input ``(length, channels)``; output ``(length - kernel + 1, filters)``.
+    """
+
+    def __init__(self, channels: int, filters: int, kernel: int, rng):
+        if kernel < 1:
+            raise ValidationError(f"kernel must be >= 1, got {kernel}")
+        self.kernel = kernel
+        self.channels = channels
+        self.weight = Parameter(glorot(rng, kernel * channels, filters))
+        self.bias = Parameter(np.zeros((1, filters)))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        length = x.data.shape[0]
+        out_length = length - self.kernel + 1
+        if out_length < 1:
+            raise ValidationError(
+                f"input length {length} shorter than kernel {self.kernel}"
+            )
+        windows = np.stack(
+            [np.arange(i, i + self.kernel) for i in range(out_length)]
+        ).reshape(-1)
+        gathered = x.gather_rows(windows)  # (out_length * kernel, channels)
+        stacked = gathered.reshape(out_length, self.kernel * self.channels)
+        return stacked @ self.weight + self.bias
+
+
+def renormalized_adjacency(graph: Graph) -> np.ndarray:
+    """``D^{-1/2} (A + I) D^{-1/2}`` — the GCN propagation operator."""
+    adjacency = (graph.adjacency > 0).astype(float) + np.eye(graph.n_vertices)
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def degree_features(graph: Graph, max_degree: int) -> np.ndarray:
+    """One-hot (clipped) degree features — the standard choice for
+    un-attributed graphs in the Table V baselines."""
+    degrees = np.minimum(graph.unweighted_degrees().astype(int), max_degree)
+    features = np.zeros((graph.n_vertices, max_degree + 1))
+    features[np.arange(graph.n_vertices), degrees] = 1.0
+    return features
+
+
+def sort_pooling_indices(features: np.ndarray, k: int) -> np.ndarray:
+    """DGCNN sort-pooling: order vertices by the last feature channel
+    (descending, ties by earlier channels) and keep the top ``k`` — padding
+    by repeating the last vertex if the graph is smaller than ``k``."""
+    if features.shape[0] == 0:
+        raise ValidationError("cannot sort-pool an empty feature matrix")
+    keys = tuple(features[:, c] for c in range(features.shape[1]))
+    order = np.lexsort(keys)[::-1]
+    if order.size >= k:
+        return order[:k]
+    pad = np.full(k - order.size, order[-1], dtype=int)
+    return np.concatenate([order, pad])

@@ -1,0 +1,211 @@
+"""The gradient-trained Table V baselines: DGCNN, DCNN, PSGCNN.
+
+Each model classifies a single graph at a time (datasets have ragged graph
+sizes) and exposes:
+
+* ``loss(graph, target) -> Tensor`` — scalar training loss;
+* ``predict(graph) -> int`` — argmax class;
+* ``parameters()`` — trainable tensors for the optimiser.
+
+The implementations are deliberately compact but structurally faithful:
+DGCNN keeps the GCN-stack → sort-pooling → 1-D convolution → dense pipeline
+of Zhang et al. (AAAI 2018); DCNN keeps the diffusion-power features of
+Atwood & Towsley (NIPS 2016); PSGCNN keeps PATCHY-SAN's canonical node
+ordering + fixed-size receptive fields (Niepert et al., ICML 2016).
+DESIGN.md records the simplifications (channel widths, no dropout).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gnn.autograd import Tensor
+from repro.gnn.layers import (
+    Conv1D,
+    Dense,
+    GCNLayer,
+    Module,
+    degree_features,
+    renormalized_adjacency,
+    sort_pooling_indices,
+)
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+
+class DGCNN(Module):
+    """Deep Graph CNN: GCN stack -> sort pooling -> Conv1D -> dense head."""
+
+    name = "DGCNN"
+
+    def __init__(
+        self,
+        n_classes: int,
+        *,
+        max_degree: int = 20,
+        hidden: tuple = (32, 32, 1),
+        sortpool_k: int = 16,
+        conv_filters: int = 16,
+        conv_kernel: int = 5,
+        seed=0,
+    ) -> None:
+        rng = as_rng(seed)
+        self.n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+        self.max_degree = max_degree
+        self.sortpool_k = sortpool_k
+        in_dim = max_degree + 1
+        self.gcn_layers = []
+        for width in hidden:
+            self.gcn_layers.append(GCNLayer(in_dim, width, rng))
+            in_dim = width
+        total_channels = sum(hidden)
+        self.conv = Conv1D(total_channels, conv_filters, conv_kernel, rng)
+        conv_out = (sortpool_k - conv_kernel + 1) * conv_filters
+        self.head = Dense(conv_out, self.n_classes, rng)
+
+    def logits(self, graph: Graph) -> Tensor:
+        a_hat = Tensor(renormalized_adjacency(graph))
+        x = Tensor(degree_features(graph, self.max_degree))
+        channel_outputs = []
+        for layer in self.gcn_layers:
+            x = layer(a_hat, x).tanh()
+            channel_outputs.append(x)
+        stacked = Tensor.concatenate(channel_outputs, axis=1)
+        order = sort_pooling_indices(stacked.data, self.sortpool_k)
+        pooled = stacked.gather_rows(order)
+        convolved = self.conv(pooled).relu()
+        flat = convolved.reshape(1, -1)
+        return self.head(flat)
+
+    def loss(self, graph: Graph, target: int) -> Tensor:
+        return self.logits(graph).softmax_cross_entropy(target)
+
+    def predict(self, graph: Graph) -> int:
+        return int(np.argmax(self.logits(graph).data))
+
+
+class DCNN(Module):
+    """Diffusion-convolutional NN: features ``[P^j X]`` for hop ``j``.
+
+    ``P`` is the random-walk transition matrix; per-vertex diffusion maps
+    are weighted, nonlinearised, mean-pooled and classified.
+    """
+
+    name = "DCNN"
+
+    def __init__(
+        self,
+        n_classes: int,
+        *,
+        max_degree: int = 20,
+        n_hops: int = 3,
+        seed=0,
+    ) -> None:
+        rng = as_rng(seed)
+        self.n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+        self.max_degree = max_degree
+        self.n_hops = check_positive_int(n_hops, "n_hops", minimum=1)
+        in_dim = (max_degree + 1) * n_hops
+        self.head = Dense(in_dim, self.n_classes, rng)
+
+    def logits(self, graph: Graph) -> Tensor:
+        features = degree_features(graph, self.max_degree)
+        adjacency = (graph.adjacency > 0).astype(float)
+        degrees = adjacency.sum(axis=1)
+        transition = adjacency / np.maximum(degrees, 1.0)[:, None]
+        diffused = [features]
+        current = features
+        for _ in range(self.n_hops - 1):
+            current = transition @ current
+            diffused.append(current)
+        stacked = np.concatenate(diffused, axis=1)  # (n, hops * d) — constant
+        pooled = Tensor(stacked.mean(axis=0, keepdims=True))
+        return self.head(pooled.tanh())
+
+    def loss(self, graph: Graph, target: int) -> Tensor:
+        return self.logits(graph).softmax_cross_entropy(target)
+
+    def predict(self, graph: Graph) -> int:
+        return int(np.argmax(self.logits(graph).data))
+
+
+class PSGCNN(Module):
+    """PATCHY-SAN style CNN: canonical ordering + fixed receptive fields.
+
+    ``w`` root vertices are chosen by degree-centrality rank; each root's
+    receptive field is its BFS neighbourhood truncated/padded to ``k``
+    vertices, ordered by (distance, degree). Field features are flattened
+    and convolved, then classified.
+    """
+
+    name = "PSGCNN"
+
+    def __init__(
+        self,
+        n_classes: int,
+        *,
+        max_degree: int = 20,
+        n_roots: int = 12,
+        field_size: int = 8,
+        conv_filters: int = 16,
+        seed=0,
+    ) -> None:
+        rng = as_rng(seed)
+        self.n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+        self.max_degree = max_degree
+        self.n_roots = n_roots
+        self.field_size = field_size
+        in_channels = (max_degree + 1) * field_size
+        self.conv = Dense(in_channels, conv_filters, rng)
+        self.head = Dense(conv_filters * n_roots, self.n_classes, rng)
+
+    def _receptive_fields(self, graph: Graph) -> np.ndarray:
+        """Indices ``(n_roots, field_size)``; roots by degree rank."""
+        degrees = graph.unweighted_degrees()
+        order = np.argsort(-degrees, kind="stable")
+        roots = order[: self.n_roots]
+        if roots.size < self.n_roots:
+            roots = np.concatenate(
+                [roots, np.full(self.n_roots - roots.size, int(order[0]))]
+            )
+        distances = graph.shortest_path_lengths()
+        fields = np.zeros((self.n_roots, self.field_size), dtype=int)
+        for row, root in enumerate(roots):
+            dist = distances[int(root)].astype(float)
+            dist[dist < 0] = np.inf
+            # Order: close first, then high degree.
+            ranking = np.lexsort((-degrees, dist))
+            reachable = ranking[np.isfinite(dist[ranking])]
+            field = reachable[: self.field_size]
+            if field.size < self.field_size:
+                field = np.concatenate(
+                    [field, np.full(self.field_size - field.size, int(root))]
+                )
+            fields[row] = field
+        return fields
+
+    def logits(self, graph: Graph) -> Tensor:
+        features = Tensor(degree_features(graph, self.max_degree))
+        fields = self._receptive_fields(graph)
+        gathered = features.gather_rows(fields.reshape(-1))
+        per_root = gathered.reshape(self.n_roots, -1)
+        convolved = self.conv(per_root).relu()
+        flat = convolved.reshape(1, -1)
+        return self.head(flat)
+
+    def loss(self, graph: Graph, target: int) -> Tensor:
+        return self.logits(graph).softmax_cross_entropy(target)
+
+    def predict(self, graph: Graph) -> int:
+        return int(np.argmax(self.logits(graph).data))
+
+
+def evaluate_model(model, graphs, targets) -> float:
+    """Mean accuracy of ``model.predict`` over a graph list."""
+    targets = np.asarray(targets, dtype=int)
+    if len(graphs) == 0:
+        raise ValidationError("cannot evaluate on an empty graph list")
+    predictions = np.asarray([model.predict(g) for g in graphs], dtype=int)
+    return float(np.mean(predictions == targets))

@@ -1,0 +1,88 @@
+"""Adam optimiser and the shared training loop for the Table V models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gnn.autograd import Parameter
+from repro.utils.rng import as_rng
+
+
+class Adam:
+    """Adam (Kingma & Ba) over a fixed parameter list."""
+
+    def __init__(
+        self,
+        parameters: "list[Parameter]",
+        learning_rate: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if not parameters:
+            raise ValidationError("Adam needs at least one parameter")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2, self.epsilon = beta1, beta2, epsilon
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        for i, p in enumerate(self.parameters):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad**2
+            m_hat = self._m[i] / (1 - self.beta1**self._t)
+            v_hat = self._v[i] / (1 - self.beta2**self._t)
+            p.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.grad = None
+
+
+def train_graph_classifier(
+    model,
+    graphs,
+    targets,
+    *,
+    n_epochs: int = 60,
+    batch_size: int = 16,
+    learning_rate: float = 1e-2,
+    seed=0,
+) -> list:
+    """Mini-batch training of any model exposing ``loss(graph, target)``.
+
+    Gradients are accumulated per batch (graphs have ragged sizes, so
+    batching is a loop) and averaged before each Adam step. Returns the
+    per-epoch mean loss curve.
+    """
+    rng = as_rng(seed)
+    targets = np.asarray(targets, dtype=int)
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    n = len(graphs)
+    curve = []
+    for _ in range(n_epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for start in range(0, n, batch_size):
+            batch = order[start : start + batch_size]
+            optimizer.zero_grad()
+            batch_loss = 0.0
+            for index in batch:
+                loss = model.loss(graphs[index], int(targets[index]))
+                loss.backward()
+                batch_loss += float(loss.data)
+            for p in model.parameters():
+                if p.grad is not None:
+                    p.grad /= len(batch)
+            optimizer.step()
+            epoch_loss += batch_loss
+        curve.append(epoch_loss / n)
+    return curve

@@ -1,0 +1,33 @@
+"""Graph substrate: the :class:`Graph` type, operations, generators, IO."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.ops import (
+    clustering_coefficient,
+    core_numbers,
+    degeneracy,
+    degree_distribution,
+    degree_matrix,
+    disjoint_union,
+    k_core_subgraph,
+    laplacian,
+    max_shortest_path_length,
+    normalized_laplacian,
+    transition_matrix,
+    triangle_count,
+)
+
+__all__ = [
+    "Graph",
+    "clustering_coefficient",
+    "core_numbers",
+    "degeneracy",
+    "degree_distribution",
+    "degree_matrix",
+    "disjoint_union",
+    "k_core_subgraph",
+    "laplacian",
+    "max_shortest_path_length",
+    "normalized_laplacian",
+    "transition_matrix",
+    "triangle_count",
+]

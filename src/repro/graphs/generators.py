@@ -1,0 +1,291 @@
+"""Seeded random- and deterministic-graph generators.
+
+These are the raw material for the synthetic dataset registry
+(:mod:`repro.datasets.registry`): each Table II dataset mixes these
+generators with class-specific parameters so that classes differ by
+multi-scale topology — exactly the signal the HAQJSK kernels are built to
+detect.
+
+All generators take ``seed`` (int, Generator, or None) and are fully
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+# --------------------------------------------------------------------- #
+# Deterministic families
+# --------------------------------------------------------------------- #
+
+
+def empty_graph(n: int) -> Graph:
+    """``n`` isolated vertices."""
+    n = check_positive_int(n, "n", minimum=0)
+    return Graph(np.zeros((n, n)))
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    n = check_positive_int(n, "n", minimum=0)
+    adjacency = np.ones((n, n)) - np.eye(n) if n else np.zeros((0, 0))
+    return Graph(adjacency)
+
+
+def path_graph(n: int) -> Graph:
+    """The path ``P_n`` (n-1 edges)."""
+    n = check_positive_int(n, "n", minimum=0)
+    adjacency = np.zeros((n, n))
+    for i in range(n - 1):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    return Graph(adjacency)
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle ``C_n`` (requires ``n >= 3``)."""
+    n = check_positive_int(n, "n", minimum=3)
+    adjacency = np.zeros((n, n))
+    for i in range(n):
+        j = (i + 1) % n
+        adjacency[i, j] = adjacency[j, i] = 1.0
+    return Graph(adjacency)
+
+
+def star_graph(n: int) -> Graph:
+    """A star with one hub (vertex 0) and ``n - 1`` leaves."""
+    n = check_positive_int(n, "n", minimum=1)
+    adjacency = np.zeros((n, n))
+    adjacency[0, 1:] = 1.0
+    adjacency[1:, 0] = 1.0
+    return Graph(adjacency)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A ``rows x cols`` 4-neighbour lattice."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    n = rows * cols
+    adjacency = np.zeros((n, n))
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                a, b = index(r, c), index(r, c + 1)
+                adjacency[a, b] = adjacency[b, a] = 1.0
+            if r + 1 < rows:
+                a, b = index(r, c), index(r + 1, c)
+                adjacency[a, b] = adjacency[b, a] = 1.0
+    return Graph(adjacency)
+
+
+def wheel_graph(n: int) -> Graph:
+    """A hub connected to every vertex of a cycle of ``n - 1`` vertices."""
+    n = check_positive_int(n, "n", minimum=4)
+    adjacency = np.zeros((n, n))
+    for i in range(1, n):
+        j = i % (n - 1) + 1
+        adjacency[i, j] = adjacency[j, i] = 1.0
+        adjacency[0, i] = adjacency[i, 0] = 1.0
+    return Graph(adjacency)
+
+
+# --------------------------------------------------------------------- #
+# Random families
+# --------------------------------------------------------------------- #
+
+
+def erdos_renyi(n: int, p: float, *, seed=None) -> Graph:
+    """G(n, p): each of the ``n(n-1)/2`` edges appears independently."""
+    n = check_positive_int(n, "n", minimum=0)
+    p = check_in_range(p, "p", low=0.0, high=1.0)
+    rng = as_rng(seed)
+    upper = rng.random((n, n)) < p
+    adjacency = np.triu(upper, k=1).astype(float)
+    adjacency = adjacency + adjacency.T
+    return Graph(adjacency)
+
+
+def erdos_renyi_m(n: int, m: int, *, seed=None) -> Graph:
+    """G(n, m): exactly ``m`` distinct edges, uniformly at random."""
+    n = check_positive_int(n, "n", minimum=0)
+    max_edges = n * (n - 1) // 2
+    m = check_positive_int(m, "m", minimum=0)
+    if m > max_edges:
+        raise ValidationError(f"m={m} exceeds max edges {max_edges} for n={n}")
+    rng = as_rng(seed)
+    chosen = rng.choice(max_edges, size=m, replace=False)
+    adjacency = np.zeros((n, n))
+    us, vs = np.triu_indices(n, k=1)
+    adjacency[us[chosen], vs[chosen]] = 1.0
+    adjacency = np.maximum(adjacency, adjacency.T)
+    return Graph(adjacency)
+
+
+def barabasi_albert(n: int, m: int, *, seed=None) -> Graph:
+    """Preferential attachment: each new vertex links to ``m`` existing ones.
+
+    Starts from a clique of ``m + 1`` vertices; targets are drawn without
+    replacement, weighted by current degree.
+    """
+    n = check_positive_int(n, "n", minimum=2)
+    m = check_positive_int(m, "m", minimum=1)
+    if m >= n:
+        raise ValidationError(f"m={m} must be < n={n}")
+    rng = as_rng(seed)
+    adjacency = np.zeros((n, n))
+    seed_size = m + 1
+    adjacency[:seed_size, :seed_size] = 1.0
+    np.fill_diagonal(adjacency, 0.0)
+    degrees = adjacency.sum(axis=1)
+    for new in range(seed_size, n):
+        weights = degrees[:new].copy()
+        total = weights.sum()
+        probs = weights / total if total > 0 else np.full(new, 1.0 / new)
+        targets = rng.choice(new, size=min(m, new), replace=False, p=probs)
+        for t in targets:
+            adjacency[new, t] = adjacency[t, new] = 1.0
+            degrees[t] += 1.0
+            degrees[new] += 1.0
+    return Graph(adjacency)
+
+
+def watts_strogatz(n: int, k: int, p: float, *, seed=None) -> Graph:
+    """Small-world ring lattice with ``k`` neighbours and rewiring prob ``p``."""
+    n = check_positive_int(n, "n", minimum=3)
+    k = check_positive_int(k, "k", minimum=2)
+    p = check_in_range(p, "p", low=0.0, high=1.0)
+    if k >= n:
+        raise ValidationError(f"k={k} must be < n={n}")
+    half = k // 2
+    rng = as_rng(seed)
+    adjacency = np.zeros((n, n))
+    for i in range(n):
+        for offset in range(1, half + 1):
+            j = (i + offset) % n
+            adjacency[i, j] = adjacency[j, i] = 1.0
+    for i in range(n):
+        for offset in range(1, half + 1):
+            j = (i + offset) % n
+            if adjacency[i, j] > 0 and rng.random() < p:
+                candidates = np.flatnonzero(adjacency[i] == 0)
+                candidates = candidates[candidates != i]
+                if candidates.size:
+                    new_j = int(rng.choice(candidates))
+                    adjacency[i, j] = adjacency[j, i] = 0.0
+                    adjacency[i, new_j] = adjacency[new_j, i] = 1.0
+    return Graph(adjacency)
+
+
+def random_tree(n: int, *, seed=None) -> Graph:
+    """Uniform random labelled tree via a random Prüfer sequence."""
+    n = check_positive_int(n, "n", minimum=1)
+    if n == 1:
+        return empty_graph(1)
+    if n == 2:
+        return path_graph(2)
+    rng = as_rng(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=int)
+    for x in prufer:
+        degree[x] += 1
+    adjacency = np.zeros((n, n))
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        adjacency[leaf, x] = adjacency[x, leaf] = 1.0
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    adjacency[u, v] = adjacency[v, u] = 1.0
+    return Graph(adjacency)
+
+
+def planted_partition(
+    sizes: "list[int]", p_in: float, p_out: float, *, seed=None
+) -> Graph:
+    """Community graph: dense blocks (``p_in``) with sparse cross links."""
+    if not sizes:
+        return empty_graph(0)
+    p_in = check_in_range(p_in, "p_in", low=0.0, high=1.0)
+    p_out = check_in_range(p_out, "p_out", low=0.0, high=1.0)
+    rng = as_rng(seed)
+    n = int(sum(sizes))
+    membership = np.concatenate(
+        [np.full(int(size), block) for block, size in enumerate(sizes)]
+    )
+    same = membership[:, None] == membership[None, :]
+    probs = np.where(same, p_in, p_out)
+    upper = rng.random((n, n)) < probs
+    adjacency = np.triu(upper, k=1).astype(float)
+    adjacency = adjacency + adjacency.T
+    return Graph(adjacency)
+
+
+def random_regular_ish(n: int, d: int, *, seed=None) -> Graph:
+    """Near-``d``-regular graph via a configuration-model pairing.
+
+    Multi-edges/self-loops from the pairing are dropped, so a few vertices
+    may end up with degree ``d - 1``; that is close enough for workload
+    generation and keeps the generator simple and deterministic.
+    """
+    n = check_positive_int(n, "n", minimum=2)
+    d = check_positive_int(d, "d", minimum=1)
+    if d >= n:
+        raise ValidationError(f"d={d} must be < n={n}")
+    if (n * d) % 2 == 1:
+        d += 1  # configuration model needs an even stub count
+    rng = as_rng(seed)
+    stubs = np.repeat(np.arange(n), d)
+    rng.shuffle(stubs)
+    adjacency = np.zeros((n, n))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = int(stubs[i]), int(stubs[i + 1])
+        if u != v:
+            adjacency[u, v] = adjacency[v, u] = 1.0
+    return Graph(adjacency)
+
+
+def random_geometric(n: int, radius: float, *, dims: int = 2, seed=None) -> Graph:
+    """Vertices at uniform points in ``[0,1]^dims``; edges below ``radius``."""
+    n = check_positive_int(n, "n", minimum=1)
+    radius = check_in_range(radius, "radius", low=0.0, high=float(np.sqrt(dims)))
+    rng = as_rng(seed)
+    points = rng.random((n, dims))
+    diffs = points[:, None, :] - points[None, :, :]
+    dist = np.sqrt((diffs**2).sum(axis=2))
+    adjacency = (dist <= radius).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    return Graph(adjacency)
+
+
+def attach_random_labels(
+    graph: Graph, n_labels: int, *, seed=None
+) -> Graph:
+    """Assign degree-correlated random labels from ``0..n_labels-1``.
+
+    Labels follow the degree rank with noise, so label structure correlates
+    with topology the way chemical datasets' atom types do.
+    """
+    n_labels = check_positive_int(n_labels, "n_labels", minimum=1)
+    rng = as_rng(seed)
+    n = graph.n_vertices
+    if n == 0:
+        return graph.with_labels([])
+    ranks = np.argsort(np.argsort(graph.degrees()))
+    base = (ranks * n_labels) // max(n, 1)
+    noise = rng.integers(-1, 2, size=n)
+    labels = np.clip(base + noise, 0, n_labels - 1)
+    return graph.with_labels(labels.astype(int))

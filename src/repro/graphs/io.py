@@ -1,0 +1,162 @@
+"""TU-format dataset IO.
+
+The TU Dortmund graph-kernel benchmark distributes each dataset ``DS`` as
+flat text files (https://graphkernels.cs.tu-dortmund.de, paper ref. [49]):
+
+* ``DS_A.txt`` — one ``i, j`` line per directed edge (1-based vertex ids),
+* ``DS_graph_indicator.txt`` — line ``v`` holds the graph id of vertex ``v``,
+* ``DS_graph_labels.txt`` — one class label per graph,
+* ``DS_node_labels.txt`` — optional, one label per vertex.
+
+This module reads and writes that format so the synthetic registry datasets
+can be exported, and the *real* TU datasets can be dropped in unchanged when
+a network-enabled environment is available.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graphs.graph import Graph
+
+
+def write_tu_dataset(
+    directory: str,
+    name: str,
+    graphs: Sequence[Graph],
+    targets: Sequence[int],
+) -> None:
+    """Write ``graphs``/``targets`` in TU format under ``directory/name``.
+
+    Node labels are written only if every graph carries labels.
+    """
+    if len(graphs) != len(targets):
+        raise DatasetError(
+            f"got {len(graphs)} graphs but {len(targets)} targets"
+        )
+    base = os.path.join(directory, name)
+    os.makedirs(base, exist_ok=True)
+    prefix = os.path.join(base, name)
+
+    edge_lines: list = []
+    indicator_lines: list = []
+    node_label_lines: list = []
+    offset = 0
+    has_labels = all(g.labels is not None for g in graphs) and len(graphs) > 0
+    for graph_id, graph in enumerate(graphs, start=1):
+        for u, v, _ in graph.edges():
+            edge_lines.append(f"{offset + u + 1}, {offset + v + 1}")
+            edge_lines.append(f"{offset + v + 1}, {offset + u + 1}")
+        indicator_lines.extend([str(graph_id)] * graph.n_vertices)
+        if has_labels:
+            node_label_lines.extend(str(int(x)) for x in graph.labels)
+        offset += graph.n_vertices
+
+    with open(f"{prefix}_A.txt", "w") as f:
+        f.write("\n".join(edge_lines) + ("\n" if edge_lines else ""))
+    with open(f"{prefix}_graph_indicator.txt", "w") as f:
+        f.write("\n".join(indicator_lines) + ("\n" if indicator_lines else ""))
+    with open(f"{prefix}_graph_labels.txt", "w") as f:
+        f.write("\n".join(str(int(t)) for t in targets) + "\n")
+    if has_labels:
+        with open(f"{prefix}_node_labels.txt", "w") as f:
+            f.write("\n".join(node_label_lines) + ("\n" if node_label_lines else ""))
+
+
+def read_tu_dataset(directory: str, name: str) -> tuple:
+    """Read a TU-format dataset; returns ``(graphs, targets)``.
+
+    ``directory`` may point either at the folder containing ``name/`` or at
+    the dataset folder itself.
+    """
+    candidates = [os.path.join(directory, name), directory]
+    base = next(
+        (c for c in candidates if os.path.isfile(os.path.join(c, f"{name}_A.txt"))),
+        None,
+    )
+    if base is None:
+        raise DatasetError(
+            f"dataset {name!r} not found under {directory!r} "
+            f"(expected {name}_A.txt)"
+        )
+    prefix = os.path.join(base, name)
+
+    indicator = _read_int_column(f"{prefix}_graph_indicator.txt")
+    graph_targets = _read_int_column(f"{prefix}_graph_labels.txt")
+    n_vertices_total = len(indicator)
+    n_graphs = len(graph_targets)
+    if n_graphs == 0:
+        return [], []
+    if indicator.min() < 1 or indicator.max() > n_graphs:
+        raise DatasetError("graph_indicator references out-of-range graph ids")
+
+    node_labels = None
+    label_path = f"{prefix}_node_labels.txt"
+    if os.path.isfile(label_path):
+        node_labels = _read_int_column(label_path)
+        if len(node_labels) != n_vertices_total:
+            raise DatasetError(
+                f"node_labels has {len(node_labels)} rows, expected {n_vertices_total}"
+            )
+
+    # Map global vertex ids to (graph, local index).
+    local_index = np.zeros(n_vertices_total, dtype=int)
+    counts = np.zeros(n_graphs, dtype=int)
+    for v, g in enumerate(indicator):
+        local_index[v] = counts[g - 1]
+        counts[g - 1] += 1
+
+    adjacencies = [np.zeros((int(c), int(c))) for c in counts]
+    edge_path = f"{prefix}_A.txt"
+    with open(edge_path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                u_str, v_str = line.replace(",", " ").split()
+                u, v = int(u_str) - 1, int(v_str) - 1
+            except ValueError as exc:
+                raise DatasetError(f"{edge_path}:{line_no}: malformed edge {line!r}") from exc
+            if not (0 <= u < n_vertices_total and 0 <= v < n_vertices_total):
+                raise DatasetError(f"{edge_path}:{line_no}: vertex id out of range")
+            gu, gv = indicator[u], indicator[v]
+            if gu != gv:
+                raise DatasetError(f"{edge_path}:{line_no}: edge crosses graphs")
+            if u == v:
+                continue
+            a = adjacencies[gu - 1]
+            a[local_index[u], local_index[v]] = 1.0
+            a[local_index[v], local_index[u]] = 1.0
+
+    graphs = []
+    for g in range(n_graphs):
+        labels = None
+        if node_labels is not None:
+            member_mask = indicator == (g + 1)
+            ordered = np.empty(int(counts[g]), dtype=int)
+            ordered[local_index[member_mask]] = node_labels[member_mask]
+            labels = ordered
+        graphs.append(Graph(adjacencies[g], labels=labels, name=f"{name}[{g}]"))
+    return graphs, [int(t) for t in graph_targets]
+
+
+def _read_int_column(path: str) -> np.ndarray:
+    """Read a single-integer-per-line file, tolerating blank lines."""
+    if not os.path.isfile(path):
+        raise DatasetError(f"missing file: {path}")
+    values = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                values.append(int(float(line)))
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_no}: expected integer, got {line!r}") from exc
+    return np.asarray(values, dtype=int)

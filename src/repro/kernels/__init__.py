@@ -1,0 +1,69 @@
+"""Graph kernels: the HAQJSK contribution and every Table III baseline."""
+
+from repro.kernels.aligned_subtree import AlignedSubtreeKernel
+from repro.kernels.base import (
+    FeatureMapKernel,
+    GraphKernel,
+    KernelTraits,
+    PairwiseKernel,
+    normalize_gram,
+)
+from repro.kernels.core_variants import (
+    CoreVariantKernel,
+    core_sp_kernel,
+    core_wl_kernel,
+)
+from repro.kernels.graphlet import GraphletKernel, three_graphlet_counts
+from repro.kernels.haqjsk import (
+    HAQJSKKernelA,
+    HAQJSKKernelD,
+    HierarchicalAligner,
+)
+from repro.kernels.haqjsk_attributed import (
+    HAQJSKAttributedA,
+    HAQJSKAttributedD,
+    attributed_aligner,
+)
+from repro.kernels.jsd import JensenShannonKernel
+from repro.kernels.jtqk import JensenTsallisQKernel
+from repro.kernels.pyramid_match import PyramidMatchKernel
+from repro.kernels.qjsk import QJSKAligned, QJSKUnaligned
+from repro.kernels.random_walk import RandomWalkKernel
+from repro.kernels.renyi import RenyiEntropyKernel
+from repro.kernels.shortest_path import ShortestPathKernel
+from repro.kernels.wl import (
+    WeisfeilerLehmanKernel,
+    wl_feature_matrix,
+    wl_label_sequences,
+)
+
+__all__ = [
+    "AlignedSubtreeKernel",
+    "CoreVariantKernel",
+    "FeatureMapKernel",
+    "GraphKernel",
+    "GraphletKernel",
+    "HAQJSKAttributedA",
+    "HAQJSKAttributedD",
+    "HAQJSKKernelA",
+    "HAQJSKKernelD",
+    "HierarchicalAligner",
+    "JensenShannonKernel",
+    "JensenTsallisQKernel",
+    "KernelTraits",
+    "PairwiseKernel",
+    "PyramidMatchKernel",
+    "QJSKAligned",
+    "QJSKUnaligned",
+    "RandomWalkKernel",
+    "RenyiEntropyKernel",
+    "ShortestPathKernel",
+    "WeisfeilerLehmanKernel",
+    "attributed_aligner",
+    "core_sp_kernel",
+    "core_wl_kernel",
+    "normalize_gram",
+    "three_graphlet_counts",
+    "wl_feature_matrix",
+    "wl_label_sequences",
+]

@@ -1,0 +1,209 @@
+"""Graph-kernel framework: base classes, traits, and Gram-matrix machinery.
+
+Every kernel in Table III/IV is a :class:`GraphKernel`. Kernels either
+expose an explicit feature map (:class:`FeatureMapKernel` — WLSK, SPGK,
+GCGK, ...) or a pairwise similarity over per-graph prepared states
+(:class:`PairwiseKernel` — the QJSD family). Each class carries
+:class:`KernelTraits`, the machine-readable version of the paper's Table
+I/III property matrix, which the properties experiment verifies empirically.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.graphs.graph import Graph
+from repro.utils.linalg import is_positive_semidefinite, project_to_psd
+
+
+@dataclass(frozen=True)
+class KernelTraits:
+    """Static kernel properties as tabulated in paper Tables I and III."""
+
+    framework: str = "R-convolution"  # or "Information Theory"
+    positive_definite: bool = True
+    aligned: bool = False
+    transitive: bool = False
+    structure_patterns: tuple = ()
+    computing_model: str = "Classical"  # or "Quantum Walks"
+    hierarchical: bool = False
+    captures_local: bool = True
+    captures_global: bool = False
+    notes: str = ""
+
+
+class GraphKernel(abc.ABC):
+    """Base class: a positive (semi-)definite similarity between graphs.
+
+    Subclasses implement :meth:`_compute_gram`; the public :meth:`gram`
+    adds input validation, optional cosine normalisation and optional PSD
+    projection (used for the indefinite baselines before the SVM).
+    """
+
+    #: Human-readable kernel name (Table IV row label).
+    name: str = "kernel"
+    #: Static properties; see :class:`KernelTraits`.
+    traits: KernelTraits = KernelTraits()
+
+    def gram(
+        self,
+        graphs: "list[Graph]",
+        *,
+        normalize: bool = False,
+        ensure_psd: bool = False,
+    ) -> np.ndarray:
+        """The full ``N x N`` Gram matrix over ``graphs``.
+
+        Parameters
+        ----------
+        normalize:
+            Apply cosine normalisation ``K_ij / sqrt(K_ii K_jj)``, the
+            standard protocol before C-SVM training.
+        ensure_psd:
+            Clip negative Gram eigenvalues to zero. Only needed for the
+            indefinite baselines (unaligned/aligned QJSK); the HAQJSK
+            kernels are PD by construction.
+        """
+        self._check_graphs(graphs)
+        matrix = np.asarray(self._compute_gram(list(graphs)), dtype=float)
+        n = len(graphs)
+        if matrix.shape != (n, n):
+            raise KernelError(
+                f"{self.name}: _compute_gram returned shape {matrix.shape}, "
+                f"expected ({n}, {n})"
+            )
+        matrix = (matrix + matrix.T) / 2.0
+        if normalize:
+            matrix = normalize_gram(matrix)
+        if ensure_psd and not is_positive_semidefinite(matrix):
+            matrix = project_to_psd(matrix)
+        return matrix
+
+    def __call__(self, graph_a: Graph, graph_b: Graph) -> float:
+        """Kernel value between two graphs (via a 2x2 Gram)."""
+        matrix = self.gram([graph_a, graph_b])
+        return float(matrix[0, 1])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    @abc.abstractmethod
+    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+        """Subclass hook: the raw (unnormalised) Gram matrix."""
+
+    @staticmethod
+    def _check_graphs(graphs) -> None:
+        if not isinstance(graphs, (list, tuple)) or len(graphs) == 0:
+            raise KernelError("gram() needs a non-empty list of graphs")
+        for i, g in enumerate(graphs):
+            if not isinstance(g, Graph):
+                raise KernelError(f"graphs[{i}] is {type(g).__name__}, expected Graph")
+            if g.n_vertices == 0:
+                raise KernelError(f"graphs[{i}] has no vertices")
+
+
+class FeatureMapKernel(GraphKernel):
+    """Kernels with an explicit feature map: ``K = X Xᵀ``.
+
+    Subclasses implement :meth:`feature_matrix`; positive semidefiniteness
+    is then automatic.
+    """
+
+    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+        features = self.feature_matrix(graphs)
+        return features @ features.T
+
+    @abc.abstractmethod
+    def feature_matrix(self, graphs: "list[Graph]") -> np.ndarray:
+        """``(N, D)`` feature matrix; columns are substructure counts."""
+
+    def cross_gram(
+        self, graphs_a: "list[Graph]", graphs_b: "list[Graph]"
+    ) -> np.ndarray:
+        """Rectangular Gram between two graph lists (shared feature space)."""
+        self._check_graphs(graphs_a)
+        self._check_graphs(graphs_b)
+        features = self.feature_matrix(list(graphs_a) + list(graphs_b))
+        fa = features[: len(graphs_a)]
+        fb = features[len(graphs_a) :]
+        return fa @ fb.T
+
+
+class PairwiseKernel(GraphKernel):
+    """Kernels defined by a pairwise similarity over prepared states.
+
+    Subclasses implement :meth:`prepare` (per-collection preprocessing; for
+    HAQJSK this is where the shared prototype hierarchy is fitted) and
+    :meth:`pair_value`.
+    """
+
+    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+        states = self.prepare(graphs)
+        if len(states) != len(graphs):
+            raise KernelError(
+                f"{self.name}: prepare() returned {len(states)} states for "
+                f"{len(graphs)} graphs"
+            )
+        n = len(graphs)
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                value = float(self.pair_value(states[i], states[j]))
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return matrix
+
+    @abc.abstractmethod
+    def prepare(self, graphs: "list[Graph]") -> list:
+        """Collection-level preprocessing; returns one state per graph."""
+
+    @abc.abstractmethod
+    def pair_value(self, state_a, state_b) -> float:
+        """Kernel value from two prepared states."""
+
+    def cross_gram(
+        self, graphs_a: "list[Graph]", graphs_b: "list[Graph]"
+    ) -> np.ndarray:
+        """Rectangular Gram between two graph lists.
+
+        Both lists are prepared as *one* collection — for collection-level
+        kernels (HAQJSK fits its prototype system on the graphs it sees)
+        this is the only consistent reading, and it means a pair's value
+        here can differ from its value under a different collection,
+        exactly as in the paper's protocol.
+        """
+        self._check_graphs(graphs_a)
+        self._check_graphs(graphs_b)
+        states = self.prepare(list(graphs_a) + list(graphs_b))
+        states_a = states[: len(graphs_a)]
+        states_b = states[len(graphs_a) :]
+        matrix = np.zeros((len(graphs_a), len(graphs_b)))
+        for i, state_a in enumerate(states_a):
+            for j, state_b in enumerate(states_b):
+                matrix[i, j] = float(self.pair_value(state_a, state_b))
+        return matrix
+
+
+def normalize_gram(matrix: np.ndarray) -> np.ndarray:
+    """Cosine-normalise a Gram matrix: ``K_ij / sqrt(K_ii K_jj)``.
+
+    Non-positive diagonal entries (possible for indefinite baselines) are
+    treated as 1 to avoid dividing by zero; the properties bench reports
+    them.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    diag = np.diag(arr).copy()
+    diag[diag <= 0] = 1.0
+    scale = 1.0 / np.sqrt(diag)
+    return arr * scale[:, None] * scale[None, :]
+
+
+def rbf_from_squared_distances(sq_dists: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """``exp(-gamma * d^2)`` elementwise — helper for distance-based kernels."""
+    if gamma <= 0:
+        raise KernelError(f"gamma must be > 0, got {gamma}")
+    return np.exp(-gamma * np.clip(np.asarray(sq_dists, dtype=float), 0.0, None))

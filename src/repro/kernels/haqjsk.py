@@ -1,0 +1,327 @@
+"""HAQJSK — the paper's primary contribution (Section III).
+
+Two kernels over a collection ``G`` of un-attributed graphs:
+
+* :class:`HAQJSKKernelA` (Definition 3.1, Eq. 26) — CTQW density matrices of
+  the *hierarchical transitive aligned adjacency matrices*;
+* :class:`HAQJSKKernelD` (Definition 3.2, Eq. 29) — the *hierarchical
+  transitive aligned density matrices* directly.
+
+Both sum ``exp(-QJSD)`` over hierarchy levels ``h = 1..H``. The alignment
+pipeline (DB representations -> hierarchical prototypes -> correspondence
+matrices -> aligned structures) lives in :class:`HierarchicalAligner` so the
+two kernels, the examples, and the ablation benches share one
+implementation.
+
+Because the prototype system is fitted on the *whole* collection passed to
+``gram`` (exactly the paper's protocol — alignment is defined over the graph
+set ``G``), kernel values depend on the collection. The positive
+definiteness and permutation-invariance claims of Table I are about this
+collection-level construction and are verified empirically in
+``benchmarks/bench_table1_properties.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment.correspondence import correspondence_matrices
+from repro.alignment.depth_based import DBRepresentationExtractor
+from repro.alignment.prototypes import fit_prototype_hierarchy
+from repro.alignment.transform import (
+    AlignedGraphStructures,
+    aligned_adjacency,
+    aligned_density,
+)
+from repro.errors import KernelError
+from repro.graphs.graph import Graph
+from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.quantum.density import ctqw_density_matrix, graph_density_matrix
+from repro.quantum.divergence import QJSD_MAX
+from repro.utils.linalg import safe_xlogx
+from repro.utils.rng import as_rng, spawn_seed
+from repro.utils.validation import check_in_range, check_positive_int
+
+_HAQJSK_TRAITS = KernelTraits(
+    framework="Information Theory",
+    positive_definite=True,
+    aligned=True,
+    transitive=True,
+    structure_patterns=("Global Structures", "Local (Vertices)"),
+    computing_model="Quantum Walks",
+    hierarchical=True,
+    captures_local=True,
+    captures_global=True,
+    notes="paper Section III; PD via transitive alignment",
+)
+
+
+class HierarchicalAligner:
+    """Transforms arbitrary-size graphs into fixed-size aligned structures.
+
+    Implements paper Section III-A end to end:
+
+    1. dataset-level DB layer count ``K`` (greatest shortest-path length,
+       capped by ``max_layers``);
+    2. for each DB dimension ``k = 1..K``: a hierarchical prototype system
+       (level-1 count ``n_prototypes``, halving per level for ``n_levels``
+       levels) fitted on the pooled vertex representations;
+    3. per graph: level-h correspondence matrices and the aligned adjacency
+       / density matrices, averaged over ``k`` (Eq. 22-25).
+
+    Parameters
+    ----------
+    n_prototypes:
+        ``|P^{1,k}|`` — the paper uses 256; pick ~2-4x the mean graph size.
+    n_levels:
+        Hierarchy depth ``H`` (paper: 5).
+    max_layers:
+        Cap on the DB layer count ``K``.
+    entropy:
+        Expansion-subgraph entropy: ``"shannon"`` (paper default, ref. [26])
+        or ``"von_neumann"``.
+    consistent_across_k:
+        Warm-start the dimension-(k+1) κ-means from the dimension-k centers
+        so prototype indexings stay consistent under the Eq. 23/25 average
+        over k (DESIGN.md faithfulness note).
+    renormalize_density:
+        Rescale each aligned density matrix to unit trace (Eq. 21 does not
+        preserve trace; the QJSD needs density matrices).
+    hamiltonian:
+        CTQW Hamiltonian for the original graphs' density matrices.
+    extractor:
+        Override the vertex-representation extractor. Must provide
+        ``fit_transform(graphs) -> list[matrix]`` and ``n_layers_``; may
+        expose ``n_static_`` trailing columns that are *not* DB layers
+        (e.g. label channels — see
+        :class:`repro.alignment.attributed.AttributedDBExtractor`) and are
+        kept in every dimension-k slice. Mutually exclusive with
+        ``max_layers``/``entropy`` customisation.
+    quantize_decimals:
+        Vertex representations are rounded to this many decimals before
+        clustering. Recomputing a DB entropy on a permuted graph shifts
+        the float sum by ~1e-16, which is enough to reorder the canonical
+        (lexicographically sorted) pooled matrix and flip k-means++ picks
+        — i.e. to break exact permutation invariance through pure
+        round-off. Quantising far below signal scale (default 1e-9) makes
+        the pooled multiset bitwise stable. ``None`` disables.
+    seed:
+        Seeds every κ-means; fixed seed means a fully deterministic aligner.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_prototypes: int = 64,
+        n_levels: int = 3,
+        shrink_factor: float = 0.5,
+        max_layers: int = 10,
+        entropy: str = "shannon",
+        consistent_across_k: bool = True,
+        renormalize_density: bool = True,
+        hamiltonian: str = "laplacian",
+        extractor=None,
+        quantize_decimals: "int | None" = 9,
+        seed: "int | None" = 0,
+    ) -> None:
+        self.n_prototypes = check_positive_int(n_prototypes, "n_prototypes", minimum=1)
+        self.n_levels = check_positive_int(n_levels, "n_levels", minimum=1)
+        self.shrink_factor = check_in_range(
+            shrink_factor, "shrink_factor", low=0.0, high=1.0, low_inclusive=False
+        )
+        self.max_layers = check_positive_int(max_layers, "max_layers", minimum=1)
+        self.entropy = entropy
+        self.consistent_across_k = bool(consistent_across_k)
+        self.renormalize_density = bool(renormalize_density)
+        self.hamiltonian = hamiltonian
+        self.extractor = extractor
+        if quantize_decimals is not None:
+            check_positive_int(quantize_decimals, "quantize_decimals", minimum=1)
+        self.quantize_decimals = quantize_decimals
+        self.seed = seed
+
+    def transform(self, graphs: "list[Graph]") -> "list[AlignedGraphStructures]":
+        """Aligned structures (Eq. 22-25) for every graph in the collection."""
+        if not graphs:
+            raise KernelError("HierarchicalAligner needs at least one graph")
+        rng = as_rng(self.seed)
+        extractor = self.extractor or DBRepresentationExtractor(
+            max_layers=self.max_layers, entropy=self.entropy
+        )
+        representations = extractor.fit_transform(graphs)
+        if self.quantize_decimals is not None:
+            representations = [
+                np.round(r, self.quantize_decimals) for r in representations
+            ]
+        n_layers = extractor.n_layers_
+        n_static = int(getattr(extractor, "n_static_", 0) or 0)
+        densities = [
+            graph_density_matrix(g, hamiltonian=self.hamiltonian) for g in graphs
+        ]
+
+        n_graphs = len(graphs)
+        adjacency_sums = [None] * n_graphs  # per graph: list over levels
+        density_sums = [None] * n_graphs
+        # Canonicalise the pooled point order (lexicographic by the full
+        # K-dimensional rows) so the fitted prototypes depend only on the
+        # *multiset* of vertex representations — this is what makes the
+        # kernels exactly permutation invariant (Table I claim): k-means++
+        # samples by row index, so without sorting a vertex relabelling
+        # could perturb the fit.
+        full = np.vstack(representations)
+        canonical = full[np.lexsort(full.T[::-1])]
+
+        def slice_k(matrix: np.ndarray, k: int) -> np.ndarray:
+            """First k DB columns plus any static (label) tail columns."""
+            if not n_static:
+                return matrix[:, :k]
+            return np.hstack([matrix[:, :k], matrix[:, n_layers:]])
+
+        warm_centers = None
+        for k in range(1, n_layers + 1):
+            pooled = slice_k(canonical, k)
+            hierarchy = fit_prototype_hierarchy(
+                pooled,
+                n_prototypes=self.n_prototypes,
+                n_levels=self.n_levels,
+                shrink_factor=self.shrink_factor,
+                seed=spawn_seed(rng),
+                init_centers=warm_centers,
+            )
+            if self.consistent_across_k and k < n_layers:
+                warm_centers = self._extend_centers(
+                    hierarchy, pooled, canonical[:, k], insert_at=k
+                )
+            for p, graph in enumerate(graphs):
+                c_levels = correspondence_matrices(
+                    slice_k(representations[p], k), hierarchy
+                )
+                for h, c_matrix in enumerate(c_levels):
+                    a_hk = aligned_adjacency(graph.adjacency, c_matrix)
+                    rho_hk = aligned_density(
+                        densities[p], c_matrix, renormalize=self.renormalize_density
+                    )
+                    if adjacency_sums[p] is None:
+                        adjacency_sums[p] = [None] * self.n_levels
+                        density_sums[p] = [None] * self.n_levels
+                    if adjacency_sums[p][h] is None:
+                        adjacency_sums[p][h] = np.zeros_like(a_hk)
+                        density_sums[p][h] = np.zeros_like(rho_hk)
+                    adjacency_sums[p][h] += a_hk
+                    density_sums[p][h] += rho_hk
+
+        structures = []
+        for p in range(n_graphs):
+            adjacency_by_level = [m / n_layers for m in adjacency_sums[p]]
+            density_by_level = [m / n_layers for m in density_sums[p]]
+            structures.append(
+                AlignedGraphStructures(adjacency_by_level, density_by_level)
+            )
+        return structures
+
+    @staticmethod
+    def _extend_centers(
+        hierarchy, pooled_k: np.ndarray, new_values: np.ndarray, *, insert_at: int
+    ) -> np.ndarray:
+        """Warm-start centers for dimension k+1 from the dimension-k fit.
+
+        The existing coordinates are the fitted level-1 centers; the new
+        DB coordinate — the per-cluster mean of ``new_values`` (the
+        (k+1)-th DB entropy over the pooled vertices) — is inserted at
+        column ``insert_at``, i.e. *before* any static label columns so
+        the layout matches the dimension-(k+1) slice.
+        """
+        assignments = hierarchy.assign_level1(pooled_k)
+        centers_k = hierarchy.centers[0]
+        m1 = centers_k.shape[0]
+        new_column = np.zeros(m1)
+        for cluster in range(m1):
+            members = assignments == cluster
+            if members.any():
+                new_column[cluster] = float(new_values[members].mean())
+        return np.hstack(
+            [
+                centers_k[:, :insert_at],
+                new_column[:, None],
+                centers_k[:, insert_at:],
+            ]
+        )
+
+
+def _entropy_fast(matrix: np.ndarray) -> float:
+    """Von Neumann entropy without validation overhead (hot path)."""
+    values = np.linalg.eigvalsh(matrix)
+    return float(-np.sum(safe_xlogx(np.clip(values, 0.0, None))))
+
+
+class _HAQJSKBase(PairwiseKernel):
+    """Shared machinery: prepare per-level density matrices, sum exp(-QJSD).
+
+    Prepared state per graph: ``(entropies, matrices)`` with one density
+    matrix per hierarchy level; the pairwise value only needs one extra
+    eigendecomposition (the mixed state) per level.
+    """
+
+    traits = _HAQJSK_TRAITS
+
+    def __init__(self, aligner: "HierarchicalAligner | None" = None, **aligner_kwargs):
+        if aligner is not None and aligner_kwargs:
+            raise KernelError("pass either a HierarchicalAligner or kwargs, not both")
+        self.aligner = aligner or HierarchicalAligner(**aligner_kwargs)
+
+    def prepare(self, graphs: "list[Graph]") -> list:
+        structures = self.aligner.transform(graphs)
+        states = []
+        for structure in structures:
+            matrices = self._level_matrices(structure)
+            entropies = [_entropy_fast(m) for m in matrices]
+            states.append((entropies, matrices))
+        return states
+
+    def pair_value(self, state_a, state_b) -> float:
+        entropies_a, matrices_a = state_a
+        entropies_b, matrices_b = state_b
+        total = 0.0
+        for h in range(len(matrices_a)):
+            mixed = (matrices_a[h] + matrices_b[h]) / 2.0
+            divergence = (
+                _entropy_fast(mixed)
+                - 0.5 * entropies_a[h]
+                - 0.5 * entropies_b[h]
+            )
+            divergence = min(max(divergence, 0.0), QJSD_MAX)
+            total += float(np.exp(-divergence))
+        return total
+
+    def _level_matrices(self, structure: AlignedGraphStructures) -> "list[np.ndarray]":
+        raise NotImplementedError
+
+
+class HAQJSKKernelA(_HAQJSKBase):
+    """HAQJSK(A): QJSD between CTQW densities of aligned adjacencies (Eq. 26).
+
+    For each level h, the CTQW (Laplacian Hamiltonian, degree initial state)
+    is evolved on the weighted aligned adjacency ``Ā^h_p`` and its Eq. (5)
+    density matrix ``θ̄^h_p`` enters the QJSD.
+    """
+
+    name = "HAQJSK(A)"
+
+    def _level_matrices(self, structure: AlignedGraphStructures) -> "list[np.ndarray]":
+        return [
+            ctqw_density_matrix(
+                structure.level_adjacency(h), hamiltonian=self.aligner.hamiltonian
+            )
+            for h in range(1, structure.n_levels + 1)
+        ]
+
+
+class HAQJSKKernelD(_HAQJSKBase):
+    """HAQJSK(D): QJSD between aligned density matrices directly (Eq. 29)."""
+
+    name = "HAQJSK(D)"
+
+    def _level_matrices(self, structure: AlignedGraphStructures) -> "list[np.ndarray]":
+        return [
+            structure.level_density(h) for h in range(1, structure.n_levels + 1)
+        ]

@@ -1,0 +1,51 @@
+"""Classical Jensen-Shannon divergence kernel (Bai & Hancock 2013, ref. [43]).
+
+The classical ancestor of the QJSD family: each graph is summarised by the
+Shannon entropy of its steady-state random-walk distribution, and
+
+    K(G_p, G_q) = exp(-mu * JSD(P_p, P_q))
+
+with the classical JSD over the padded degree distributions. Kept as an
+extra baseline for the ablation benches (quantum vs classical divergence).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.ops import degree_distribution
+from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.quantum.divergence import classical_jensen_shannon_divergence
+from repro.utils.validation import check_in_range
+
+
+class JensenShannonKernel(PairwiseKernel):
+    """Classical JSD kernel over steady-state degree distributions."""
+
+    name = "JSDK"
+    traits = KernelTraits(
+        framework="Information Theory",
+        positive_definite=False,
+        aligned=False,
+        transitive=False,
+        structure_patterns=("Global (Entropy)",),
+        computing_model="Classical",
+        captures_local=False,
+        captures_global=True,
+    )
+
+    def __init__(self, mu: float = 1.0) -> None:
+        self.mu = check_in_range(mu, "mu", low=0.0, high=np.inf, low_inclusive=False)
+
+    def prepare(self, graphs: "list[Graph]") -> list:
+        return [degree_distribution(g) for g in graphs]
+
+    def pair_value(self, state_a, state_b) -> float:
+        size = max(state_a.shape[0], state_b.shape[0])
+        p = np.zeros(size)
+        q = np.zeros(size)
+        p[: state_a.shape[0]] = np.sort(state_a)[::-1]
+        q[: state_b.shape[0]] = np.sort(state_b)[::-1]
+        divergence = classical_jensen_shannon_divergence(p, q)
+        return float(np.exp(-self.mu * divergence))

@@ -1,0 +1,115 @@
+"""Jensen-Tsallis q-difference kernel (JTQK, Bai et al. 2014, ref. [44]).
+
+The reference kernel couples CTQW information with Weisfeiler-Lehman
+subtree patterns: at each WL iteration the quantum walk's time-averaged
+vertex occupation probabilities are aggregated per subtree label, and the
+kernel compares the resulting distributions with the Jensen-Tsallis
+q-difference (q = 2 in the paper's setup).
+
+Substitution note (DESIGN.md): the original JTQK evaluates a q-difference
+per matched subtree pair; we aggregate occupation mass per WL label first
+and compare label distributions, which preserves the kernel's taxonomy in
+Table III (quantum computing model, subtree patterns, global entropy) at a
+fraction of the cost. The gram matrix stays PSD because each level's
+``exp(-T_q)`` term is applied to a proper divergence of aggregated
+distributions and the levels are summed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.wl import wl_label_sequences
+from repro.quantum.density import graph_density_matrix
+from repro.utils.validation import check_in_range, check_positive_int
+
+
+def _tsallis_entropy_classical(probabilities: np.ndarray, q: float) -> float:
+    """Classical Tsallis entropy ``(1 - sum p^q) / (q - 1)``."""
+    p = np.clip(np.asarray(probabilities, dtype=float), 0.0, None)
+    total = p.sum()
+    if total <= 0:
+        return 0.0
+    p = p / total
+    return float((1.0 - np.sum(p[p > 0] ** q)) / (q - 1.0))
+
+
+def jensen_tsallis_q_difference_classical(
+    p: np.ndarray, q_vec: np.ndarray, q: float
+) -> float:
+    """``T_q(P, Q) = S_q((P+Q)/2) - (S_q(P) + S_q(Q)) / 2`` over vectors."""
+    mixed = (np.asarray(p, dtype=float) + np.asarray(q_vec, dtype=float)) / 2.0
+    difference = _tsallis_entropy_classical(mixed, q) - 0.5 * (
+        _tsallis_entropy_classical(p, q) + _tsallis_entropy_classical(q_vec, q)
+    )
+    return float(max(difference, 0.0))
+
+
+class JensenTsallisQKernel(PairwiseKernel):
+    """JTQK: WL-partitioned CTQW occupation distributions under ``T_q``.
+
+    ``K(G_p, G_q) = sum_{h=0..H} exp(-T_q(P^h_p, P^h_q))`` where ``P^h_g``
+    distributes graph ``g``'s CTQW occupation probabilities (the diagonal of
+    the Eq. 5 density matrix) over the shared WL label vocabulary at
+    iteration ``h``. Paper configuration: ``q = 2``, subtree height 10.
+    """
+
+    name = "JTQK"
+    traits = KernelTraits(
+        framework="R-convolution",
+        positive_definite=True,
+        aligned=False,
+        transitive=False,
+        structure_patterns=("Global (Entropy)", "Local (Subtrees)"),
+        computing_model="Quantum Walks",
+        captures_local=True,
+        captures_global=True,
+        notes="simplified per-label aggregation; see module docstring",
+    )
+
+    def __init__(
+        self,
+        q: float = 2.0,
+        *,
+        n_iterations: int = 10,
+        hamiltonian: str = "laplacian",
+    ) -> None:
+        self.q = check_in_range(q, "q", low=1.0, high=np.inf, low_inclusive=False)
+        self.n_iterations = check_positive_int(n_iterations, "n_iterations", minimum=0)
+        self.hamiltonian = hamiltonian
+
+    def prepare(self, graphs: "list[Graph]") -> list:
+        sequences = wl_label_sequences(graphs, self.n_iterations)
+        n_labels = 1 + max(
+            int(labels.max())
+            for per_iter in sequences
+            for labels in per_iter
+            if labels.size
+        )
+        occupations = [
+            np.clip(np.diag(graph_density_matrix(g, hamiltonian=self.hamiltonian)), 0, None)
+            for g in graphs
+        ]
+        states = []
+        for g_index in range(len(graphs)):
+            per_level = []
+            for per_iter in sequences:
+                labels = per_iter[g_index]
+                distribution = np.bincount(
+                    labels, weights=occupations[g_index], minlength=n_labels
+                )
+                total = distribution.sum()
+                if total > 0:
+                    distribution = distribution / total
+                per_level.append(distribution)
+            states.append(per_level)
+        return states
+
+    def pair_value(self, state_a, state_b) -> float:
+        total = 0.0
+        for dist_a, dist_b in zip(state_a, state_b):
+            difference = jensen_tsallis_q_difference_classical(dist_a, dist_b, self.q)
+            total += float(np.exp(-difference))
+        return total

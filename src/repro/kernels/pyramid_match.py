@@ -1,0 +1,80 @@
+"""Pyramid match graph kernel (PMGK, Nikolentzos et al., AAAI 2017, ref. [48]).
+
+Each vertex is embedded into ``[0, 1]^d`` using the absolute values of the
+graph adjacency matrix's top-``d`` eigenvectors; the two vertex clouds are
+then compared with the classic pyramid-match scheme: histograms at
+resolutions ``2^l`` per axis, matched bottom-up with weights ``1/2^(L-l)``.
+The pyramid match is a PD kernel over sets, and alignment here is implicit
+(cell co-occupancy), not transitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.utils.linalg import eigh_sorted
+from repro.utils.validation import check_positive_int
+
+
+class PyramidMatchKernel(PairwiseKernel):
+    """PMGK with eigenvector embeddings and ``n_levels`` pyramid levels."""
+
+    name = "PMGK"
+    traits = KernelTraits(
+        framework="R-convolution",
+        positive_definite=True,
+        aligned=True,
+        transitive=False,
+        structure_patterns=("Local (Vertices)",),
+        computing_model="Classical",
+        captures_local=True,
+        captures_global=False,
+        notes="implicit vertex alignment via histogram cell co-occupancy",
+    )
+
+    def __init__(self, *, dimensions: int = 4, n_levels: int = 3) -> None:
+        self.dimensions = check_positive_int(dimensions, "dimensions", minimum=1)
+        self.n_levels = check_positive_int(n_levels, "n_levels", minimum=1)
+
+    def prepare(self, graphs: "list[Graph]") -> list:
+        return [self._histogram_pyramid(self._embed(g)) for g in graphs]
+
+    def pair_value(self, state_a, state_b) -> float:
+        # Pyramid match: intersections at the finest level count fully; each
+        # coarser level adds newly-matched mass at half the weight.
+        intersections = [
+            float(np.minimum(ha, hb).sum()) for ha, hb in zip(state_a, state_b)
+        ]
+        value = intersections[-1]  # finest level, weight 1
+        for level in range(len(intersections) - 1):
+            weight = 1.0 / (2 ** (len(intersections) - 1 - level))
+            newly = intersections[level] - intersections[level + 1]
+            value += weight * newly
+        return value
+
+    def _embed(self, graph: Graph) -> np.ndarray:
+        """Vertex embedding: |top-d eigenvectors| of the adjacency matrix."""
+        values, vectors = eigh_sorted(graph.adjacency)
+        order = np.argsort(-np.abs(values))[: self.dimensions]
+        embedding = np.abs(vectors[:, order])
+        if embedding.shape[1] < self.dimensions:
+            pad = np.zeros((embedding.shape[0], self.dimensions - embedding.shape[1]))
+            embedding = np.hstack([embedding, pad])
+        return np.clip(embedding, 0.0, 1.0)
+
+    def _histogram_pyramid(self, embedding: np.ndarray) -> list:
+        """Cell-occupancy histograms at resolutions ``2^l``, coarse->fine."""
+        pyramid = []
+        for level in range(self.n_levels + 1):
+            resolution = 2**level
+            cells = np.clip(
+                (embedding * resolution).astype(int), 0, resolution - 1
+            )
+            flat_index = np.zeros(embedding.shape[0], dtype=int)
+            for axis in range(self.dimensions):
+                flat_index = flat_index * resolution + cells[:, axis]
+            histogram = np.bincount(flat_index, minlength=resolution**self.dimensions)
+            pyramid.append(histogram.astype(float))
+        return pyramid

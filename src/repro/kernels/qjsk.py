@@ -1,0 +1,96 @@
+"""The previous-generation QJSK kernels (paper Section II-D, refs [32, 41]).
+
+Two baselines the paper improves upon:
+
+* :class:`QJSKUnaligned` — ``k_QJSU`` (Eq. 9): zero-pad the smaller
+  density matrix and take ``exp(-mu * QJSD)``. Not permutation invariant,
+  not positive definite.
+* :class:`QJSKAligned` — ``k_QJSA`` (Eq. 11): first permute the smaller
+  density matrix with the Umeyama spectral correspondence, then as above.
+  Permutation robust in practice but the pairwise matching is not
+  transitive, so positive definiteness is still not guaranteed.
+
+The Table IV row "QJSK" is the unaligned variant, matching ref. [41].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alignment.umeyama import permute_with, umeyama_correspondence
+from repro.graphs.graph import Graph
+from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.quantum.density import graph_density_matrix, pad_density_matrix
+from repro.quantum.divergence import quantum_jensen_shannon_divergence
+from repro.utils.validation import check_in_range
+
+_QJSK_TRAITS = KernelTraits(
+    framework="Information Theory",
+    positive_definite=False,
+    aligned=False,
+    transitive=False,
+    structure_patterns=("Global (Entropy)",),
+    computing_model="Quantum Walks",
+    captures_local=False,
+    captures_global=True,
+    notes="paper Section II-D; indefinite",
+)
+
+
+class QJSKUnaligned(PairwiseKernel):
+    """``k_QJSU(G_p, G_q) = exp(-mu * D_QJS(rho_p, rho_q))`` (Eq. 9)."""
+
+    name = "QJSK"
+    traits = _QJSK_TRAITS
+
+    def __init__(self, mu: float = 1.0, *, hamiltonian: str = "laplacian") -> None:
+        self.mu = check_in_range(mu, "mu", low=0.0, high=np.inf, low_inclusive=False)
+        self.hamiltonian = hamiltonian
+
+    def prepare(self, graphs: "list[Graph]") -> list:
+        return [graph_density_matrix(g, hamiltonian=self.hamiltonian) for g in graphs]
+
+    def pair_value(self, state_a, state_b) -> float:
+        size = max(state_a.shape[0], state_b.shape[0])
+        divergence = quantum_jensen_shannon_divergence(
+            pad_density_matrix(state_a, size), pad_density_matrix(state_b, size)
+        )
+        return float(np.exp(-self.mu * divergence))
+
+
+class QJSKAligned(PairwiseKernel):
+    """``k_QJSA`` (Eq. 11): Umeyama-align the density matrices first.
+
+    The correspondence matrix ``Q`` comes from the Umeyama spectral method
+    on the two density matrices (paper Section II-D); the smaller matrix is
+    zero-padded before matching.
+    """
+
+    name = "QJSK(A)"
+    traits = KernelTraits(
+        framework="Information Theory",
+        positive_definite=False,
+        aligned=True,
+        transitive=False,
+        structure_patterns=("Global (Entropy)",),
+        computing_model="Quantum Walks",
+        captures_local=False,
+        captures_global=True,
+        notes="pairwise Umeyama alignment; not transitive, still indefinite",
+    )
+
+    def __init__(self, mu: float = 1.0, *, hamiltonian: str = "laplacian") -> None:
+        self.mu = check_in_range(mu, "mu", low=0.0, high=np.inf, low_inclusive=False)
+        self.hamiltonian = hamiltonian
+
+    def prepare(self, graphs: "list[Graph]") -> list:
+        return [graph_density_matrix(g, hamiltonian=self.hamiltonian) for g in graphs]
+
+    def pair_value(self, state_a, state_b) -> float:
+        size = max(state_a.shape[0], state_b.shape[0])
+        rho_p = pad_density_matrix(state_a, size)
+        rho_q = pad_density_matrix(state_b, size)
+        q_matrix = umeyama_correspondence(rho_p, rho_q)
+        aligned_q = permute_with(rho_q, q_matrix)
+        divergence = quantum_jensen_shannon_divergence(rho_p, aligned_q)
+        return float(np.exp(-self.mu * divergence))

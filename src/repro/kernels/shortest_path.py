@@ -1,0 +1,77 @@
+"""Shortest-path graph kernel (SPGK, Borgwardt & Kriegel 2005, ref. [14]).
+
+``K(G_p, G_q)`` counts pairs of shortest paths with equal length and equal
+endpoint labels — the delta-kernel instantiation, which admits an explicit
+feature map over ``(label_u, label_v, distance)`` triples and is therefore
+positive definite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.kernels.base import FeatureMapKernel, KernelTraits
+from repro.utils.validation import check_positive_int
+
+
+class ShortestPathKernel(FeatureMapKernel):
+    """SPGK with the delta kernel on (endpoint labels, hop distance).
+
+    Parameters
+    ----------
+    max_distance:
+        Distances above this are bucketed together, bounding the feature
+        space on large-diameter graphs (paper datasets top out well below
+        the default).
+    use_labels:
+        Compare endpoint labels (degrees for unlabelled graphs). Disable to
+        get the pure path-length histogram kernel.
+    """
+
+    name = "SPGK"
+    traits = KernelTraits(
+        framework="R-convolution",
+        positive_definite=True,
+        aligned=False,
+        transitive=False,
+        structure_patterns=("Local (Paths)",),
+        computing_model="Classical",
+        captures_local=True,
+        captures_global=False,
+    )
+
+    def __init__(self, *, max_distance: int = 30, use_labels: bool = True) -> None:
+        self.max_distance = check_positive_int(max_distance, "max_distance", minimum=1)
+        self.use_labels = bool(use_labels)
+
+    def feature_matrix(self, graphs: "list[Graph]") -> np.ndarray:
+        vocabulary: dict = {}
+        rows = []
+        for g in graphs:
+            counts: dict = {}
+            distances = g.shortest_path_lengths()
+            labels = g.effective_labels() if self.use_labels else None
+            n = g.n_vertices
+            for u in range(n):
+                row = distances[u]
+                for v in range(u + 1, n):
+                    d = int(row[v])
+                    if d <= 0:
+                        continue
+                    d = min(d, self.max_distance)
+                    if labels is None:
+                        key = d
+                    else:
+                        a, b = int(labels[u]), int(labels[v])
+                        key = (d, min(a, b), max(a, b))
+                    counts[key] = counts.get(key, 0) + 1
+            for key in counts:
+                if key not in vocabulary:
+                    vocabulary[key] = len(vocabulary)
+            rows.append(counts)
+        features = np.zeros((len(graphs), max(len(vocabulary), 1)))
+        for i, counts in enumerate(rows):
+            for key, value in counts.items():
+                features[i, vocabulary[key]] = value
+        return features

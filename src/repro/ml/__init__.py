@@ -1,0 +1,45 @@
+"""ML substrate: SMO C-SVM, multiclass, cross-validation, metrics."""
+
+from repro.ml.cross_validation import (
+    DEFAULT_C_GRID,
+    cross_validate_kernel,
+    select_c,
+    stratified_k_fold,
+)
+from repro.ml.knn import KernelKNN, leave_one_out_knn_accuracy
+from repro.ml.kpca import KernelPCA, kernel_embedding
+from repro.ml.kernel_utils import (
+    center_gram,
+    condition_gram,
+    gram_signal_summary,
+    kernel_target_alignment,
+    scale_gram,
+)
+from repro.ml.nystrom import NystromApproximation, nystrom_gram
+from repro.ml.metrics import CVResult, accuracy, confusion_matrix, summarize_repeats
+from repro.ml.multiclass import KernelSVC
+from repro.ml.svm import BinarySVM
+
+__all__ = [
+    "BinarySVM",
+    "CVResult",
+    "DEFAULT_C_GRID",
+    "KernelKNN",
+    "KernelPCA",
+    "KernelSVC",
+    "NystromApproximation",
+    "accuracy",
+    "center_gram",
+    "condition_gram",
+    "confusion_matrix",
+    "cross_validate_kernel",
+    "gram_signal_summary",
+    "kernel_embedding",
+    "kernel_target_alignment",
+    "leave_one_out_knn_accuracy",
+    "nystrom_gram",
+    "scale_gram",
+    "select_c",
+    "stratified_k_fold",
+    "summarize_repeats",
+]

@@ -1,0 +1,66 @@
+"""Evaluation metrics and result aggregation for the CV experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    true_arr = np.asarray(y_true)
+    pred_arr = np.asarray(y_pred)
+    if true_arr.shape != pred_arr.shape:
+        raise ValidationError(
+            f"shape mismatch: y_true {true_arr.shape} vs y_pred {pred_arr.shape}"
+        )
+    if true_arr.size == 0:
+        raise ValidationError("cannot compute accuracy of empty arrays")
+    return float(np.mean(true_arr == pred_arr))
+
+
+def confusion_matrix(y_true, y_pred, classes=None) -> np.ndarray:
+    """Counts ``C[i, j]`` of true class ``i`` predicted as class ``j``."""
+    true_arr = np.asarray(y_true)
+    pred_arr = np.asarray(y_pred)
+    if classes is None:
+        classes = np.unique(np.concatenate([true_arr, pred_arr]))
+    index = {c: i for i, c in enumerate(classes)}
+    matrix = np.zeros((len(classes), len(classes)), dtype=int)
+    for t, p in zip(true_arr, pred_arr):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class CVResult:
+    """Aggregated cross-validation outcome (one Table IV cell).
+
+    ``mean_accuracy`` and ``standard_error`` follow the paper's reporting:
+    the mean over repetitions of the per-repetition 10-fold accuracy, and
+    the standard error of that mean across repetitions.
+    """
+
+    mean_accuracy: float
+    standard_error: float
+    per_repeat: tuple
+    best_c: float
+
+    def __str__(self) -> str:
+        return f"{self.mean_accuracy * 100:.2f} ± {self.standard_error * 100:.2f}"
+
+
+def summarize_repeats(per_repeat_accuracies, best_c: float) -> CVResult:
+    """Fold repeated-CV accuracies into a :class:`CVResult`."""
+    values = np.asarray(list(per_repeat_accuracies), dtype=float)
+    if values.size == 0:
+        raise ValidationError("no accuracies to summarize")
+    mean = float(values.mean())
+    if values.size > 1:
+        stderr = float(values.std(ddof=1) / np.sqrt(values.size))
+    else:
+        stderr = 0.0
+    return CVResult(mean, stderr, tuple(values.tolist()), float(best_c))

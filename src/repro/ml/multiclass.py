@@ -1,0 +1,92 @@
+"""Multiclass SVM via one-vs-one voting (LIBSVM's scheme).
+
+The paper's datasets range from 2 to 30 classes (Table II); C-SVM handles
+multiclass by training ``K(K-1)/2`` binary machines and voting, which is
+what :class:`KernelSVC` does on precomputed Gram matrices.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.svm import BinarySVM
+from repro.utils.validation import check_in_range
+
+
+class KernelSVC:
+    """One-vs-one multiclass C-SVM on a precomputed kernel.
+
+    Usage::
+
+        model = KernelSVC(c=10.0).fit(K[train][:, train], y[train])
+        predictions = model.predict(K[test][:, train])
+    """
+
+    def __init__(self, c: float = 1.0, *, tol: float = 1e-3, max_iter: int = 100_000):
+        self.c = check_in_range(c, "c", low=0.0, high=np.inf, low_inclusive=False)
+        self.tol = tol
+        self.max_iter = max_iter
+        self.classes_: "np.ndarray | None" = None
+        self._machines: "list[tuple] | None" = None
+        self._n_train: int = 0
+
+    def fit(self, kernel: np.ndarray, labels) -> "KernelSVC":
+        """Train all pairwise machines on the training Gram matrix."""
+        k_matrix = np.asarray(kernel, dtype=float)
+        y = np.asarray(labels)
+        if y.ndim != 1 or k_matrix.shape != (y.size, y.size):
+            raise ValidationError(
+                f"kernel {k_matrix.shape} incompatible with labels {y.shape}"
+            )
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValidationError("need at least two classes")
+        self._n_train = y.size
+        self._machines = []
+        for class_a, class_b in itertools.combinations(self.classes_, 2):
+            member_mask = (y == class_a) | (y == class_b)
+            indices = np.flatnonzero(member_mask)
+            binary_labels = np.where(y[indices] == class_a, 1.0, -1.0)
+            machine = BinarySVM(self.c, tol=self.tol, max_iter=self.max_iter)
+            machine.fit(k_matrix[np.ix_(indices, indices)], binary_labels)
+            self._machines.append((class_a, class_b, indices, machine))
+        return self
+
+    def predict(self, kernel_rows: np.ndarray) -> np.ndarray:
+        """Predict labels for test rows ``K(test, train)`` by OvO voting.
+
+        Ties break toward the class with the larger accumulated decision
+        margin, then toward the smaller class label (deterministic).
+        """
+        if self._machines is None or self.classes_ is None:
+            raise NotFittedError("KernelSVC must be fitted before prediction")
+        rows = np.asarray(kernel_rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[1] != self._n_train:
+            raise ValidationError(
+                f"kernel_rows must be (n_test, {self._n_train}), got {rows.shape}"
+            )
+        n_test = rows.shape[0]
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        votes = np.zeros((n_test, self.classes_.size))
+        margins = np.zeros((n_test, self.classes_.size))
+        for class_a, class_b, indices, machine in self._machines:
+            decision = machine.decision_function(rows[:, indices])
+            a_idx, b_idx = class_index[class_a], class_index[class_b]
+            wins_a = decision >= 0
+            votes[wins_a, a_idx] += 1
+            votes[~wins_a, b_idx] += 1
+            margins[:, a_idx] += decision
+            margins[:, b_idx] -= decision
+        # Lexicographic argmax: votes first, margins as tie-break.
+        margin_range = np.ptp(margins) + 1.0
+        score = votes + (margins / margin_range) * 0.5
+        best = np.argmax(score, axis=1)
+        return self.classes_[best]
+
+    def score(self, kernel_rows: np.ndarray, labels) -> float:
+        """Mean accuracy on the given test rows."""
+        predictions = self.predict(kernel_rows)
+        return float(np.mean(predictions == np.asarray(labels)))

@@ -1,0 +1,113 @@
+"""Continuous-time quantum walk (CTQW) evolution.
+
+Implements the Schrödinger evolution of paper Eq. (2)/(3):
+
+    |psi_t> = Phi^T exp(-i Lambda t) Phi |psi_0>
+
+(with the standard eigh convention ``H = V diag(w) V^T`` this reads
+``|psi_t> = V exp(-i w t) V^T |psi_0>``) and the associated unitary.
+
+The finite-time evolution is used by tests and the tottering/interference
+example; the kernels themselves consume the *time-averaged* density matrix
+from :mod:`repro.quantum.density`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantumError
+from repro.graphs.graph import Graph
+from repro.quantum.operators import hamiltonian_from_adjacency
+from repro.quantum.state import check_state_vector, degree_initial_state
+from repro.utils.linalg import eigh_sorted
+from repro.utils.validation import check_symmetric_matrix
+
+
+class CTQW:
+    """A continuous-time quantum walk on a fixed (weighted) structure.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric non-negative matrix defining the walk's structure.
+    hamiltonian:
+        Which operator drives the walk; the paper uses ``"laplacian"``.
+    initial_state:
+        Amplitude vector at ``t = 0``; defaults to the square root of the
+        degree distribution, per the paper.
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        *,
+        hamiltonian: str = "laplacian",
+        initial_state: "np.ndarray | None" = None,
+    ) -> None:
+        self.adjacency = check_symmetric_matrix(adjacency, "adjacency")
+        self.hamiltonian_kind = hamiltonian
+        self.hamiltonian = hamiltonian_from_adjacency(self.adjacency, hamiltonian)
+        if initial_state is None:
+            initial_state = degree_initial_state(self.adjacency)
+        if self.adjacency.shape[0] == 0:
+            raise QuantumError("CTQW needs at least one vertex")
+        self.initial_state = check_state_vector(
+            np.asarray(initial_state, dtype=complex), name="initial_state"
+        )
+        if self.initial_state.shape[0] != self.adjacency.shape[0]:
+            raise QuantumError(
+                f"initial_state has {self.initial_state.shape[0]} amplitudes for "
+                f"{self.adjacency.shape[0]} vertices"
+            )
+        self._eigenvalues, self._eigenvectors = eigh_sorted(self.hamiltonian)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, **kwargs) -> "CTQW":
+        """Build the walk for a :class:`Graph` (paper defaults)."""
+        return cls(graph.adjacency, **kwargs)
+
+    @property
+    def n_vertices(self) -> int:
+        """Dimension of the walk's Hilbert space."""
+        return self.adjacency.shape[0]
+
+    @property
+    def spectrum(self) -> np.ndarray:
+        """Hamiltonian eigenvalues, ascending."""
+        return self._eigenvalues
+
+    def unitary(self, t: float) -> np.ndarray:
+        """The evolution operator ``U(t) = exp(-i H t)``."""
+        phases = np.exp(-1j * self._eigenvalues * float(t))
+        v = self._eigenvectors
+        return (v * phases) @ v.conj().T
+
+    def state_at(self, t: float) -> np.ndarray:
+        """Amplitudes ``|psi_t>`` at time ``t`` (Eq. 3)."""
+        coeffs = self._eigenvectors.T @ self.initial_state
+        evolved = np.exp(-1j * self._eigenvalues * float(t)) * coeffs
+        return self._eigenvectors @ evolved
+
+    def probabilities_at(self, t: float) -> np.ndarray:
+        """Vertex occupation probabilities ``|alpha_u(t)|^2``."""
+        amplitudes = self.state_at(t)
+        probs = np.abs(amplitudes) ** 2
+        total = probs.sum()
+        if total > 0:
+            probs = probs / total  # wash out round-off so the vector sums to 1
+        return probs
+
+    def average_probabilities(self, horizon: float, steps: int = 200) -> np.ndarray:
+        """Trapezoidal time average of occupation probabilities on [0, horizon].
+
+        A sampled counterpart of the ``T -> inf`` limit used by the kernels;
+        useful for visualising convergence to the mixed state.
+        """
+        if horizon <= 0:
+            raise QuantumError(f"horizon must be > 0, got {horizon}")
+        if steps < 2:
+            raise QuantumError(f"steps must be >= 2, got {steps}")
+        times = np.linspace(0.0, horizon, steps)
+        samples = np.stack([self.probabilities_at(t) for t in times])
+        return np.trapezoid(samples, times, axis=0) / horizon

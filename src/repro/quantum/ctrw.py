@@ -1,0 +1,159 @@
+"""Classical continuous-time random walk (CTRW) — the CTQW's foil.
+
+Section II-A of the paper motivates the CTQW by contrast with its
+classical counterpart: the CTRW is "controlled by a doubly stochastic
+matrix", its evolution is governed by the low Laplacian frequencies, it is
+irreversible, and it *totters* (probability mass sloshes back across the
+edge it just crossed, revisiting vertex pairs redundantly). This module
+implements that counterpart so the comparison is runnable rather than
+rhetorical (``examples/ctqw_vs_ctrw.py``, ``tests/quantum/test_ctrw.py``).
+
+The CTRW solves the heat equation on the graph,
+
+    dp/dt = -L p,      p(t) = exp(-L t) p(0),
+
+whose propagator ``exp(-L t)`` is symmetric and doubly stochastic for the
+combinatorial Laplacian ``L = D - A``. As ``t`` grows, ``p(t)`` converges
+monotonically to the uniform distribution on each connected component —
+this is exactly the "dominated by the low spectrum frequencies" behaviour
+(the spectral gap sets the only relevant time scale), whereas the CTQW's
+occupation probabilities keep oscillating (interference) and retain
+high-frequency spectral information forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantumError
+from repro.graphs.graph import Graph
+from repro.quantum.operators import hamiltonian_from_adjacency
+from repro.utils.linalg import eigh_sorted
+from repro.utils.validation import check_symmetric_matrix
+
+
+class CTRW:
+    """A continuous-time (classical) random walk on a weighted structure.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric non-negative matrix defining the walk's structure.
+    generator:
+        Which operator generates the diffusion; ``"laplacian"`` (default,
+        matching the CTQW Hamiltonian the paper uses) or
+        ``"normalized_laplacian"``.
+    initial_distribution:
+        Probability vector at ``t = 0``; defaults to the degree
+        distribution (the classical analogue of the CTQW's
+        square-root-of-degrees initial state).
+    """
+
+    def __init__(
+        self,
+        adjacency: np.ndarray,
+        *,
+        generator: str = "laplacian",
+        initial_distribution: "np.ndarray | None" = None,
+    ) -> None:
+        self.adjacency = check_symmetric_matrix(adjacency, "adjacency")
+        if self.adjacency.shape[0] == 0:
+            raise QuantumError("CTRW needs at least one vertex")
+        if generator not in ("laplacian", "normalized_laplacian"):
+            raise QuantumError(
+                f"generator must be 'laplacian' or 'normalized_laplacian', "
+                f"got {generator!r}"
+            )
+        self.generator_kind = generator
+        self.generator = hamiltonian_from_adjacency(
+            self.adjacency,
+            "laplacian" if generator == "laplacian" else "normalized_laplacian",
+        )
+        if initial_distribution is None:
+            degrees = self.adjacency.sum(axis=1)
+            total = float(degrees.sum())
+            initial_distribution = (
+                degrees / total
+                if total > 0
+                else np.full(self.adjacency.shape[0], 1.0 / self.adjacency.shape[0])
+            )
+        p0 = np.asarray(initial_distribution, dtype=float)
+        if p0.ndim != 1 or p0.shape[0] != self.adjacency.shape[0]:
+            raise QuantumError(
+                f"initial_distribution must have {self.adjacency.shape[0]} "
+                f"entries, got shape {p0.shape}"
+            )
+        if p0.min() < -1e-12 or not np.isclose(p0.sum(), 1.0):
+            raise QuantumError("initial_distribution must be a probability vector")
+        self.initial_distribution = np.clip(p0, 0.0, None)
+        self._eigenvalues, self._eigenvectors = eigh_sorted(self.generator)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, **kwargs) -> "CTRW":
+        """Build the walk for a :class:`Graph`."""
+        return cls(graph.adjacency, **kwargs)
+
+    @property
+    def n_vertices(self) -> int:
+        """Number of states (vertices)."""
+        return self.adjacency.shape[0]
+
+    @property
+    def spectrum(self) -> np.ndarray:
+        """Generator eigenvalues, ascending (lambda_1 = 0)."""
+        return self._eigenvalues
+
+    def propagator(self, t: float) -> np.ndarray:
+        """The heat kernel ``exp(-L t)`` (symmetric, doubly stochastic)."""
+        if t < 0:
+            raise QuantumError(f"t must be >= 0, got {t}")
+        decay = np.exp(-self._eigenvalues * float(t))
+        v = self._eigenvectors
+        return (v * decay) @ v.T
+
+    def probabilities_at(self, t: float) -> np.ndarray:
+        """The distribution ``p(t) = exp(-L t) p(0)``."""
+        probs = self.propagator(t) @ self.initial_distribution
+        probs = np.clip(probs, 0.0, None)
+        total = probs.sum()
+        return probs / total if total > 0 else probs
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The ``t -> inf`` limit (uniform per connected component)."""
+        # Projection onto the generator's null space applied to p(0).
+        null_mask = np.abs(self._eigenvalues) < 1e-10
+        v = self._eigenvectors[:, null_mask]
+        return np.clip(v @ (v.T @ self.initial_distribution), 0.0, None)
+
+    def mixing_time(self, epsilon: float = 1e-2, *, t_max: float = 1e3) -> float:
+        """Smallest sampled ``t`` with total-variation distance < epsilon.
+
+        Doubling search over ``t``; returns ``inf`` if not mixed by
+        ``t_max`` (e.g. disconnected structure with a non-uniform limit).
+        """
+        if not 0 < epsilon < 1:
+            raise QuantumError(f"epsilon must be in (0, 1), got {epsilon}")
+        target = self.stationary_distribution()
+        t = 1e-3
+        while t <= t_max:
+            distance = 0.5 * np.abs(self.probabilities_at(t) - target).sum()
+            if distance < epsilon:
+                return float(t)
+            t *= 2.0
+        return float("inf")
+
+
+def return_probability_curve(
+    walk, times: "np.ndarray | list", vertex: int
+) -> np.ndarray:
+    """Occupation probability of ``vertex`` over ``times`` for any walk.
+
+    Works for both :class:`CTRW` and :class:`~repro.quantum.ctqw.CTQW`
+    (anything exposing ``probabilities_at``). The tottering comparison
+    plots these curves: the classical curve decays monotonically to the
+    stationary value, the quantum curve keeps oscillating — the
+    interference the paper credits with reducing tottering.
+    """
+    return np.asarray(
+        [float(walk.probabilities_at(float(t))[vertex]) for t in times]
+    )

@@ -1,0 +1,37 @@
+"""Shared utilities: validation, RNG handling, numerically-stable linalg."""
+
+from repro.utils.caching import cached_on_instance
+from repro.utils.linalg import (
+    eigh_sorted,
+    group_degenerate_eigenvalues,
+    is_positive_semidefinite,
+    is_symmetric,
+    project_to_psd,
+    safe_xlogx,
+)
+from repro.utils.rng import as_rng, child_rngs, spawn_seed
+from repro.utils.validation import (
+    check_in_range,
+    check_positive_int,
+    check_probability_vector,
+    check_square_matrix,
+    check_symmetric_matrix,
+)
+
+__all__ = [
+    "as_rng",
+    "cached_on_instance",
+    "check_in_range",
+    "check_positive_int",
+    "check_probability_vector",
+    "check_square_matrix",
+    "check_symmetric_matrix",
+    "child_rngs",
+    "eigh_sorted",
+    "group_degenerate_eigenvalues",
+    "is_positive_semidefinite",
+    "is_symmetric",
+    "project_to_psd",
+    "safe_xlogx",
+    "spawn_seed",
+]

@@ -1,0 +1,72 @@
+"""Lightweight per-instance memoisation.
+
+Per-graph quantities (shortest paths, density matrices, DB representations)
+are expensive and reused by several kernels; ``cached_on_instance`` stores the
+result in the instance ``__dict__`` so it lives exactly as long as the graph.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def cached_on_instance(method: Callable[..., T]) -> Callable[..., T]:
+    """Memoise a zero-argument (besides ``self``) method on the instance.
+
+    Unlike :func:`functools.lru_cache`, the cache does not keep the instance
+    alive and never mixes results across instances.
+    """
+    attr = f"_cache_{method.__name__}"
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if args or kwargs:
+            raise TypeError(
+                f"{method.__name__} is cached and takes no arguments beyond self"
+            )
+        cache = self.__dict__.get(attr, _MISSING)
+        if cache is _MISSING:
+            cache = method(self)
+            self.__dict__[attr] = cache
+        return cache
+
+    return wrapper
+
+
+class _Missing:
+    """Sentinel distinguishing 'not cached yet' from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+_MISSING = _Missing()
+
+
+class KeyedCache:
+    """A small dict-backed cache keyed by hashable tuples.
+
+    Used where a method has parameters (e.g. DB representations keyed by the
+    number of layers) and we still want per-instance reuse.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+
+    def get_or_compute(self, key, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing it on first use."""
+        if key not in self._store:
+            self._store[key] = compute()
+        return self._store[key]
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all cached entries."""
+        self._store.clear()

@@ -1,0 +1,56 @@
+"""Seeded random-number-generator plumbing.
+
+All stochastic components in the library accept ``seed`` / ``rng`` arguments
+and route them through :func:`as_rng`, so every experiment is reproducible
+from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` produces a fresh non-deterministic generator; an integer seeds a
+    PCG64 generator; an existing generator is passed through unchanged.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise ValidationError(f"seed must be an int, Generator, or None, got {seed!r}")
+    return np.random.default_rng(int(seed))
+
+
+def spawn_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed from ``rng`` for a child component."""
+    return int(rng.integers(0, 2**63 - 1))
+
+
+def child_rngs(seed: "int | np.random.Generator | None", count: int) -> list:
+    """Create ``count`` independent child generators from one seed.
+
+    Children are derived with ``spawn_seed`` so that adding a consumer at the
+    end does not perturb the streams of earlier consumers.
+    """
+    if count < 0:
+        raise ValidationError(f"count must be >= 0, got {count}")
+    root = as_rng(seed)
+    return [np.random.default_rng(spawn_seed(root)) for _ in range(count)]
+
+
+def shuffled(items: Iterable, seed: "int | np.random.Generator | None") -> list:
+    """Return a list with the items of ``items`` in a seeded random order."""
+    items = list(items)
+    rng = as_rng(seed)
+    order = rng.permutation(len(items))
+    return [items[i] for i in order]

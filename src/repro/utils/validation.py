@@ -1,0 +1,83 @@
+"""Argument-validation helpers.
+
+These helpers raise :class:`~repro.errors.ValidationError` with messages that
+name the offending parameter, so failures surface at the public API boundary
+rather than deep inside numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def check_positive_int(value: Any, name: str, *, minimum: int = 1) -> int:
+    """Return ``value`` as an int, requiring ``value >= minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: float = -np.inf,
+    high: float = np.inf,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Return ``value`` as a float, requiring it to lie inside the interval."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value}")
+    low_ok = value >= low if low_inclusive else value > low
+    high_ok = value <= high if high_inclusive else value < high
+    if not (low_ok and high_ok):
+        lo = "[" if low_inclusive else "("
+        hi = "]" if high_inclusive else ")"
+        raise ValidationError(f"{name} must be in {lo}{low}, {high}{hi}, got {value}")
+    return value
+
+
+def check_square_matrix(matrix: Any, name: str) -> np.ndarray:
+    """Return ``matrix`` as a 2-D square float ndarray."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"{name} must be a square matrix, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_symmetric_matrix(matrix: Any, name: str, *, tol: float = 1e-8) -> np.ndarray:
+    """Return ``matrix`` as a square ndarray, requiring symmetry within ``tol``."""
+    arr = check_square_matrix(matrix, name)
+    if arr.size and not np.allclose(arr, arr.T, atol=tol):
+        max_dev = float(np.max(np.abs(arr - arr.T)))
+        raise ValidationError(f"{name} must be symmetric (max asymmetry {max_dev:.3e})")
+    return arr
+
+
+def check_probability_vector(vector: Any, name: str, *, tol: float = 1e-8) -> np.ndarray:
+    """Return ``vector`` as a 1-D ndarray of non-negative entries summing to 1."""
+    arr = np.asarray(vector, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if np.any(arr < -tol):
+        raise ValidationError(f"{name} has negative entries")
+    total = float(arr.sum())
+    if abs(total - 1.0) > max(tol, 1e-8 * arr.size):
+        raise ValidationError(f"{name} must sum to 1, got {total}")
+    return np.clip(arr, 0.0, None)

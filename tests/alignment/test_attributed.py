@@ -1,0 +1,128 @@
+"""Tests for the label-augmented vertex representations."""
+
+import numpy as np
+import pytest
+
+from repro.alignment.attributed import AttributedDBExtractor
+from repro.alignment.depth_based import DBRepresentationExtractor
+from repro.errors import AlignmentError, ValidationError
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def labelled_graphs():
+    rng = np.random.default_rng(0)
+    graphs = []
+    for i in range(4):
+        graph = gen.random_tree(8, seed=i)
+        graphs.append(
+            graph.with_labels(rng.integers(0, 3, size=graph.n_vertices))
+        )
+    return graphs
+
+
+class TestFit:
+    def test_alphabet_is_union_over_collection(self, labelled_graphs):
+        extractor = AttributedDBExtractor(max_layers=3).fit(labelled_graphs)
+        expected = sorted(
+            {int(v) for g in labelled_graphs for v in g.labels}
+        )
+        assert extractor.alphabet_.tolist() == expected
+
+    def test_static_column_count(self, labelled_graphs):
+        extractor = AttributedDBExtractor(max_layers=3, radius=2).fit(
+            labelled_graphs
+        )
+        assert extractor.n_static_ == extractor.alphabet_.size * 3
+
+    def test_layer_count_matches_plain_extractor(self, labelled_graphs):
+        attributed = AttributedDBExtractor(max_layers=4).fit(labelled_graphs)
+        plain = DBRepresentationExtractor(max_layers=4).fit(labelled_graphs)
+        assert attributed.n_layers_ == plain.n_layers_
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(AlignmentError):
+            AttributedDBExtractor().fit([])
+
+    def test_transform_before_fit_rejected(self, labelled_graphs):
+        with pytest.raises(AlignmentError):
+            AttributedDBExtractor().transform(labelled_graphs[0])
+
+    def test_invalid_label_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            AttributedDBExtractor(label_weight=0.0)
+
+
+class TestTransform:
+    def test_shape_is_layers_plus_static(self, labelled_graphs):
+        extractor = AttributedDBExtractor(max_layers=3, radius=1).fit(
+            labelled_graphs
+        )
+        matrix = extractor.transform(labelled_graphs[0])
+        n = labelled_graphs[0].n_vertices
+        assert matrix.shape == (n, extractor.n_layers_ + extractor.n_static_)
+
+    def test_geometry_block_matches_plain_db(self, labelled_graphs):
+        attributed = AttributedDBExtractor(max_layers=3).fit(labelled_graphs)
+        plain = DBRepresentationExtractor(max_layers=3).fit(labelled_graphs)
+        for graph in labelled_graphs:
+            geometry = attributed.transform(graph)[:, : attributed.n_layers_]
+            assert np.allclose(geometry, plain.transform(graph))
+
+    def test_one_hot_block_encodes_own_label(self, labelled_graphs):
+        extractor = AttributedDBExtractor(max_layers=2, label_weight=2.5).fit(
+            labelled_graphs
+        )
+        graph = labelled_graphs[0]
+        block = extractor.transform(graph)[:, extractor.n_layers_ :]
+        index = {int(l): i for i, l in enumerate(extractor.alphabet_)}
+        for v, label in enumerate(graph.labels):
+            expected = np.zeros(extractor.alphabet_.size)
+            expected[index[int(label)]] = 2.5
+            assert np.allclose(block[v], expected)
+
+    def test_unlabelled_graph_falls_back_to_degrees(self):
+        graphs = [gen.star_graph(5), gen.path_graph(6)]
+        extractor = AttributedDBExtractor(max_layers=2).fit(graphs)
+        # star on 5 vertices: degrees {1, 4}; path: {1, 2} -> {1, 2, 4}
+        assert extractor.alphabet_.tolist() == [1, 2, 4]
+
+    def test_unseen_label_maps_to_zero_row(self, labelled_graphs):
+        extractor = AttributedDBExtractor(max_layers=2).fit(labelled_graphs)
+        stranger = gen.path_graph(4).with_labels([99, 99, 99, 99])
+        block = extractor.transform(stranger)[:, extractor.n_layers_ :]
+        assert np.allclose(block, 0.0)
+
+    def test_radius_histograms_are_normalised(self, labelled_graphs):
+        extractor = AttributedDBExtractor(
+            max_layers=2, radius=2, label_weight=1.0
+        ).fit(labelled_graphs)
+        graph = labelled_graphs[1]
+        matrix = extractor.transform(graph)
+        alphabet_size = extractor.alphabet_.size
+        for r in range(1, 3):
+            start = extractor.n_layers_ + r * alphabet_size
+            histograms = matrix[:, start : start + alphabet_size]
+            assert np.allclose(histograms.sum(axis=1), 1.0)
+
+    def test_radius_one_histogram_counts_closed_neighbourhood(self):
+        # path 0-1-2 with labels a, b, a: vertex 1 sees {a, b, a}.
+        graph = gen.path_graph(3).with_labels([0, 1, 0])
+        extractor = AttributedDBExtractor(max_layers=1, radius=1).fit([graph])
+        matrix = extractor.transform(graph)
+        histogram = matrix[0, extractor.n_layers_ + 2 :]
+        assert np.allclose(histogram, [0.5, 0.5])  # vertex 0 sees {a, b}
+        histogram_mid = matrix[1, extractor.n_layers_ + 2 :]
+        assert np.allclose(histogram_mid, [2 / 3, 1 / 3])
+
+    def test_label_weight_scales_channels(self, labelled_graphs):
+        light = AttributedDBExtractor(max_layers=2, label_weight=1.0).fit(
+            labelled_graphs
+        )
+        heavy = AttributedDBExtractor(max_layers=2, label_weight=4.0).fit(
+            labelled_graphs
+        )
+        graph = labelled_graphs[2]
+        block_light = light.transform(graph)[:, light.n_layers_ :]
+        block_heavy = heavy.transform(graph)[:, heavy.n_layers_ :]
+        assert np.allclose(block_heavy, 4.0 * block_light)

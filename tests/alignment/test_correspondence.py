@@ -1,0 +1,111 @@
+"""Tests for correspondence matrices and the transitivity guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.alignment.correspondence import (
+    aligned_vertex_pairs,
+    check_correspondence_matrix,
+    correspondence_is_transitive,
+    correspondence_matrices,
+    one_hot,
+)
+from repro.alignment.depth_based import DBRepresentationExtractor
+from repro.alignment.prototypes import fit_prototype_hierarchy
+
+
+@pytest.fixture
+def fitted(mixed_collection):
+    extractor = DBRepresentationExtractor(max_layers=4)
+    reps = extractor.fit_transform(mixed_collection)
+    hierarchy = fit_prototype_hierarchy(
+        np.vstack(reps), n_prototypes=6, n_levels=3, seed=0
+    )
+    return reps, hierarchy
+
+
+class TestOneHot:
+    def test_structure(self):
+        m = one_hot(np.asarray([0, 2, 1]), 3)
+        assert m.shape == (3, 3)
+        assert np.array_equal(m.sum(axis=1), np.ones(3))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(AlignmentError):
+            one_hot(np.asarray([0, 5]), 3)
+
+    def test_rejects_matrix_input(self):
+        with pytest.raises(AlignmentError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestCorrespondenceMatrices:
+    def test_family_shapes(self, fitted):
+        reps, hierarchy = fitted
+        matrices = correspondence_matrices(reps[0], hierarchy)
+        assert len(matrices) == 3
+        for level, matrix in enumerate(matrices, start=1):
+            assert matrix.shape == (reps[0].shape[0], hierarchy.size(level))
+            check_correspondence_matrix(matrix)
+
+    def test_row_sums_exactly_one(self, fitted):
+        reps, hierarchy = fitted
+        for rep in reps:
+            for matrix in correspondence_matrices(rep, hierarchy):
+                assert np.all(matrix.sum(axis=1) == 1.0)
+
+    def test_hierarchy_nesting(self, fitted):
+        """If two vertices share a level-1 prototype they must share every
+        higher-level prototype (the chain preserves nesting)."""
+        reps, hierarchy = fitted
+        matrices = correspondence_matrices(reps[0], hierarchy)
+        level1 = np.argmax(matrices[0], axis=1)
+        level3 = np.argmax(matrices[2], axis=1)
+        for u in range(len(level1)):
+            for v in range(len(level1)):
+                if level1[u] == level1[v]:
+                    assert level3[u] == level3[v]
+
+
+class TestValidation:
+    def test_rejects_nonbinary(self):
+        with pytest.raises(AlignmentError, match="binary"):
+            check_correspondence_matrix(np.full((2, 2), 0.5))
+
+    def test_rejects_multi_assignment(self):
+        bad = np.asarray([[1.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(AlignmentError, match="one 1"):
+            check_correspondence_matrix(bad)
+
+    def test_rejects_1d(self):
+        with pytest.raises(AlignmentError):
+            check_correspondence_matrix(np.ones(3))
+
+
+class TestAlignedPairs:
+    def test_pairs_via_shared_prototype(self):
+        c_p = one_hot(np.asarray([0, 1]), 3)
+        c_q = one_hot(np.asarray([1, 2]), 3)
+        assert aligned_vertex_pairs(c_p, c_q) == [(1, 0)]
+
+    def test_rejects_different_prototype_sets(self):
+        with pytest.raises(AlignmentError):
+            aligned_vertex_pairs(one_hot(np.asarray([0]), 2), one_hot(np.asarray([0]), 3))
+
+
+class TestTransitivity:
+    def test_one_hot_always_transitive(self, fitted):
+        reps, hierarchy = fitted
+        for level in range(3):
+            matrices = [
+                correspondence_matrices(rep, hierarchy)[level] for rep in reps
+            ]
+            assert correspondence_is_transitive(matrices)
+
+    def test_detects_violation(self):
+        """Hand-built non-functional alignment: a~b, b~c but not a~c."""
+        c_p = np.asarray([[1.0, 0.0, 0.0]])  # vertex a -> prototype 0
+        c_q = np.asarray([[1.0, 1.0, 0.0]])  # vertex b -> prototypes 0 and 1 (invalid row)
+        with pytest.raises(AlignmentError):
+            correspondence_is_transitive([c_p, c_q])

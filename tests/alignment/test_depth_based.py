@@ -1,0 +1,87 @@
+"""Tests for depth-based vertex representations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError, ValidationError
+from repro.graphs import generators as gen
+from repro.alignment.depth_based import DBRepresentationExtractor, db_representations
+
+
+class TestDBRepresentations:
+    def test_shape(self, petersen_like):
+        reps = db_representations(petersen_like, 4)
+        assert reps.shape == (10, 4)
+
+    def test_entropies_nonnegative(self, mixed_collection):
+        for g in mixed_collection:
+            reps = db_representations(g, 5)
+            assert np.all(reps >= -1e-12)
+
+    def test_saturation_beyond_eccentricity(self, path4):
+        reps = db_representations(path4, 10)
+        # Beyond the diameter the expansion subgraph stops growing.
+        assert np.allclose(reps[:, 3], reps[:, 9])
+
+    def test_distinguishes_hub_from_leaf(self, star5):
+        reps = db_representations(star5, 2)
+        assert not np.allclose(reps[0], reps[1])
+
+    def test_symmetric_vertices_equal(self):
+        g = gen.cycle_graph(6)
+        reps = db_representations(g, 3)
+        # All cycle vertices are equivalent by symmetry.
+        assert np.allclose(reps, reps[0])
+
+    def test_permutation_equivariance(self, petersen_like):
+        perm = np.random.default_rng(3).permutation(10)
+        reps = db_representations(petersen_like, 4)
+        reps_perm = db_representations(petersen_like.permuted(perm), 4)
+        assert np.allclose(reps_perm, reps[perm])
+
+    def test_von_neumann_variant(self, star5):
+        reps = db_representations(star5, 3, entropy="von_neumann")
+        assert reps.shape == (5, 3)
+        assert np.all(np.isfinite(reps))
+
+    def test_rejects_unknown_entropy(self, star5):
+        with pytest.raises(ValidationError, match="entropy"):
+            db_representations(star5, 3, entropy="boltzmann")
+
+    def test_rejects_zero_layers(self, star5):
+        with pytest.raises(ValidationError):
+            db_representations(star5, 0)
+
+    def test_edgeless_graph_zero(self):
+        from repro.graphs.graph import Graph
+
+        reps = db_representations(Graph(np.zeros((3, 3))), 2)
+        assert np.allclose(reps, 0.0)
+
+
+class TestExtractor:
+    def test_layer_count_from_collection(self, mixed_collection):
+        extractor = DBRepresentationExtractor(max_layers=100)
+        extractor.fit(mixed_collection)
+        expected = max(g.diameter() for g in mixed_collection if g.diameter() > 0)
+        assert extractor.n_layers_ == expected
+
+    def test_cap_applies(self, mixed_collection):
+        extractor = DBRepresentationExtractor(max_layers=2)
+        extractor.fit(mixed_collection)
+        assert extractor.n_layers_ == 2
+
+    def test_transform_before_fit_rejected(self, star5):
+        with pytest.raises(AlignmentError, match="fitted"):
+            DBRepresentationExtractor().transform(star5)
+
+    def test_fit_transform_shapes(self, mixed_collection):
+        extractor = DBRepresentationExtractor(max_layers=4)
+        reps = extractor.fit_transform(mixed_collection)
+        assert len(reps) == len(mixed_collection)
+        for g, rep in zip(mixed_collection, reps):
+            assert rep.shape == (g.n_vertices, extractor.n_layers_)
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(AlignmentError):
+            DBRepresentationExtractor().fit([])

@@ -1,0 +1,141 @@
+"""Tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError
+from repro.alignment.kmeans import assign_to_centers, kmeans, kmeans_plusplus_init
+
+
+def blobs(seed: int = 0, per: int = 20):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(center, 0.15, (per, 2)) for center in ((0, 0), (3, 0), (0, 3))]
+    )
+
+
+class TestKMeans:
+    def test_recovers_blobs(self):
+        points = blobs()
+        result = kmeans(points, 3, seed=0)
+        # Each blob should land in its own cluster.
+        assignments = result.assignments
+        groups = [set(assignments[i * 20 : (i + 1) * 20]) for i in range(3)]
+        assert all(len(g) == 1 for g in groups)
+        assert len(set.union(*groups)) == 3
+
+    def test_deterministic(self):
+        points = blobs(1)
+        a = kmeans(points, 3, seed=42)
+        b = kmeans(points, 3, seed=42)
+        assert np.array_equal(a.assignments, b.assignments)
+        assert np.allclose(a.centers, b.centers)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points = blobs(2)
+        loose = kmeans(points, 2, seed=0).inertia
+        tight = kmeans(points, 6, seed=0).inertia
+        assert tight < loose
+
+    def test_clamps_clusters_to_points(self):
+        points = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        result = kmeans(points, 10, seed=0)
+        assert result.centers.shape[0] == 2
+
+    def test_empty_cluster_reseeding(self):
+        # Duplicated points force potential empty clusters.
+        points = np.vstack([np.zeros((5, 2)), np.ones((5, 2)), np.full((5, 2), 9.0)])
+        result = kmeans(points, 3, seed=0)
+        assert len(set(result.assignments.tolist())) == 3
+
+    def test_single_point(self):
+        result = kmeans(np.asarray([[2.0, 2.0]]), 1, seed=0)
+        assert np.allclose(result.centers, [[2.0, 2.0]])
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_warm_start_respected(self):
+        points = blobs(3)
+        warm = np.asarray([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        result = kmeans(points, 3, seed=0, init_centers=warm)
+        assert result.converged
+        # Warm start at the true centers converges immediately-ish.
+        assert result.n_iterations <= 5
+
+    def test_warm_start_wrong_dim_rejected(self):
+        with pytest.raises(AlignmentError):
+            kmeans(blobs(), 3, init_centers=np.zeros((3, 5)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(AlignmentError):
+            kmeans(np.zeros((0, 2)), 2)
+
+    def test_rejects_nan(self):
+        with pytest.raises(AlignmentError):
+            kmeans(np.asarray([[np.nan, 0.0]]), 1)
+
+    def test_result_repr(self):
+        result = kmeans(blobs(), 3, seed=0)
+        assert "KMeansResult" in repr(result)
+
+
+class TestInit:
+    def test_plusplus_centers_are_points(self):
+        points = blobs(4)
+        rng = np.random.default_rng(0)
+        centers = kmeans_plusplus_init(points, 3, rng)
+        for c in centers:
+            assert any(np.allclose(c, p) for p in points)
+
+    def test_plusplus_spreads_centers(self):
+        points = blobs(5)
+        rng = np.random.default_rng(1)
+        centers = kmeans_plusplus_init(points, 3, rng)
+        dists = [
+            np.linalg.norm(centers[i] - centers[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        ]
+        assert min(dists) > 1.0  # one per blob
+
+    def test_identical_points(self):
+        points = np.zeros((5, 2))
+        rng = np.random.default_rng(2)
+        centers = kmeans_plusplus_init(points, 3, rng)
+        assert centers.shape == (3, 2)
+
+
+class TestAssign:
+    def test_nearest(self):
+        centers = np.asarray([[0.0, 0.0], [10.0, 0.0]])
+        points = np.asarray([[1.0, 0.0], [9.0, 0.0]])
+        assert assign_to_centers(points, centers).tolist() == [0, 1]
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(AlignmentError):
+            assign_to_centers(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_rejects_no_centers(self):
+        with pytest.raises(AlignmentError):
+            assign_to_centers(np.zeros((2, 2)), np.zeros((0, 2)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_points=st.integers(3, 40),
+    n_clusters=st.integers(1, 6),
+    seed=st.integers(0, 100),
+)
+def test_kmeans_invariants(n_points, n_clusters, seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n_points, 3))
+    result = kmeans(points, n_clusters, seed=seed)
+    k = min(n_clusters, n_points)
+    assert result.centers.shape == (k, 3)
+    assert result.assignments.shape == (n_points,)
+    assert result.assignments.min() >= 0
+    assert result.assignments.max() < k
+    assert result.inertia >= 0.0
+    # Every cluster is non-empty (reseeding guarantees it).
+    assert len(set(result.assignments.tolist())) == k

@@ -1,0 +1,116 @@
+"""Tests for the hierarchical prototype system (Eq. 14/16, Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.alignment.prototypes import (
+    PrototypeHierarchy,
+    fit_prototype_hierarchy,
+    level_sizes,
+)
+
+
+def points(seed=0, n=60, dim=3):
+    return np.random.default_rng(seed).normal(size=(n, dim))
+
+
+class TestLevelSizes:
+    def test_halving(self):
+        assert level_sizes(16, 3) == [16, 8, 4]
+
+    def test_floor(self):
+        assert level_sizes(4, 4) == [4, 2, 2, 2]
+
+    def test_small_start(self):
+        assert level_sizes(1, 3) == [1, 1, 1]
+
+    def test_custom_shrink(self):
+        assert level_sizes(27, 3, shrink_factor=1.0 / 3.0) == [27, 9, 3]
+
+
+class TestFit:
+    def test_level_structure(self):
+        hierarchy = fit_prototype_hierarchy(
+            points(), n_prototypes=8, n_levels=3, seed=0
+        )
+        assert hierarchy.n_levels == 3
+        assert [hierarchy.size(h) for h in (1, 2, 3)] == [8, 4, 2]
+
+    def test_memberships_shapes(self):
+        hierarchy = fit_prototype_hierarchy(
+            points(1), n_prototypes=8, n_levels=3, seed=0
+        )
+        assert hierarchy.memberships[0].shape == (8,)
+        assert hierarchy.memberships[1].shape == (4,)
+
+    def test_membership_targets_valid(self):
+        hierarchy = fit_prototype_hierarchy(
+            points(2), n_prototypes=8, n_levels=3, seed=0
+        )
+        assert hierarchy.memberships[0].max() < 4
+        assert hierarchy.memberships[1].max() < 2
+
+    def test_deterministic(self):
+        a = fit_prototype_hierarchy(points(3), n_prototypes=6, n_levels=2, seed=9)
+        b = fit_prototype_hierarchy(points(3), n_prototypes=6, n_levels=2, seed=9)
+        for ca, cb in zip(a.centers, b.centers):
+            assert np.allclose(ca, cb)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AlignmentError):
+            fit_prototype_hierarchy(np.zeros((0, 2)), n_prototypes=4, n_levels=2)
+
+    def test_warm_start_accepted(self):
+        pts = points(4)
+        warm = pts[:6].copy()
+        hierarchy = fit_prototype_hierarchy(
+            pts, n_prototypes=6, n_levels=2, seed=0, init_centers=warm
+        )
+        assert hierarchy.size(1) == 6
+
+
+class TestAssignment:
+    def test_level1_assignment_nearest(self):
+        hierarchy = fit_prototype_hierarchy(
+            points(5), n_prototypes=5, n_levels=2, seed=0
+        )
+        pts = points(6, n=10)
+        assignment = hierarchy.assign_level1(pts)
+        centers = hierarchy.centers[0]
+        for i, a in enumerate(assignment):
+            dists = np.linalg.norm(centers - pts[i], axis=1)
+            assert dists[a] == pytest.approx(dists.min())
+
+    def test_lift_consistency(self):
+        """Lifting level-1 assignments must agree with membership chains."""
+        hierarchy = fit_prototype_hierarchy(
+            points(7), n_prototypes=8, n_levels=3, seed=1
+        )
+        pts = points(8, n=15)
+        level1 = hierarchy.assign_level1(pts)
+        level3 = hierarchy.lift_assignment(level1, 3)
+        manual = hierarchy.memberships[1][hierarchy.memberships[0][level1]]
+        assert np.array_equal(level3, manual)
+
+    def test_assign_shortcut(self):
+        hierarchy = fit_prototype_hierarchy(
+            points(9), n_prototypes=8, n_levels=2, seed=2
+        )
+        pts = points(10, n=12)
+        direct = hierarchy.assign(pts, 2)
+        chained = hierarchy.lift_assignment(hierarchy.assign_level1(pts), 2)
+        assert np.array_equal(direct, chained)
+
+    def test_level_bounds_checked(self):
+        hierarchy = fit_prototype_hierarchy(
+            points(11), n_prototypes=4, n_levels=2, seed=0
+        )
+        with pytest.raises(AlignmentError):
+            hierarchy.size(3)
+        with pytest.raises(AlignmentError):
+            hierarchy.assign(points(12, n=3), 0)
+
+    def test_constructor_validates_membership_count(self):
+        with pytest.raises(AlignmentError):
+            PrototypeHierarchy([np.zeros((4, 2)), np.zeros((2, 2))], [])

@@ -1,0 +1,82 @@
+"""Tests for Umeyama spectral matching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.alignment.umeyama import (
+    permute_with,
+    umeyama_correspondence,
+    umeyama_similarity,
+)
+from repro.graphs import generators as gen
+from repro.quantum.density import graph_density_matrix
+
+
+class TestCorrespondence:
+    def test_is_permutation_matrix(self):
+        g_a = gen.barabasi_albert(7, 2, seed=0)
+        g_b = gen.erdos_renyi(7, 0.4, seed=1)
+        q = umeyama_correspondence(g_a.adjacency, g_b.adjacency)
+        assert np.array_equal(q.sum(axis=0), np.ones(7))
+        assert np.array_equal(q.sum(axis=1), np.ones(7))
+
+    def test_identity_for_identical_inputs(self):
+        g = gen.barabasi_albert(6, 2, seed=2)
+        rho = graph_density_matrix(g)
+        q = umeyama_correspondence(rho, rho)
+        aligned = permute_with(rho, q)
+        # Matching a matrix to itself must preserve the QJSD-relevant
+        # structure (spectrum), even if the permutation is not identity
+        # under eigenvector sign ambiguity.
+        assert np.allclose(
+            np.linalg.eigvalsh(aligned), np.linalg.eigvalsh(rho), atol=1e-9
+        )
+
+    def test_recovers_a_permutation(self):
+        """Matching G against a permuted copy should recover an isomorphism
+        that maps the density matrix back (up to eigen-degeneracies)."""
+        g = gen.barabasi_albert(8, 2, seed=3)
+        rho = graph_density_matrix(g)
+        perm = np.random.default_rng(0).permutation(8)
+        rho_perm = rho[np.ix_(perm, perm)]
+        q = umeyama_correspondence(rho, rho_perm)
+        aligned = permute_with(rho_perm, q)
+        # At minimum, alignment must not increase the distance vs naive.
+        assert np.linalg.norm(aligned - rho) <= np.linalg.norm(rho_perm - rho) + 1e-9
+
+    def test_size_padding(self):
+        small = gen.path_graph(3)
+        large = gen.cycle_graph(6)
+        q = umeyama_correspondence(large.adjacency, small.adjacency)
+        assert q.shape == (6, 6)
+
+
+class TestSimilarity:
+    def test_shape(self):
+        s = umeyama_similarity(np.eye(4), np.eye(6))
+        assert s.shape == (6, 6)
+
+    def test_nonnegative(self):
+        g_a = gen.erdos_renyi(5, 0.5, seed=4)
+        g_b = gen.erdos_renyi(5, 0.5, seed=5)
+        assert np.all(umeyama_similarity(g_a.adjacency, g_b.adjacency) >= 0)
+
+
+class TestPermuteWith:
+    def test_identity(self):
+        m = np.diag([1.0, 2.0])
+        assert np.allclose(permute_with(m, np.eye(2)), m)
+
+    def test_swap(self):
+        m = np.diag([1.0, 2.0])
+        swap = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        assert np.allclose(permute_with(m, swap), np.diag([2.0, 1.0]))
+
+    def test_rejects_nonsquare_permutation(self):
+        with pytest.raises(AlignmentError):
+            permute_with(np.eye(2), np.zeros((2, 3)))
+
+    def test_rejects_oversized_matrix(self):
+        with pytest.raises(AlignmentError):
+            permute_with(np.eye(3), np.eye(2))

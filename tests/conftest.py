@@ -1,0 +1,70 @@
+"""Shared fixtures: small deterministic graphs and collections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    return gen.cycle_graph(3)
+
+
+@pytest.fixture
+def path4() -> Graph:
+    return gen.path_graph(4)
+
+
+@pytest.fixture
+def star5() -> Graph:
+    return gen.star_graph(5)
+
+
+@pytest.fixture
+def petersen_like() -> Graph:
+    """A 10-vertex 3-regular graph (two pentagons + spokes)."""
+    adjacency = np.zeros((10, 10))
+    for i in range(5):
+        adjacency[i, (i + 1) % 5] = adjacency[(i + 1) % 5, i] = 1.0
+        adjacency[5 + i, 5 + (i + 2) % 5] = adjacency[5 + (i + 2) % 5, 5 + i] = 1.0
+        adjacency[i, 5 + i] = adjacency[5 + i, i] = 1.0
+    return Graph(adjacency)
+
+
+@pytest.fixture
+def labelled_graph() -> Graph:
+    adjacency = np.zeros((4, 4))
+    for u, v in [(0, 1), (1, 2), (2, 3)]:
+        adjacency[u, v] = adjacency[v, u] = 1.0
+    return Graph(adjacency, labels=[0, 1, 1, 2])
+
+
+@pytest.fixture
+def mixed_collection() -> "list[Graph]":
+    """Connected graphs of several families and sizes (deterministic)."""
+    return [
+        gen.cycle_graph(5),
+        gen.path_graph(6),
+        gen.star_graph(6),
+        gen.complete_graph(5),
+        gen.erdos_renyi(10, 0.4, seed=3).largest_component(),
+        gen.barabasi_albert(12, 2, seed=4),
+        gen.watts_strogatz(11, 4, 0.2, seed=5),
+        gen.random_tree(9, seed=6),
+    ]
+
+
+@pytest.fixture
+def two_class_graphs() -> tuple:
+    """A small separable 2-class problem (trees vs dense ER)."""
+    class_a = [gen.random_tree(10, seed=i) for i in range(8)]
+    class_b = [
+        gen.erdos_renyi(10, 0.5, seed=100 + i).largest_component() for i in range(8)
+    ]
+    graphs = class_a + class_b
+    labels = np.asarray([0] * 8 + [1] * 8)
+    return graphs, labels

@@ -1,0 +1,94 @@
+"""Tests for GraphDataset and its statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.base import GraphDataset
+from repro.graphs import generators as gen
+
+
+@pytest.fixture
+def dataset():
+    graphs = [gen.cycle_graph(4), gen.path_graph(5), gen.star_graph(6),
+              gen.cycle_graph(5)]
+    return GraphDataset("toy", graphs, [0, 1, 1, 0], domain="Test")
+
+
+class TestConstruction:
+    def test_basic(self, dataset):
+        assert len(dataset) == 4
+        assert dataset.n_classes == 2
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            GraphDataset("bad", [gen.cycle_graph(3)], [0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            GraphDataset("bad", [], [])
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(DatasetError):
+            GraphDataset("bad", ["not a graph"], [0])
+
+    def test_repr(self, dataset):
+        assert "toy" in repr(dataset)
+
+
+class TestStatistics:
+    def test_vertex_stats(self, dataset):
+        stats = dataset.statistics()
+        assert stats.max_vertices == 6
+        assert stats.mean_vertices == pytest.approx(5.0)
+
+    def test_edge_mean(self, dataset):
+        stats = dataset.statistics()
+        assert stats.mean_edges == pytest.approx((4 + 4 + 5 + 5) / 4)
+
+    def test_unlabelled_reports_none(self, dataset):
+        assert dataset.statistics().n_vertex_labels is None
+
+    def test_labelled_counts_distinct(self):
+        graphs = [
+            gen.attach_random_labels(gen.cycle_graph(6), 3, seed=0),
+            gen.attach_random_labels(gen.path_graph(6), 3, seed=1),
+        ]
+        ds = GraphDataset("lab", graphs, [0, 1])
+        assert 1 <= ds.statistics().n_vertex_labels <= 3
+
+    def test_as_row_keys(self, dataset):
+        row = dataset.statistics().as_row()
+        assert "Mean # vertices" in row and "# classes" in row
+
+
+class TestSubset:
+    def test_subset_preserves_order(self, dataset):
+        sub = dataset.subset([2, 0])
+        assert sub.targets.tolist() == [1, 0]
+        assert sub.graphs[0].n_vertices == 6
+
+    def test_subset_empty_rejected(self, dataset):
+        with pytest.raises(DatasetError):
+            dataset.subset([])
+
+    def test_stratified_subsample_counts(self):
+        graphs = [gen.cycle_graph(4)] * 10 + [gen.path_graph(4)] * 10
+        ds = GraphDataset("big", graphs, [0] * 10 + [1] * 10)
+        sub = ds.stratified_subsample(3, seed=0)
+        assert len(sub) == 6
+        assert np.sum(sub.targets == 0) == 3
+
+    def test_stratified_subsample_caps_at_class_size(self):
+        graphs = [gen.cycle_graph(4)] * 3 + [gen.path_graph(4)] * 10
+        ds = GraphDataset("skew", graphs, [0] * 3 + [1] * 10)
+        sub = ds.stratified_subsample(5, seed=0)
+        assert np.sum(sub.targets == 0) == 3
+        assert np.sum(sub.targets == 1) == 5
+
+    def test_stratified_subsample_deterministic(self):
+        graphs = [gen.cycle_graph(4)] * 20
+        ds = GraphDataset("d", graphs, [i % 2 for i in range(20)])
+        a = ds.stratified_subsample(4, seed=5)
+        b = ds.stratified_subsample(4, seed=5)
+        assert a.targets.tolist() == b.targets.tolist()

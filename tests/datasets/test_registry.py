@@ -1,0 +1,162 @@
+"""Tests for the 12 Table II dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets import DATASET_NAMES, PAPER_STATISTICS, load_dataset
+
+SMALL_SCALES = {
+    "MUTAG": 0.1, "PPIs": 0.12, "CATH2": 0.1, "PTC": 0.08,
+    "GatorBait": 0.6, "BAR31": 0.2, "BSPHERE31": 0.2, "GEOD31": 0.2,
+    "IMDB-B": 0.03, "IMDB-M": 0.02, "RED-B": 0.015, "COLLAB": 0.01,
+}
+SIZE_SCALES = {"CATH2": 0.2, "GatorBait": 0.2, "RED-B": 0.1, "COLLAB": 0.5}
+
+
+@pytest.fixture(scope="module")
+def small_datasets():
+    return {
+        name: load_dataset(
+            name,
+            scale=SMALL_SCALES[name],
+            size_scale=SIZE_SCALES.get(name, 1.0),
+            seed=0,
+        )
+        for name in DATASET_NAMES
+    }
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert len(DATASET_NAMES) == 12
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError, match="unknown"):
+            load_dataset("NOT_A_DATASET")
+
+    def test_class_counts_match_paper(self, small_datasets):
+        for name, ds in small_datasets.items():
+            assert ds.n_classes == PAPER_STATISTICS[name].n_classes, name
+
+    def test_every_graph_nonempty(self, small_datasets):
+        for name, ds in small_datasets.items():
+            for g in ds.graphs:
+                assert g.n_vertices >= 2, name
+                assert g.n_edges >= 1, name
+
+    def test_domains_match_paper(self, small_datasets):
+        for name, ds in small_datasets.items():
+            assert ds.domain == PAPER_STATISTICS[name].domain
+
+    def test_labelled_datasets(self, small_datasets):
+        for name in ("MUTAG", "PTC"):
+            for g in small_datasets[name].graphs:
+                assert g.labels is not None, name
+
+    def test_unlabelled_datasets(self, small_datasets):
+        for name in ("IMDB-B", "COLLAB", "BAR31"):
+            for g in small_datasets[name].graphs:
+                assert g.labels is None, name
+
+    def test_deterministic(self):
+        a = load_dataset("MUTAG", scale=0.05, seed=3)
+        b = load_dataset("MUTAG", scale=0.05, seed=3)
+        for ga, gb in zip(a.graphs, b.graphs):
+            assert ga == gb
+
+    def test_seed_changes_content(self):
+        a = load_dataset("MUTAG", scale=0.05, seed=1)
+        b = load_dataset("MUTAG", scale=0.05, seed=2)
+        assert any(ga != gb for ga, gb in zip(a.graphs, b.graphs))
+
+    def test_minimum_two_per_class(self):
+        ds = load_dataset("GatorBait", scale=0.01, seed=0)
+        counts = np.bincount(ds.targets)
+        assert counts.min() >= 2
+
+    def test_scale_bounds_checked(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            load_dataset("MUTAG", scale=0.0)
+        with pytest.raises(ValidationError):
+            load_dataset("MUTAG", scale=1.5)
+
+
+class TestClassSignal:
+    """Classes must be topologically distinguishable — the whole point of
+    the surrogates (DESIGN.md substitution table)."""
+
+    @pytest.mark.parametrize("name", ["MUTAG", "IMDB-B", "RED-B"])
+    def test_wl_separates_classes_better_than_chance(self, name, small_datasets):
+        from repro.kernels import WeisfeilerLehmanKernel
+        from repro.ml import condition_gram, cross_validate_kernel
+
+        # IMDB-B's classes overlap by design (paper band ~63-74%); the
+        # 30-graph fixture is too small for a stable CV there, so test it
+        # at the Table IV harness scale instead.
+        ds = (
+            load_dataset("IMDB-B", scale=0.06, seed=0)
+            if name == "IMDB-B"
+            else small_datasets[name]
+        )
+        gram = WeisfeilerLehmanKernel(3).gram(ds.graphs, normalize=True)
+        result = cross_validate_kernel(
+            condition_gram(gram), ds.targets, n_folds=4, n_repeats=1, seed=0
+        )
+        chance = 1.0 / ds.n_classes
+        assert result.mean_accuracy > chance + 0.1, name
+
+    def test_ppis_separated_by_haqjsk(self):
+        """PPIs classes differ by community structure + density — a global
+        signal the HAQJSK kernels should see well above chance (the WL test
+        above would under-perform here at tiny scale, matching the paper's
+        relative ordering)."""
+        from repro.kernels import HAQJSKKernelD
+        from repro.ml import cross_validate_kernel
+
+        ds = load_dataset("PPIs", scale=0.25, size_scale=0.6, seed=0)
+        kernel = HAQJSKKernelD(n_prototypes=48, n_levels=3, max_layers=6, seed=0)
+        gram = kernel.gram(ds.graphs, normalize=True)
+        result = cross_validate_kernel(gram, ds.targets, n_folds=5, n_repeats=1, seed=0)
+        assert result.mean_accuracy > 0.2 + 0.15
+
+    def test_mutag_ring_signal(self, small_datasets):
+        from repro.graphs.ops import triangle_count
+
+        ds = small_datasets["MUTAG"]
+        # Mutagenic class has more cycles: check mean cyclomatic number.
+        cyclomatic = np.asarray(
+            [g.n_edges - g.n_vertices + len(g.connected_components()) for g in ds.graphs]
+        )
+        assert cyclomatic[ds.targets == 1].mean() > cyclomatic[ds.targets == 0].mean()
+
+    def test_imdb_clique_signal(self, small_datasets):
+        from repro.graphs.ops import clustering_coefficient
+
+        ds = small_datasets["IMDB-B"]
+        coefficients = np.asarray(
+            [clustering_coefficient(g) for g in ds.graphs]
+        )
+        assert coefficients.mean() > 0.5  # ego nets are clique unions
+
+    def test_redb_hub_signal(self, small_datasets):
+        ds = small_datasets["RED-B"]
+        hubiness = np.asarray(
+            [g.unweighted_degrees().max() / g.n_vertices for g in ds.graphs]
+        )
+        assert hubiness[ds.targets == 1].mean() > hubiness[ds.targets == 0].mean()
+
+    @pytest.mark.parametrize("name", ["BAR31", "GEOD31", "BSPHERE31"])
+    def test_shape_datasets_have_positive_haqjsk_alignment(self, name, small_datasets):
+        """Smooth counterpart of the CV checks: the HAQJSK Gram must carry
+        positive kernel-target alignment on the shape surrogates, where
+        per-class counts are too small for stable CV assertions."""
+        from repro.kernels import HAQJSKKernelD
+        from repro.ml import kernel_target_alignment
+
+        ds = small_datasets[name]
+        kernel = HAQJSKKernelD(n_prototypes=24, n_levels=3, max_layers=5, seed=0)
+        gram = kernel.gram(ds.graphs, normalize=True)
+        assert kernel_target_alignment(gram, ds.targets) > 0.02, name

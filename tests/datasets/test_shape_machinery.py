@@ -1,0 +1,213 @@
+"""Tests for the shape-dataset machinery (weighted templates, forests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import (
+    WeightedTemplate,
+    grow_weighted,
+    limb_forest,
+    make_weighted_template,
+    triangulate_chords,
+)
+from repro.errors import DatasetError
+from repro.graphs import generators as gen
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWeightedTemplate:
+    def test_make_produces_tree_and_simplex_weights(self):
+        template = make_weighted_template(_rng(), n_vertices=12)
+        assert template.graph.n_edges == template.graph.n_vertices - 1
+        assert template.edge_weights.shape == (template.graph.n_edges,)
+        assert np.isclose(template.edge_weights.sum(), 1.0)
+        assert template.edge_weights.min() >= 0.0
+
+    def test_weight_length_mismatch_rejected(self):
+        tree = gen.random_tree(6, seed=0)
+        with pytest.raises(DatasetError):
+            WeightedTemplate(tree, np.ones(3) / 3)
+
+    def test_non_simplex_weights_rejected(self):
+        tree = gen.random_tree(5, seed=0)
+        with pytest.raises(DatasetError):
+            WeightedTemplate(tree, np.full(tree.n_edges, 0.9))
+
+    def test_deterministic_given_rng(self):
+        a = make_weighted_template(_rng(3), n_vertices=10)
+        b = make_weighted_template(_rng(3), n_vertices=10)
+        assert a.graph == b.graph
+        assert np.array_equal(a.edge_weights, b.edge_weights)
+
+
+class TestGrowWeighted:
+    def test_exact_target_size(self):
+        template = make_weighted_template(_rng(1), n_vertices=8)
+        grown = grow_weighted(template, 50, _rng(2))
+        assert grown.n_vertices == 50
+
+    def test_subdivision_preserves_tree_edge_count(self):
+        template = make_weighted_template(_rng(1), n_vertices=8)
+        grown = grow_weighted(template, 40, _rng(2))
+        assert grown.n_edges == grown.n_vertices - 1  # still a tree
+
+    def test_target_below_template_returns_template_size(self):
+        template = make_weighted_template(_rng(1), n_vertices=10)
+        grown = grow_weighted(template, 4, _rng(2))
+        assert grown.n_vertices == template.graph.n_vertices
+
+    def test_degree_multiset_of_branch_vertices_preserved(self):
+        # Subdivision only inserts degree-2 vertices: the multiset of
+        # degrees != 2 must be exactly the template's.
+        template = make_weighted_template(_rng(5), n_vertices=9)
+        grown = grow_weighted(template, 60, _rng(6))
+
+        def branching(graph):
+            degrees = graph.unweighted_degrees()
+            return sorted(d for d in degrees if d != 2)
+
+        assert branching(grown) == branching(template.graph)
+
+    def test_proportions_follow_class_profile(self):
+        # A spiky profile: one edge absorbs 90% of growth. The two grown
+        # segments' length ratio must reflect that.
+        tree = gen.path_graph(3)  # edges (0,1) and (1,2)
+        template = WeightedTemplate(tree, np.array([0.9, 0.1]))
+        sizes = []
+        for seed in range(5):
+            grown = grow_weighted(template, 103, _rng(seed))
+            # vertex 1 is the only cut vertex; its removal leaves the two
+            # grown segments as components.
+            degrees = grown.unweighted_degrees()
+            assert grown.n_vertices == 103
+            sizes.append(degrees.sum())  # smoke: connected tree
+        template_heavy = grow_weighted(template, 103, _rng(0))
+        distances = template_heavy.shortest_path_lengths()
+        # segment lengths = distance from vertex 0 to 1 and 1 to 2
+        heavy, light = distances[0, 1], distances[1, 2]
+        assert heavy > 4 * light
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        target=st.integers(min_value=10, max_value=120),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_size_and_treeness_properties(self, target, seed):
+        template = make_weighted_template(_rng(7), n_vertices=7)
+        grown = grow_weighted(template, target, _rng(seed))
+        assert grown.n_vertices == max(target, 7)
+        assert grown.n_edges == grown.n_vertices - 1
+        assert grown.is_connected()
+
+
+class TestTriangulateChords:
+    def test_adds_requested_chord_count(self):
+        path = gen.path_graph(30)
+        dense = triangulate_chords(path, _rng(), 20)
+        assert dense.n_edges == path.n_edges + 20
+
+    def test_zero_budget_is_identity(self):
+        path = gen.path_graph(10)
+        assert triangulate_chords(path, _rng(), 0) == path
+
+    def test_deterministic_regardless_of_rng(self):
+        tree = gen.random_tree(25, seed=3)
+        a = triangulate_chords(tree, _rng(0), 15)
+        b = triangulate_chords(tree, _rng(999), 15)
+        assert a == b
+
+    def test_chords_connect_nearby_vertices_first(self):
+        # On a path, every distance-2 chord creates a triangle; with a
+        # budget under the distance-2 supply, all chords are triangles.
+        path = gen.path_graph(20)
+        distances = path.shortest_path_lengths()
+        dense = triangulate_chords(path, _rng(), 10)
+        base_edges = {(u, v) for u, v, _ in path.edges()}
+        for u, v, _ in dense.edges():
+            if (u, v) not in base_edges:
+                assert distances[u, v] == 2
+
+    def test_falls_back_to_distance_three(self):
+        # Budget beyond the distance-2 supply (n-2 on a path) must spill
+        # into distance-3 chords instead of silently under-delivering.
+        path = gen.path_graph(12)
+        supply_d2 = 10
+        dense = triangulate_chords(path, _rng(), supply_d2 + 5)
+        assert dense.n_edges == path.n_edges + supply_d2 + 5
+
+    def test_similar_skeletons_get_similar_chords(self):
+        """The design requirement: near-identical skeletons densify to
+        near-identical graphs (no fresh randomness per instance)."""
+        tree = gen.random_tree(30, seed=5)
+        a = triangulate_chords(tree, _rng(1), 25)
+        b = triangulate_chords(tree, _rng(2), 25)
+        assert a == b
+
+
+class TestLimbForest:
+    def test_exact_vertex_count(self):
+        graph = limb_forest(
+            _rng(), n_vertices=80, limb_weights=np.array([0.5, 0.3, 0.2])
+        )
+        assert graph.n_vertices == 80
+
+    def test_edge_vertex_ratio_near_target(self):
+        graph = limb_forest(
+            _rng(),
+            n_vertices=200,
+            limb_weights=np.array([0.4, 0.4, 0.2]),
+            edge_vertex_ratio=0.567,
+        )
+        assert graph.n_edges / graph.n_vertices == pytest.approx(0.567, abs=0.03)
+
+    def test_is_forest(self):
+        graph = limb_forest(
+            _rng(3), n_vertices=60, limb_weights=np.array([0.7, 0.3])
+        )
+        components = graph.connected_components()
+        # forest: edges = vertices - components
+        assert graph.n_edges == graph.n_vertices - len(components)
+
+    def test_limb_profile_shapes_component_sizes(self):
+        spiky = limb_forest(
+            _rng(4), n_vertices=150, limb_weights=np.array([0.9, 0.05, 0.05])
+        )
+        sizes = sorted(
+            (len(c) for c in spiky.connected_components()), reverse=True
+        )
+        # dominant limb absorbs most of the limb mass
+        assert sizes[0] > 3 * sizes[1]
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(DatasetError):
+            limb_forest(_rng(), n_vertices=20, limb_weights=np.array([]))
+        with pytest.raises(DatasetError):
+            limb_forest(
+                _rng(), n_vertices=20, limb_weights=np.array([0.5, 0.2])
+            )
+        with pytest.raises(DatasetError):
+            limb_forest(
+                _rng(),
+                n_vertices=20,
+                limb_weights=np.array([1.0]),
+                edge_vertex_ratio=1.5,
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=150),
+        n_limbs=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_never_exceeds_size_and_stays_forest(self, n, n_limbs, seed):
+        rng = _rng(seed)
+        weights = rng.dirichlet(np.ones(n_limbs))
+        graph = limb_forest(rng, n_vertices=n, limb_weights=weights)
+        assert graph.n_vertices == max(n, 2 * n_limbs + 1)
+        components = graph.connected_components()
+        assert graph.n_edges == graph.n_vertices - len(components)

@@ -1,0 +1,120 @@
+"""Tests for the synthetic dataset machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.synthetic import (
+    ClassRecipe,
+    broadcast_tree,
+    build_dataset,
+    community_graph,
+    ego_collaboration,
+    molecule_like,
+    perturbed_template,
+    shape_skeleton,
+)
+from repro.graphs import generators as gen
+from repro.utils.rng import as_rng
+
+
+class TestBuildDataset:
+    def test_balanced_classes(self):
+        recipes = [
+            ClassRecipe(0, lambda rng: gen.cycle_graph(4)),
+            ClassRecipe(1, lambda rng: gen.path_graph(4)),
+        ]
+        ds = build_dataset("toy", recipes, 10, seed=0)
+        assert np.sum(ds.targets == 0) == 5
+
+    def test_remainder_to_early_classes(self):
+        recipes = [
+            ClassRecipe(i, lambda rng: gen.cycle_graph(4)) for i in range(3)
+        ]
+        ds = build_dataset("toy", recipes, 10, seed=0)
+        counts = np.bincount(ds.targets)
+        assert counts.tolist() == [4, 3, 3]
+
+    def test_rejects_fewer_graphs_than_classes(self):
+        recipes = [ClassRecipe(i, lambda rng: gen.cycle_graph(3)) for i in range(5)]
+        with pytest.raises(DatasetError):
+            build_dataset("toy", recipes, 3, seed=0)
+
+    def test_rejects_no_recipes(self):
+        with pytest.raises(DatasetError):
+            build_dataset("toy", [], 5, seed=0)
+
+    def test_vertex_labels_attached(self):
+        recipes = [ClassRecipe(0, lambda rng: gen.cycle_graph(5))]
+        ds = build_dataset("toy", recipes, 3, seed=0, n_vertex_labels=4)
+        for g in ds.graphs:
+            assert g.labels is not None
+            assert g.labels.max() < 4
+
+    def test_instance_seeds_stable_across_counts(self):
+        """Instance (class, index) must generate the same graph regardless
+        of how many other instances exist."""
+        recipe = ClassRecipe(0, lambda rng: gen.erdos_renyi(8, 0.4, seed=rng))
+        small = build_dataset("toy", [recipe], 3, seed=7)
+        large = build_dataset("toy", [recipe], 6, seed=7)
+        for a, b in zip(small.graphs, large.graphs[:3]):
+            assert a == b
+
+
+class TestBuildingBlocks:
+    def test_molecule_like_connected(self):
+        g = molecule_like(as_rng(0), n_vertices=15, n_rings=2)
+        assert g.is_connected()
+        assert g.n_vertices >= 12  # rings may slightly exceed the target
+
+    def test_molecule_like_ring_count_increases_edges(self):
+        flat = molecule_like(as_rng(1), n_vertices=20, n_rings=0)
+        ringy = molecule_like(as_rng(1), n_vertices=20, n_rings=3)
+        flat_cyclomatic = flat.n_edges - flat.n_vertices + 1
+        ringy_cyclomatic = ringy.n_edges - ringy.n_vertices + 1
+        assert ringy_cyclomatic > flat_cyclomatic
+
+    def test_community_graph_structure(self):
+        g = community_graph(as_rng(2), n_vertices=60, n_communities=3,
+                            p_in=0.6, p_out=0.02)
+        assert g.n_vertices == 60
+
+    def test_ego_collaboration_clustering(self):
+        from repro.graphs.ops import clustering_coefficient
+
+        g = ego_collaboration(as_rng(3), n_cliques=3, clique_low=4,
+                              clique_high=7, overlap=0.4)
+        assert clustering_coefficient(g) > 0.6
+
+    def test_broadcast_tree_is_tree(self):
+        g = broadcast_tree(as_rng(4), n_vertices=40, hub_bias=1.0)
+        assert g.n_edges == 39
+        assert g.is_connected()
+
+    def test_broadcast_tree_hub_bias(self):
+        flat = broadcast_tree(as_rng(5), n_vertices=120, hub_bias=0.2)
+        hubby = broadcast_tree(as_rng(5), n_vertices=120, hub_bias=2.0)
+        assert hubby.unweighted_degrees().max() > flat.unweighted_degrees().max()
+
+    def test_perturbed_template_edge_count_stable(self):
+        template = gen.watts_strogatz(30, 4, 0.1, seed=6)
+        noisy = perturbed_template(template, as_rng(7), rewire_fraction=0.1)
+        assert abs(noisy.n_edges - template.n_edges) <= 3
+
+    def test_perturbed_template_zero_noise_identity(self):
+        template = gen.cycle_graph(10)
+        copy = perturbed_template(template, as_rng(8), rewire_fraction=0.0)
+        assert copy == template
+
+    def test_shape_skeleton_sizes(self):
+        g = shape_skeleton(as_rng(9), n_vertices=50, n_limbs=4,
+                           limb_ratio=0.3, loop_fraction=0.0)
+        assert g.n_vertices == 50
+        assert g.is_connected()
+
+    def test_shape_skeleton_loops_add_edges(self):
+        loopless = shape_skeleton(as_rng(10), n_vertices=40, n_limbs=3,
+                                  limb_ratio=0.3, loop_fraction=0.0)
+        loopy = shape_skeleton(as_rng(10), n_vertices=40, n_limbs=3,
+                               limb_ratio=0.3, loop_fraction=0.5)
+        assert loopy.n_edges > loopless.n_edges

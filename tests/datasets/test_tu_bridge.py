@@ -1,0 +1,88 @@
+"""Tests for the TU-files -> GraphDataset bridge."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import GraphDataset, load_dataset, load_tu_directory
+from repro.errors import DatasetError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.io import write_tu_dataset
+
+
+@pytest.fixture()
+def tu_on_disk(tmp_path):
+    """A small labelled dataset written in TU format."""
+    rng = np.random.default_rng(0)
+    graphs = []
+    for i in range(6):
+        graph = gen.random_tree(5 + i % 3, seed=i)
+        graphs.append(graph.with_labels(rng.integers(0, 3, graph.n_vertices)))
+    targets = [1, 1, 1, -1, -1, -1]  # TU-style {-1, 1} classes
+    write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+    return tmp_path, graphs, targets
+
+
+class TestLoadTUDirectory:
+    def test_roundtrip_graphs_and_targets(self, tu_on_disk):
+        tmp_path, graphs, _ = tu_on_disk
+        dataset = load_tu_directory(str(tmp_path), "TOY")
+        assert isinstance(dataset, GraphDataset)
+        assert len(dataset) == 6
+        for original, loaded in zip(graphs, dataset.graphs):
+            assert np.array_equal(original.adjacency, loaded.adjacency)
+            assert np.array_equal(original.labels, loaded.labels)
+
+    def test_targets_reindexed_to_zero_based(self, tu_on_disk):
+        tmp_path, _, _ = tu_on_disk
+        dataset = load_tu_directory(str(tmp_path), "TOY")
+        assert sorted(set(dataset.targets)) == [0, 1]
+        # -1 sorts before 1, so the negative class becomes 0
+        assert list(dataset.targets) == [1, 1, 1, 0, 0, 0]
+
+    def test_reindexing_can_be_disabled(self, tu_on_disk):
+        tmp_path, _, targets = tu_on_disk
+        dataset = load_tu_directory(str(tmp_path), "TOY", reindex_targets=False)
+        assert list(dataset.targets) == targets
+
+    def test_domain_and_description_attached(self, tu_on_disk):
+        tmp_path, _, _ = tu_on_disk
+        dataset = load_tu_directory(
+            str(tmp_path), "TOY", domain="Bio", description="toy"
+        )
+        assert dataset.domain == "Bio"
+        assert "toy" in dataset.description
+
+    def test_edgeless_graphs_dropped_and_reported(self, tmp_path):
+        graphs = [gen.path_graph(3), Graph(np.zeros((2, 2))), gen.path_graph(4)]
+        write_tu_dataset(str(tmp_path), "HOLEY", graphs, [0, 0, 1])
+        dataset = load_tu_directory(str(tmp_path), "HOLEY")
+        assert len(dataset) == 2
+        assert "dropped 1" in dataset.description
+
+    def test_all_edgeless_rejected(self, tmp_path):
+        graphs = [Graph(np.zeros((2, 2))), Graph(np.zeros((3, 3)))]
+        write_tu_dataset(str(tmp_path), "EMPTYISH", graphs, [0, 1])
+        with pytest.raises(DatasetError):
+            load_tu_directory(str(tmp_path), "EMPTYISH")
+
+    def test_missing_dataset_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_tu_directory(str(tmp_path), "NOT_THERE")
+
+    def test_registry_dataset_survives_tu_roundtrip(self, tmp_path):
+        """The promised workflow: export a surrogate, reload it, and get a
+        dataset the kernels can consume identically."""
+        original = load_dataset("MUTAG", scale=0.08, seed=0)
+        write_tu_dataset(
+            str(tmp_path), "MUTAG", original.graphs, list(original.targets)
+        )
+        reloaded = load_tu_directory(str(tmp_path), "MUTAG", domain="Bio")
+        assert len(reloaded) == len(original)
+        assert list(reloaded.targets) == list(original.targets)
+        from repro.kernels import HAQJSKKernelD
+
+        kernel = HAQJSKKernelD(n_prototypes=8, n_levels=2, max_layers=3, seed=0)
+        gram_a = kernel.gram(original.graphs)
+        gram_b = kernel.gram(reloaded.graphs)
+        assert np.allclose(gram_a, gram_b, atol=1e-10)

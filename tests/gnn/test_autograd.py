@@ -1,0 +1,169 @@
+"""Tests for the numpy autograd engine (incl. numerical gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gnn.autograd import Parameter, Tensor, glorot
+
+
+def numeric_grad(build_loss, param, eps=1e-6):
+    """Central-difference gradient of ``build_loss(param_data)``."""
+    base = param.data.copy()
+    grad = np.zeros_like(base)
+    it = np.nditer(base, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        plus, minus = base.copy(), base.copy()
+        plus[idx] += eps
+        minus[idx] -= eps
+        grad[idx] = (build_loss(plus) - build_loss(minus)) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        a = Parameter([1.0, 2.0])
+        b = Parameter([3.0, 4.0])
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_mul_backward(self):
+        a = Parameter([2.0, 3.0])
+        b = Parameter([5.0, 7.0])
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, b.data)
+        assert np.allclose(b.grad, a.data)
+
+    def test_sub_and_neg(self):
+        a = Parameter([4.0])
+        b = Parameter([1.0])
+        (a - b).sum().backward()
+        assert a.grad[0] == 1.0 and b.grad[0] == -1.0
+
+    def test_div_backward(self):
+        a = Parameter([6.0])
+        b = Parameter([2.0])
+        (a / b).sum().backward()
+        assert a.grad[0] == pytest.approx(0.5)
+        assert b.grad[0] == pytest.approx(-1.5)
+
+    def test_matmul_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        w = Parameter(rng.normal(size=(3, 2)))
+        x = Tensor(rng.normal(size=(4, 3)))
+
+        def loss_of(data):
+            return float(((x.data @ data) ** 2).sum())
+
+        (x @ w * (x @ w)).sum().backward()
+        assert np.allclose(w.grad, numeric_grad(loss_of, w), atol=1e-5)
+
+    def test_broadcast_bias_gradient(self):
+        bias = Parameter(np.zeros((1, 3)))
+        x = Tensor(np.ones((5, 3)))
+        (x + bias).sum().backward()
+        assert np.allclose(bias.grad, 5.0)  # summed over the broadcast axis
+
+    def test_gradient_accumulates_over_reuse(self):
+        a = Parameter([2.0])
+        (a * a).sum().backward()
+        assert a.grad[0] == pytest.approx(4.0)  # d(a^2)/da = 2a
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("op", ["relu", "tanh", "sigmoid"])
+    def test_numeric_gradient(self, op):
+        rng = np.random.default_rng(1)
+        w = Parameter(rng.normal(size=(4,)) + 0.1)
+
+        def forward(t):
+            return getattr(t, op)().sum()
+
+        forward(w).backward()
+
+        def loss_of(data):
+            return float(forward(Tensor(data)).data)
+
+        assert np.allclose(w.grad, numeric_grad(loss_of, w), atol=1e-5)
+
+    def test_relu_kills_negative(self):
+        w = Parameter([-1.0, 2.0])
+        w.relu().sum().backward()
+        assert w.grad.tolist() == [0.0, 1.0]
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        w = Parameter(np.arange(6.0).reshape(2, 3))
+        w.reshape(3, 2).sum().backward()
+        assert np.allclose(w.grad, 1.0)
+
+    def test_transpose_gradient(self):
+        w = Parameter(np.asarray([[1.0, 2.0]]))
+        (w.transpose() * Tensor([[3.0], [4.0]])).sum().backward()
+        assert np.allclose(w.grad, [[3.0, 4.0]])
+
+    def test_gather_rows_scatter_adds(self):
+        w = Parameter(np.asarray([[1.0], [2.0], [3.0]]))
+        w.gather_rows([0, 0, 2]).sum().backward()
+        assert w.grad.ravel().tolist() == [2.0, 0.0, 1.0]
+
+    def test_concatenate_gradient_split(self):
+        a = Parameter(np.ones((2, 2)))
+        b = Parameter(np.ones((2, 3)))
+        Tensor.concatenate([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2) and np.allclose(a.grad, 1.0)
+        assert b.grad.shape == (2, 3) and np.allclose(b.grad, 1.0)
+
+    def test_mean_axis_gradient(self):
+        w = Parameter(np.ones((4, 2)))
+        w.mean(axis=0).sum().backward()
+        assert np.allclose(w.grad, 0.25)
+
+
+class TestLoss:
+    def test_softmax_cross_entropy_value(self):
+        logits = Parameter(np.asarray([[0.0, 0.0]]))
+        loss = logits.softmax_cross_entropy(0)
+        assert float(loss.data) == pytest.approx(np.log(2))
+
+    def test_softmax_cross_entropy_gradient(self):
+        logits = Parameter(np.asarray([[2.0, -1.0, 0.5]]))
+        logits.softmax_cross_entropy(1).backward()
+
+        def loss_of(data):
+            return float(Tensor(data).softmax_cross_entropy(1).data)
+
+        assert np.allclose(logits.grad, numeric_grad(loss_of, logits), atol=1e-5)
+
+    def test_extreme_logits_stable(self):
+        logits = Parameter(np.asarray([[1000.0, -1000.0]]))
+        loss = logits.softmax_cross_entropy(0)
+        assert np.isfinite(float(loss.data))
+
+
+class TestBackwardValidation:
+    def test_backward_requires_scalar(self):
+        w = Parameter(np.ones((2, 2)))
+        with pytest.raises(ValidationError):
+            (w * 2).backward()
+
+    def test_no_grad_for_constants(self):
+        const = Tensor([1.0, 2.0])
+        w = Parameter([3.0, 4.0])
+        (const * w).sum().backward()
+        assert const.grad is None
+        assert w.grad is not None
+
+
+class TestGlorot:
+    def test_bounds(self):
+        w = glorot(np.random.default_rng(0), 100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_shape(self):
+        assert glorot(np.random.default_rng(0), 3, 7).shape == (3, 7)

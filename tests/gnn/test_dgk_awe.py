@@ -1,0 +1,96 @@
+"""Tests for the embedding baselines DGK and AWE."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.awe import AnonymousWalkKernel, anonymous_pattern, sample_awe_distribution
+from repro.gnn.dgk import DeepGraphKernel
+from repro.graphs import generators as gen
+from repro.utils.linalg import is_positive_semidefinite
+from repro.utils.rng import as_rng
+
+
+class TestAnonymousPattern:
+    def test_basic(self):
+        assert anonymous_pattern([7, 3, 7, 9]) == (0, 1, 0, 2)
+
+    def test_label_free(self):
+        """Anonymisation forgets identities: any relabelling gives the same
+        pattern."""
+        assert anonymous_pattern([1, 2, 1]) == anonymous_pattern([9, 4, 9])
+
+    def test_all_distinct(self):
+        assert anonymous_pattern([5, 6, 7]) == (0, 1, 2)
+
+
+class TestAWEDistribution:
+    def test_probabilities_sum_to_one(self):
+        g = gen.barabasi_albert(10, 2, seed=0)
+        dist = sample_awe_distribution(g, walk_length=4, n_walks=300, rng=as_rng(0))
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_cycle_patterns_limited(self):
+        """On a cycle, anonymous walks can only step to new or previous
+        vertices — far fewer patterns than on a clique."""
+        cycle_dist = sample_awe_distribution(
+            gen.cycle_graph(10), walk_length=4, n_walks=400, rng=as_rng(1)
+        )
+        clique_dist = sample_awe_distribution(
+            gen.complete_graph(10), walk_length=4, n_walks=400, rng=as_rng(1)
+        )
+        assert len(cycle_dist) < len(clique_dist)
+
+    def test_edgeless_graph_empty(self):
+        from repro.graphs.graph import Graph
+
+        dist = sample_awe_distribution(
+            Graph(np.zeros((3, 3))), walk_length=3, n_walks=50, rng=as_rng(2)
+        )
+        assert dist == {}
+
+
+class TestAWEKernel:
+    def test_gram_psd(self):
+        graphs = [gen.cycle_graph(8), gen.star_graph(8), gen.complete_graph(6)]
+        gram = AnonymousWalkKernel(n_walks=200, seed=0).gram(graphs, normalize=True)
+        assert is_positive_semidefinite(gram, tol=1e-7)
+
+    def test_similar_structures_closer(self):
+        graphs = [
+            gen.cycle_graph(10),
+            gen.cycle_graph(12),
+            gen.complete_graph(8),
+        ]
+        gram = AnonymousWalkKernel(n_walks=400, seed=0).gram(graphs, normalize=True)
+        assert gram[0, 1] > gram[0, 2]
+
+    def test_deterministic(self):
+        graphs = [gen.cycle_graph(6), gen.star_graph(6)]
+        kernel = AnonymousWalkKernel(n_walks=100, seed=5)
+        assert np.allclose(kernel.gram(graphs), kernel.gram(graphs))
+
+
+class TestDGK:
+    def test_gram_psd(self):
+        graphs = [
+            gen.cycle_graph(7), gen.path_graph(7), gen.star_graph(7),
+            gen.barabasi_albert(8, 2, seed=0),
+        ]
+        gram = DeepGraphKernel().gram(graphs, normalize=True)
+        assert is_positive_semidefinite(gram, tol=1e-7)
+
+    def test_dominates_plain_wl_similarity(self):
+        """The PMI matrix M has an identity component, so DGK >= WL gram."""
+        from repro.kernels.wl import wl_feature_matrix
+
+        graphs = [gen.cycle_graph(7), gen.star_graph(7)]
+        dgk = DeepGraphKernel(n_iterations=2)
+        gram = dgk.gram(graphs)
+        features = wl_feature_matrix(graphs, 2)
+        plain = features @ features.T
+        assert np.all(gram >= plain - 1e-6)
+
+    def test_separates_structures(self):
+        graphs = [gen.cycle_graph(8), gen.cycle_graph(8), gen.star_graph(8)]
+        gram = DeepGraphKernel(n_iterations=2).gram(graphs, normalize=True)
+        assert gram[0, 1] > gram[0, 2]

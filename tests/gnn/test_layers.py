@@ -1,0 +1,98 @@
+"""Tests for the GNN layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gnn.autograd import Tensor
+from repro.gnn.layers import (
+    Conv1D,
+    Dense,
+    GCNLayer,
+    degree_features,
+    renormalized_adjacency,
+    sort_pooling_indices,
+)
+from repro.graphs import generators as gen
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 3, np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.data.shape == (5, 3)
+
+    def test_parameters_registered(self):
+        layer = Dense(4, 3, np.random.default_rng(0))
+        assert len(layer.parameters()) == 2
+
+
+class TestGCN:
+    def test_renormalized_adjacency_rows(self, petersen_like):
+        a_hat = renormalized_adjacency(petersen_like)
+        # D^{-1/2}(A+I)D^{-1/2} for a 3-regular graph has row sums 1.
+        assert np.allclose(a_hat.sum(axis=1), 1.0)
+
+    def test_gcn_layer_shape(self, petersen_like):
+        layer = GCNLayer(5, 7, np.random.default_rng(0))
+        a_hat = Tensor(renormalized_adjacency(petersen_like))
+        x = Tensor(np.ones((10, 5)))
+        assert layer(a_hat, x).data.shape == (10, 7)
+
+    def test_gcn_propagates_information(self, star5):
+        layer = GCNLayer(1, 1, np.random.default_rng(1))
+        a_hat = Tensor(renormalized_adjacency(star5))
+        x = np.zeros((5, 1))
+        x[0, 0] = 1.0  # signal at the hub
+        out = layer(a_hat, Tensor(x)).data
+        assert abs(out[1, 0]) > 1e-6  # leaves receive hub signal
+
+
+class TestConv1D:
+    def test_output_length(self):
+        conv = Conv1D(channels=3, filters=4, kernel=2, rng=np.random.default_rng(0))
+        out = conv(Tensor(np.ones((6, 3))))
+        assert out.data.shape == (5, 4)
+
+    def test_rejects_too_short_input(self):
+        conv = Conv1D(channels=2, filters=1, kernel=5, rng=np.random.default_rng(0))
+        with pytest.raises(ValidationError):
+            conv(Tensor(np.ones((3, 2))))
+
+    def test_translation_structure(self):
+        """Equal windows produce equal conv outputs."""
+        conv = Conv1D(channels=1, filters=2, kernel=2, rng=np.random.default_rng(1))
+        x = Tensor(np.asarray([[1.0], [2.0], [1.0], [2.0]]))
+        out = conv(x).data
+        assert np.allclose(out[0], out[2])
+
+
+class TestFeaturesAndPooling:
+    def test_degree_features_one_hot(self, star5):
+        features = degree_features(star5, max_degree=5)
+        assert features.shape == (5, 6)
+        assert np.all(features.sum(axis=1) == 1.0)
+        assert features[0, 4] == 1.0  # hub degree 4
+
+    def test_degree_features_clipped(self, star5):
+        features = degree_features(star5, max_degree=2)
+        assert features[0, 2] == 1.0  # clipped to the cap
+
+    def test_sort_pooling_descending(self):
+        features = np.asarray([[0.1], [0.9], [0.5]])
+        order = sort_pooling_indices(features, 3)
+        assert order.tolist() == [1, 2, 0]
+
+    def test_sort_pooling_pads_small_graphs(self):
+        features = np.asarray([[0.3], [0.7]])
+        order = sort_pooling_indices(features, 5)
+        assert order.shape == (5,)
+        assert order[2:].tolist() == [0, 0, 0]  # pad with the last vertex
+
+    def test_sort_pooling_truncates(self):
+        features = np.random.default_rng(0).random((10, 2))
+        assert sort_pooling_indices(features, 4).shape == (4,)
+
+    def test_sort_pooling_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            sort_pooling_indices(np.zeros((0, 2)), 3)

@@ -1,0 +1,143 @@
+"""Tests for the graph generators (determinism + structural invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        g = gen.complete_graph(6)
+        assert g.n_edges == 15
+        assert np.all(g.degrees() == 5)
+
+    def test_path(self):
+        g = gen.path_graph(5)
+        assert g.n_edges == 4
+        assert g.diameter() == 4
+
+    def test_cycle(self):
+        g = gen.cycle_graph(7)
+        assert g.n_edges == 7
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValidationError):
+            gen.cycle_graph(2)
+
+    def test_star(self):
+        g = gen.star_graph(6)
+        assert g.degrees()[0] == 5
+
+    def test_grid(self):
+        g = gen.grid_graph(3, 4)
+        assert g.n_vertices == 12
+        assert g.n_edges == 3 * 3 + 2 * 4  # vertical + horizontal
+
+    def test_wheel(self):
+        g = gen.wheel_graph(6)
+        assert g.degrees()[0] == 5
+        assert np.all(g.degrees()[1:] == 3)
+
+    def test_empty(self):
+        g = gen.empty_graph(4)
+        assert g.n_edges == 0
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_deterministic(self):
+        assert gen.erdos_renyi(15, 0.3, seed=1) == gen.erdos_renyi(15, 0.3, seed=1)
+
+    def test_erdos_renyi_extreme_p(self):
+        assert gen.erdos_renyi(8, 0.0, seed=0).n_edges == 0
+        assert gen.erdos_renyi(8, 1.0, seed=0).n_edges == 28
+
+    def test_erdos_renyi_m_exact_edges(self):
+        g = gen.erdos_renyi_m(10, 17, seed=2)
+        assert g.n_edges == 17
+
+    def test_erdos_renyi_m_rejects_too_many(self):
+        with pytest.raises(ValidationError):
+            gen.erdos_renyi_m(4, 10, seed=0)
+
+    def test_barabasi_albert_edge_count(self):
+        g = gen.barabasi_albert(30, 2, seed=3)
+        # seed clique of 3 gives 3 edges; 27 more vertices x 2 edges each
+        assert g.n_edges == 3 + 27 * 2
+
+    def test_barabasi_albert_hub_formation(self):
+        g = gen.barabasi_albert(100, 2, seed=4)
+        assert g.degrees().max() >= 10  # heavy-tailed degrees
+
+    def test_barabasi_albert_rejects_m_ge_n(self):
+        with pytest.raises(ValidationError):
+            gen.barabasi_albert(3, 3, seed=0)
+
+    def test_watts_strogatz_no_rewiring_regular(self):
+        g = gen.watts_strogatz(12, 4, 0.0, seed=0)
+        assert np.all(g.degrees() == 4)
+
+    def test_watts_strogatz_preserves_edge_count(self):
+        base = gen.watts_strogatz(20, 4, 0.0, seed=0)
+        rewired = gen.watts_strogatz(20, 4, 0.5, seed=0)
+        assert rewired.n_edges == base.n_edges
+
+    def test_random_tree_is_tree(self):
+        g = gen.random_tree(25, seed=5)
+        assert g.n_edges == 24
+        assert g.is_connected()
+
+    def test_random_tree_small_sizes(self):
+        assert gen.random_tree(1, seed=0).n_vertices == 1
+        assert gen.random_tree(2, seed=0).n_edges == 1
+
+    def test_planted_partition_block_structure(self):
+        g = gen.planted_partition([20, 20], 0.9, 0.01, seed=6)
+        block_a = g.adjacency[:20, :20]
+        cross = g.adjacency[:20, 20:]
+        assert block_a.sum() > cross.sum() * 3
+
+    def test_random_regular_ish_degrees(self):
+        g = gen.random_regular_ish(20, 4, seed=7)
+        degrees = g.unweighted_degrees()
+        assert degrees.max() <= 4
+        assert degrees.mean() > 3.0
+
+    def test_random_geometric_radius_zero(self):
+        g = gen.random_geometric(10, 0.0, seed=8)
+        assert g.n_edges == 0
+
+    def test_attach_random_labels_range(self):
+        g = gen.attach_random_labels(gen.erdos_renyi(20, 0.3, seed=9), 5, seed=10)
+        assert g.labels.min() >= 0
+        assert g.labels.max() < 5
+
+    def test_attach_random_labels_correlates_with_degree(self):
+        g = gen.attach_random_labels(gen.barabasi_albert(60, 2, seed=11), 6, seed=12)
+        correlation = np.corrcoef(g.degrees(), g.labels)[0, 1]
+        assert correlation > 0.3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(4, 30),
+    p=st.floats(0.0, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_erdos_renyi_always_valid(n, p, seed):
+    g = gen.erdos_renyi(n, p, seed=seed)
+    assert g.n_vertices == n
+    assert np.allclose(g.adjacency, g.adjacency.T)
+    assert np.all(np.diag(g.adjacency) == 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 40), seed=st.integers(0, 1000))
+def test_random_tree_always_connected_acyclic(n, seed):
+    g = gen.random_tree(n, seed=seed)
+    assert g.is_connected()
+    assert g.n_edges == n - 1

@@ -1,0 +1,88 @@
+"""Tests for TU-format IO (round trips and malformed inputs)."""
+
+import os
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import generators as gen
+from repro.graphs.io import read_tu_dataset, write_tu_dataset
+
+
+@pytest.fixture
+def sample_collection():
+    graphs = [
+        gen.cycle_graph(4),
+        gen.path_graph(3),
+        gen.star_graph(5),
+    ]
+    targets = [0, 1, 0]
+    return graphs, targets
+
+
+class TestRoundTrip:
+    def test_unlabelled(self, tmp_path, sample_collection):
+        graphs, targets = sample_collection
+        write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+        back_graphs, back_targets = read_tu_dataset(str(tmp_path), "TOY")
+        assert back_targets == targets
+        assert [g.n_vertices for g in back_graphs] == [4, 3, 5]
+        assert [g.n_edges for g in back_graphs] == [4, 2, 4]
+
+    def test_labelled(self, tmp_path):
+        graphs = [
+            gen.attach_random_labels(gen.cycle_graph(5), 3, seed=0),
+            gen.attach_random_labels(gen.path_graph(4), 3, seed=1),
+        ]
+        write_tu_dataset(str(tmp_path), "LAB", graphs, [1, 2])
+        back, _ = read_tu_dataset(str(tmp_path), "LAB")
+        for original, restored in zip(graphs, back):
+            assert restored.labels.tolist() == original.labels.tolist()
+
+    def test_read_from_dataset_folder_directly(self, tmp_path, sample_collection):
+        graphs, targets = sample_collection
+        write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+        back, _ = read_tu_dataset(os.path.join(str(tmp_path), "TOY"), "TOY")
+        assert len(back) == 3
+
+    def test_structure_preserved(self, tmp_path, sample_collection):
+        graphs, targets = sample_collection
+        write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+        back, _ = read_tu_dataset(str(tmp_path), "TOY")
+        for original, restored in zip(graphs, back):
+            assert sorted(original.degrees()) == sorted(restored.degrees())
+
+
+class TestErrors:
+    def test_missing_dataset(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            read_tu_dataset(str(tmp_path), "NOPE")
+
+    def test_length_mismatch(self, tmp_path, sample_collection):
+        graphs, _ = sample_collection
+        with pytest.raises(DatasetError):
+            write_tu_dataset(str(tmp_path), "BAD", graphs, [0])
+
+    def test_malformed_edge_line(self, tmp_path, sample_collection):
+        graphs, targets = sample_collection
+        write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+        with open(os.path.join(str(tmp_path), "TOY", "TOY_A.txt"), "a") as f:
+            f.write("not, numbers\n")
+        with pytest.raises(DatasetError, match="malformed"):
+            read_tu_dataset(str(tmp_path), "TOY")
+
+    def test_out_of_range_vertex(self, tmp_path, sample_collection):
+        graphs, targets = sample_collection
+        write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+        with open(os.path.join(str(tmp_path), "TOY", "TOY_A.txt"), "a") as f:
+            f.write("999, 1\n")
+        with pytest.raises(DatasetError, match="out of range"):
+            read_tu_dataset(str(tmp_path), "TOY")
+
+    def test_cross_graph_edge(self, tmp_path, sample_collection):
+        graphs, targets = sample_collection
+        write_tu_dataset(str(tmp_path), "TOY", graphs, targets)
+        with open(os.path.join(str(tmp_path), "TOY", "TOY_A.txt"), "a") as f:
+            f.write("1, 5\n")  # vertex 1 is in graph 1, vertex 5 in graph 2
+        with pytest.raises(DatasetError, match="crosses"):
+            read_tu_dataset(str(tmp_path), "TOY")

@@ -1,0 +1,139 @@
+"""Tests for repro.graphs.ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ValidationError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ops import (
+    clustering_coefficient,
+    core_numbers,
+    degeneracy,
+    degree_distribution,
+    disjoint_union,
+    k_core_subgraph,
+    max_shortest_path_length,
+    normalized_laplacian,
+    transition_matrix,
+    triangle_count,
+)
+
+
+class TestLaplacians:
+    def test_normalized_laplacian_spectrum_range(self, petersen_like):
+        values = np.linalg.eigvalsh(normalized_laplacian(petersen_like))
+        assert values.min() >= -1e-9
+        assert values.max() <= 2.0 + 1e-9
+
+    def test_normalized_laplacian_isolated_vertex(self):
+        g = Graph(np.zeros((2, 2)))
+        assert np.allclose(normalized_laplacian(g), np.eye(2))
+
+    def test_transition_matrix_row_stochastic(self, petersen_like):
+        t = transition_matrix(petersen_like)
+        assert np.allclose(t.sum(axis=1), 1.0)
+
+    def test_transition_matrix_isolated_self_loop(self):
+        g = Graph(np.zeros((3, 3)))
+        assert np.allclose(transition_matrix(g), np.eye(3))
+
+
+class TestDegreeDistribution:
+    def test_sums_to_one(self, star5):
+        assert degree_distribution(star5).sum() == pytest.approx(1.0)
+
+    def test_star_distribution(self, star5):
+        dist = degree_distribution(star5)
+        assert dist[0] == pytest.approx(0.5)
+
+    def test_edgeless_uniform(self):
+        dist = degree_distribution(Graph(np.zeros((4, 4))))
+        assert np.allclose(dist, 0.25)
+
+
+class TestCores:
+    def test_complete_graph_core(self):
+        core = core_numbers(gen.complete_graph(5))
+        assert np.all(core == 4)
+
+    def test_tree_core_is_one(self):
+        core = core_numbers(gen.random_tree(10, seed=0))
+        assert np.all(core == 1)
+
+    def test_mixed_core(self):
+        # Triangle with a pendant vertex: triangle has core 2, pendant 1.
+        adjacency = np.zeros((4, 4))
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            adjacency[u, v] = adjacency[v, u] = 1.0
+        core = core_numbers(Graph(adjacency))
+        assert core.tolist() == [2, 2, 2, 1]
+
+    def test_k_core_subgraph(self):
+        adjacency = np.zeros((4, 4))
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            adjacency[u, v] = adjacency[v, u] = 1.0
+        sub, members = k_core_subgraph(Graph(adjacency), 2)
+        assert members.tolist() == [0, 1, 2]
+        assert sub.n_edges == 3
+
+    def test_k_core_rejects_negative(self, triangle):
+        with pytest.raises(ValidationError):
+            k_core_subgraph(triangle, -1)
+
+    def test_degeneracy(self, petersen_like):
+        assert degeneracy(petersen_like) == 3
+
+    def test_degeneracy_empty(self):
+        assert degeneracy(Graph(np.zeros((0, 0)))) == 0
+
+
+class TestCounts:
+    def test_triangle_count(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_triangle_count_complete(self):
+        assert triangle_count(gen.complete_graph(5)) == 10
+
+    def test_triangle_count_tree_zero(self):
+        assert triangle_count(gen.random_tree(12, seed=1)) == 0
+
+    def test_clustering_coefficient_complete(self):
+        assert clustering_coefficient(gen.complete_graph(6)) == pytest.approx(1.0)
+
+    def test_clustering_coefficient_star(self, star5):
+        assert clustering_coefficient(star5) == 0.0
+
+
+class TestDisjointUnion:
+    def test_sizes(self, triangle, path4):
+        union = disjoint_union([triangle, path4])
+        assert union.n_vertices == 7
+        assert union.n_edges == 6
+
+    def test_no_cross_edges(self, triangle, path4):
+        union = disjoint_union([triangle, path4])
+        assert np.all(union.adjacency[:3, 3:] == 0)
+
+    def test_empty_input(self):
+        assert disjoint_union([]).n_vertices == 0
+
+    def test_labels_preserved(self, labelled_graph):
+        union = disjoint_union([labelled_graph, labelled_graph])
+        assert union.labels.tolist() == [0, 1, 1, 2, 0, 1, 1, 2]
+
+
+class TestMaxShortestPath:
+    def test_single_path(self, path4):
+        assert max_shortest_path_length([path4]) == 3
+
+    def test_collection_max(self, path4, triangle):
+        assert max_shortest_path_length([triangle, path4]) == 3
+
+    def test_minimum_one(self):
+        g = Graph(np.zeros((3, 3)))
+        assert max_shortest_path_length([g]) == 1
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(GraphError):
+            max_shortest_path_length([])

@@ -1,0 +1,65 @@
+"""Tests for the CORE kernel framework."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.graphs import generators as gen
+from repro.kernels.core_variants import (
+    CoreVariantKernel,
+    core_sp_kernel,
+    core_wl_kernel,
+)
+from repro.kernels.wl import WeisfeilerLehmanKernel
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        gen.complete_graph(6),
+        gen.random_tree(8, seed=0),
+        gen.barabasi_albert(9, 3, seed=1),
+    ]
+
+
+class TestCoreWrapper:
+    def test_name_includes_base(self):
+        assert core_wl_kernel(2).name == "CORE WLSK"
+        assert core_sp_kernel().name == "CORE SPGK"
+
+    def test_rejects_non_kernel_base(self):
+        with pytest.raises(KernelError):
+            CoreVariantKernel("not a kernel")
+
+    def test_core_sum_dominates_base(self, graphs):
+        """The 0-core term equals the base kernel, so the CORE variant's
+        raw values are lower-bounded by the base kernel's."""
+        base = WeisfeilerLehmanKernel(2)
+        wrapped = CoreVariantKernel(WeisfeilerLehmanKernel(2))
+        k_base = base.gram(graphs)
+        k_core = wrapped.gram(graphs)
+        assert np.all(k_core >= k_base - 1e-9)
+
+    def test_tree_contributes_only_low_cores(self, graphs):
+        """A tree has degeneracy 1, so levels >= 2 add nothing to its row
+        except via the always-present 0/1-cores."""
+        wrapped = CoreVariantKernel(WeisfeilerLehmanKernel(1))
+        capped = CoreVariantKernel(WeisfeilerLehmanKernel(1), max_core=1)
+        full_gram = wrapped.gram(graphs)
+        capped_gram = capped.gram(graphs)
+        tree_index = 1
+        # The tree's self-similarity saturates at core level 1.
+        assert full_gram[tree_index, tree_index] == pytest.approx(
+            capped_gram[tree_index, tree_index]
+        )
+
+    def test_max_core_caps_work(self, graphs):
+        capped = CoreVariantKernel(WeisfeilerLehmanKernel(1), max_core=0)
+        base = WeisfeilerLehmanKernel(1)
+        assert np.allclose(capped.gram(graphs), base.gram(graphs))
+
+    def test_psd(self, graphs):
+        from repro.utils.linalg import is_positive_semidefinite
+
+        gram = core_sp_kernel().gram(graphs, normalize=True)
+        assert is_positive_semidefinite(gram, tol=1e-7)

@@ -1,0 +1,93 @@
+"""Tests for the graphlet kernel."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.graphs import generators as gen
+from repro.kernels.graphlet import (
+    GraphletKernel,
+    four_graphlet_type,
+    three_graphlet_counts,
+)
+
+
+class TestThreeGraphlets:
+    def test_triangle(self):
+        counts = three_graphlet_counts(gen.cycle_graph(3))
+        assert counts.tolist() == [0.0, 0.0, 0.0, 1.0]
+
+    def test_path3(self):
+        counts = three_graphlet_counts(gen.path_graph(3))
+        assert counts.tolist() == [0.0, 0.0, 1.0, 0.0]
+
+    def test_complete_graph(self):
+        counts = three_graphlet_counts(gen.complete_graph(5))
+        assert counts[3] == pytest.approx(10.0)
+        assert counts[:3].sum() == pytest.approx(0.0)
+
+    def test_total_is_n_choose_3(self):
+        g = gen.erdos_renyi(10, 0.4, seed=0)
+        counts = three_graphlet_counts(g)
+        assert counts.sum() == pytest.approx(120.0)
+
+    def test_matches_bruteforce(self):
+        g = gen.erdos_renyi(8, 0.5, seed=1)
+        skeleton = (g.adjacency > 0).astype(int)
+        manual = np.zeros(4)
+        for trio in itertools.combinations(range(8), 3):
+            idx = np.ix_(trio, trio)
+            edges = int(skeleton[idx].sum() // 2)
+            manual[edges] += 1
+        assert np.allclose(three_graphlet_counts(g), manual)
+
+
+class TestFourGraphletTypes:
+    def test_all_eleven_types_recognised(self):
+        seen = set()
+        for bits in range(64):
+            adjacency = np.zeros((4, 4))
+            for index, (u, v) in enumerate(itertools.combinations(range(4), 2)):
+                if bits >> index & 1:
+                    adjacency[u, v] = adjacency[v, u] = 1.0
+            seen.add(four_graphlet_type(adjacency))
+        assert seen == set(range(11))
+
+    def test_k4(self):
+        adjacency = np.ones((4, 4)) - np.eye(4)
+        assert four_graphlet_type(adjacency) == 10
+
+
+class TestGraphletKernel:
+    def test_rejects_bad_size(self):
+        with pytest.raises(KernelError):
+            GraphletKernel(5)
+
+    def test_exact_enumeration_small_graphs(self):
+        # n=6 -> 15 subsets < n_samples, so enumeration is exact and the
+        # Gram is permutation invariant even with sampling enabled.
+        g = gen.erdos_renyi(6, 0.5, seed=2)
+        perm = np.random.default_rng(0).permutation(6)
+        kernel = GraphletKernel(4, n_samples=100, seed=0)
+        features_a = kernel.feature_matrix([g])
+        features_b = kernel.feature_matrix([g.permuted(perm)])
+        assert np.allclose(features_a, features_b)
+
+    def test_feature_normalisation(self):
+        kernel = GraphletKernel(3)
+        features = kernel.feature_matrix([gen.erdos_renyi(12, 0.3, seed=3)])
+        assert features[0].sum() == pytest.approx(1.0)
+
+    def test_size4_features_longer(self):
+        g = gen.erdos_renyi(10, 0.4, seed=4)
+        f3 = GraphletKernel(3).feature_matrix([g])
+        f4 = GraphletKernel(4, n_samples=50, seed=0).feature_matrix([g])
+        assert f4.shape[1] > f3.shape[1]
+
+    def test_dense_vs_sparse_separation(self):
+        gram = GraphletKernel(3).gram(
+            [gen.complete_graph(8), gen.random_tree(8, seed=5)], normalize=True
+        )
+        assert gram[0, 1] < 0.5

@@ -1,0 +1,146 @@
+"""Tests for the HAQJSK kernels (the paper's core contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.graphs import generators as gen
+from repro.kernels.haqjsk import (
+    HAQJSKKernelA,
+    HAQJSKKernelD,
+    HierarchicalAligner,
+)
+from repro.quantum.density import check_density_matrix
+from repro.utils.linalg import is_positive_semidefinite
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return (
+        [gen.random_tree(10, seed=i) for i in range(4)]
+        + [gen.erdos_renyi(11, 0.4, seed=i).largest_component() for i in range(4)]
+        + [gen.barabasi_albert(12, 2, seed=i) for i in range(4)]
+    )
+
+
+@pytest.fixture(scope="module")
+def aligner():
+    return HierarchicalAligner(n_prototypes=8, n_levels=3, max_layers=4, seed=0)
+
+
+class TestHierarchicalAligner:
+    def test_fixed_sizes_across_graphs(self, collection, aligner):
+        structures = aligner.transform(collection)
+        for level in range(1, 4):
+            sizes = {s.level_adjacency(level).shape for s in structures}
+            assert len(sizes) == 1  # all graphs share the level size
+
+    def test_level_sizes_shrink(self, collection, aligner):
+        structure = aligner.transform(collection)[0]
+        sizes = [structure.level_adjacency(h).shape[0] for h in range(1, 4)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_aligned_densities_are_density_matrices(self, collection, aligner):
+        for structure in aligner.transform(collection):
+            for level in range(1, structure.n_levels + 1):
+                check_density_matrix(structure.level_density(level))
+
+    def test_aligned_adjacency_nonnegative_symmetric(self, collection, aligner):
+        for structure in aligner.transform(collection):
+            for level in range(1, structure.n_levels + 1):
+                adjacency = structure.level_adjacency(level)
+                assert np.allclose(adjacency, adjacency.T)
+                assert np.all(adjacency >= -1e-12)
+
+    def test_edge_mass_conserved(self, collection, aligner):
+        structures = aligner.transform(collection)
+        for graph, structure in zip(collection, structures):
+            total = structure.level_adjacency(1).sum()
+            assert total == pytest.approx(graph.adjacency.sum())
+
+    def test_deterministic(self, collection):
+        a = HierarchicalAligner(n_prototypes=8, n_levels=2, max_layers=3, seed=5)
+        b = HierarchicalAligner(n_prototypes=8, n_levels=2, max_layers=3, seed=5)
+        sa = a.transform(collection)
+        sb = b.transform(collection)
+        for x, y in zip(sa, sb):
+            assert np.allclose(x.level_adjacency(1), y.level_adjacency(1))
+
+    def test_rejects_empty_collection(self, aligner):
+        with pytest.raises(KernelError):
+            aligner.transform([])
+
+    def test_inconsistent_k_option(self, collection):
+        aligner = HierarchicalAligner(
+            n_prototypes=8, n_levels=2, max_layers=3, seed=0,
+            consistent_across_k=False,
+        )
+        structures = aligner.transform(collection)
+        assert len(structures) == len(collection)
+
+
+class TestHAQJSKKernels:
+    @pytest.mark.parametrize("cls", [HAQJSKKernelA, HAQJSKKernelD])
+    def test_psd_without_repair(self, cls, collection):
+        kernel = cls(n_prototypes=8, n_levels=3, max_layers=4, seed=0)
+        gram = kernel.gram(collection, normalize=True)
+        assert is_positive_semidefinite(gram, tol=1e-7)
+
+    @pytest.mark.parametrize("cls", [HAQJSKKernelA, HAQJSKKernelD])
+    def test_permutation_invariance_exact(self, cls, collection):
+        kernel = cls(n_prototypes=8, n_levels=2, max_layers=4, seed=0)
+        rng = np.random.default_rng(0)
+        permuted = [
+            g.permuted(rng.permutation(g.n_vertices)) for g in collection
+        ]
+        gram_a = kernel.gram(collection)
+        gram_b = kernel.gram(permuted)
+        assert np.allclose(gram_a, gram_b, atol=1e-9)
+
+    @pytest.mark.parametrize("cls", [HAQJSKKernelA, HAQJSKKernelD])
+    def test_diagonal_is_maximal(self, cls, collection):
+        """exp(-QJSD) is maximised at zero divergence, so self-similarity
+        bounds every off-diagonal value."""
+        kernel = cls(n_prototypes=8, n_levels=2, max_layers=4, seed=0)
+        gram = kernel.gram(collection)
+        diag = np.diag(gram)
+        assert np.all(gram <= np.minimum(diag[:, None], diag[None, :]) + 1e-9)
+
+    @pytest.mark.parametrize("cls", [HAQJSKKernelA, HAQJSKKernelD])
+    def test_value_range(self, cls, collection):
+        """Each level contributes exp(-D) in [exp(-log 2), 1], H levels."""
+        kernel = cls(n_prototypes=8, n_levels=3, max_layers=4, seed=0)
+        gram = kernel.gram(collection)
+        assert np.all(gram <= 3.0 + 1e-9)
+        assert np.all(gram >= 3.0 * 0.5 - 1e-9)
+
+    def test_class_separation(self, collection):
+        """Trees vs dense graphs must be separable in the Gram structure."""
+        kernel = HAQJSKKernelD(n_prototypes=8, n_levels=3, max_layers=4, seed=0)
+        gram = kernel.gram(collection, normalize=True)
+        trees = slice(0, 4)
+        dense = slice(4, 8)
+        within = gram[trees, trees].mean()
+        between = gram[trees, dense].mean()
+        assert within > between
+
+    def test_rejects_aligner_and_kwargs(self):
+        with pytest.raises(KernelError):
+            HAQJSKKernelA(HierarchicalAligner(), n_prototypes=4)
+
+    def test_shared_aligner_instance(self, collection):
+        aligner = HierarchicalAligner(
+            n_prototypes=8, n_levels=2, max_layers=3, seed=0
+        )
+        kernel = HAQJSKKernelA(aligner)
+        assert kernel.aligner is aligner
+        kernel.gram(collection[:4])
+
+    def test_traits_match_paper_claims(self):
+        for cls in (HAQJSKKernelA, HAQJSKKernelD):
+            traits = cls(n_prototypes=4).traits
+            assert traits.positive_definite
+            assert traits.aligned and traits.transitive
+            assert traits.hierarchical
+            assert traits.captures_local and traits.captures_global
+            assert traits.computing_model == "Quantum Walks"

@@ -1,0 +1,129 @@
+"""Tests for PMGK, JTQK, ASK, SPEGK, JSDK and RWK specifics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.kernels.aligned_subtree import AlignedSubtreeKernel
+from repro.kernels.jsd import JensenShannonKernel
+from repro.kernels.jtqk import (
+    JensenTsallisQKernel,
+    jensen_tsallis_q_difference_classical,
+)
+from repro.kernels.pyramid_match import PyramidMatchKernel
+from repro.kernels.random_walk import RandomWalkKernel
+from repro.kernels.renyi import RenyiEntropyKernel, renyi2_db_representations
+
+
+class TestPyramidMatch:
+    def test_identical_graphs_match_fully(self):
+        g = gen.barabasi_albert(8, 2, seed=0)
+        kernel = PyramidMatchKernel()
+        gram = kernel.gram([g, g], normalize=True)
+        assert gram[0, 1] == pytest.approx(1.0)
+
+    def test_match_counts_bounded_by_sizes(self):
+        a, b = gen.star_graph(6), gen.path_graph(9)
+        value = PyramidMatchKernel().gram([a, b])[0, 1]
+        assert value <= min(a.n_vertices, b.n_vertices) + 1e-9
+
+    def test_finer_levels_refine(self):
+        a = gen.erdos_renyi(10, 0.3, seed=1)
+        b = gen.erdos_renyi(10, 0.6, seed=2)
+        coarse = PyramidMatchKernel(n_levels=1).gram([a, b], normalize=True)[0, 1]
+        fine = PyramidMatchKernel(n_levels=4).gram([a, b], normalize=True)[0, 1]
+        assert fine <= coarse + 0.05
+
+
+class TestJTQK:
+    def test_q_difference_zero_for_identical(self):
+        p = np.asarray([0.5, 0.5])
+        assert jensen_tsallis_q_difference_classical(p, p, 2.0) == 0.0
+
+    def test_q_difference_positive_for_disjoint(self):
+        p = np.asarray([1.0, 0.0])
+        q = np.asarray([0.0, 1.0])
+        # S_2((P+Q)/2) = 1 - 1/2 = 1/2 while both pure parts have S_2 = 0.
+        assert jensen_tsallis_q_difference_classical(p, q, 2.0) == pytest.approx(0.5)
+
+    def test_kernel_upper_bound_levels(self):
+        kernel = JensenTsallisQKernel(n_iterations=3)
+        g = gen.cycle_graph(5)
+        assert kernel(g, g) == pytest.approx(4.0)  # levels 0..3, exp(0) each
+
+    def test_uses_quantum_occupations(self):
+        """Graphs with equal WL histograms but different walk occupations
+        still get separated."""
+        a = gen.star_graph(7)
+        b = gen.star_graph(7)
+        kernel = JensenTsallisQKernel(n_iterations=2)
+        assert kernel(a, b) == pytest.approx(3.0)
+
+
+class TestASK:
+    def test_self_value_counts_all_vertices(self):
+        g = gen.path_graph(5)
+        kernel = AlignedSubtreeKernel(n_iterations=3, max_layers=4)
+        # Perfect self-alignment: every vertex matches at every level.
+        assert kernel(g, g) == pytest.approx(5 * 4)
+
+    def test_alignment_size_bound(self):
+        a, b = gen.star_graph(5), gen.path_graph(9)
+        kernel = AlignedSubtreeKernel(n_iterations=2, max_layers=3)
+        assert kernel(a, b) <= min(5, 9) * 3 + 1e-9
+
+
+class TestSPEGK:
+    def test_renyi2_shapes(self):
+        reps = renyi2_db_representations(gen.cycle_graph(6), 4)
+        assert reps.shape == (6, 4)
+        assert np.all(reps >= 0)
+
+    def test_renyi2_symmetric_vertices(self):
+        reps = renyi2_db_representations(gen.cycle_graph(6), 3)
+        assert np.allclose(reps, reps[0])
+
+    def test_self_similarity_counts_vertices(self):
+        g = gen.star_graph(6)
+        kernel = RenyiEntropyKernel(n_layers=3)
+        assert kernel(g, g) == pytest.approx(6.0)  # exp(0) per aligned pair
+
+    def test_gamma_shrinks_similarity(self):
+        a, b = gen.star_graph(6), gen.path_graph(6)
+        soft = RenyiEntropyKernel(n_layers=3, gamma=0.1)(a, b)
+        hard = RenyiEntropyKernel(n_layers=3, gamma=10.0)(a, b)
+        assert hard <= soft + 1e-12
+
+
+class TestJSDK:
+    def test_self_one(self):
+        g = gen.barabasi_albert(7, 2, seed=0)
+        assert JensenShannonKernel()(g, g) == pytest.approx(1.0)
+
+    def test_regular_graphs_identical_distributions(self):
+        a, b = gen.cycle_graph(6), gen.cycle_graph(6)
+        assert JensenShannonKernel()(a, b) == pytest.approx(1.0)
+
+
+class TestRWK:
+    def test_self_similarity_largest(self):
+        graphs = [gen.path_graph(5), gen.star_graph(5), gen.cycle_graph(5)]
+        gram = RandomWalkKernel().gram(graphs, normalize=True)
+        assert np.all(np.diag(gram) >= gram.max(axis=1) - 1e-9)
+
+    def test_labels_restrict_product(self):
+        a = gen.attach_random_labels(gen.path_graph(5), 3, seed=0)
+        b = gen.attach_random_labels(gen.star_graph(5), 3, seed=1)
+        labelled = RandomWalkKernel(use_labels=True)
+        unlabelled = RandomWalkKernel(use_labels=False)
+        assert labelled([a, b][0], [a, b][1]) <= unlabelled(a, b) + 1e-9
+
+    def test_psd_with_shared_decay(self):
+        from repro.utils.linalg import is_positive_semidefinite
+
+        graphs = [
+            gen.path_graph(4), gen.star_graph(5), gen.cycle_graph(4),
+            gen.complete_graph(4),
+        ]
+        gram = RandomWalkKernel().gram(graphs, normalize=True)
+        assert is_positive_semidefinite(gram, tol=1e-6)

@@ -1,0 +1,123 @@
+"""Robustness of every kernel on pathological-but-legal inputs.
+
+The Table II surrogates exercise these regimes for real: BSPHERE31 graphs
+are forests with isolated vertices, RED-B graphs are huge sparse trees,
+molecule graphs can be a single edge. Every kernel in the zoo must produce
+finite, symmetric Gram matrices on all of them — silently propagating NaNs
+from a zero-degree vertex into the SVM is the classic failure mode here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.ops import disjoint_union
+from repro.kernels import (
+    AlignedSubtreeKernel,
+    GraphletKernel,
+    HAQJSKAttributedD,
+    HAQJSKKernelA,
+    HAQJSKKernelD,
+    JensenShannonKernel,
+    JensenTsallisQKernel,
+    PyramidMatchKernel,
+    QJSKAligned,
+    QJSKUnaligned,
+    RandomWalkKernel,
+    RenyiEntropyKernel,
+    ShortestPathKernel,
+    WeisfeilerLehmanKernel,
+)
+
+
+def small_zoo():
+    """One cheap instance of every kernel family."""
+    return [
+        HAQJSKKernelA(n_prototypes=6, n_levels=2, max_layers=3, seed=0),
+        HAQJSKKernelD(n_prototypes=6, n_levels=2, max_layers=3, seed=0),
+        HAQJSKAttributedD(n_prototypes=6, n_levels=2, max_layers=3, seed=0),
+        QJSKUnaligned(),
+        QJSKAligned(),
+        WeisfeilerLehmanKernel(2),
+        ShortestPathKernel(),
+        GraphletKernel(3),
+        PyramidMatchKernel(dimensions=3, n_levels=2),
+        JensenTsallisQKernel(n_iterations=2),
+        AlignedSubtreeKernel(n_iterations=2, max_layers=3),
+        RenyiEntropyKernel(n_layers=3),
+        JensenShannonKernel(),
+        RandomWalkKernel(),
+    ]
+
+
+def _check_gram(kernel, graphs):
+    gram = kernel.gram(graphs, normalize=True)
+    assert np.all(np.isfinite(gram)), f"{kernel.name}: non-finite Gram"
+    assert np.allclose(gram, gram.T), f"{kernel.name}: asymmetric Gram"
+    # A zero diagonal entry is legitimate for feature-count kernels when a
+    # graph is smaller than the substructure (e.g. GCGK's 3-graphlets on a
+    # 2-vertex graph: no 3-subsets, empty profile). Every non-degenerate
+    # entry must normalise to exactly 1.
+    diagonal = np.diag(gram)
+    nonzero = diagonal != 0.0
+    assert np.allclose(diagonal[nonzero], 1.0), f"{kernel.name}: bad diagonal"
+    return gram
+
+
+@pytest.mark.parametrize("kernel", small_zoo(), ids=lambda k: k.name)
+class TestPathologicalCollections:
+    def test_disconnected_graphs(self, kernel):
+        graphs = [
+            disjoint_union([gen.path_graph(3), gen.path_graph(4)]),
+            disjoint_union([gen.cycle_graph(3), gen.cycle_graph(5)]),
+            disjoint_union([gen.path_graph(2)] * 4),
+            gen.path_graph(7),
+        ]
+        _check_gram(kernel, graphs)
+
+    def test_isolated_vertices(self, kernel):
+        """The BSPHERE31 regime: singleton components (degree 0)."""
+        graphs = [
+            disjoint_union([gen.path_graph(4), gen.empty_graph(3)]),
+            disjoint_union([gen.path_graph(5), gen.empty_graph(1)]),
+            gen.star_graph(5),
+        ]
+        _check_gram(kernel, graphs)
+
+    def test_single_edge_graphs(self, kernel):
+        graphs = [gen.path_graph(2), gen.path_graph(2), gen.path_graph(3)]
+        _check_gram(kernel, graphs)
+
+    def test_mixed_extreme_sizes(self, kernel):
+        """2-vertex next to 30-vertex graphs (Table II's size spreads)."""
+        graphs = [
+            gen.path_graph(2),
+            gen.erdos_renyi(30, 0.15, seed=0).largest_component(),
+            gen.random_tree(18, seed=1),
+        ]
+        _check_gram(kernel, graphs)
+
+    def test_weighted_edges(self, kernel):
+        """Weighted adjacency (the aligned structures are weighted too)."""
+        rng = np.random.default_rng(0)
+        graphs = []
+        for i in range(3):
+            base = gen.random_tree(7, seed=i)
+            weights = np.array(base.adjacency)
+            mask = weights > 0
+            jitter = rng.uniform(0.5, 2.0, size=weights.shape)
+            jitter = (jitter + jitter.T) / 2
+            weights[mask] = jitter[mask]
+            graphs.append(Graph(weights))
+        _check_gram(kernel, graphs)
+
+    def test_identical_graphs(self, kernel):
+        """Duplicates must produce a constant-1 normalised block."""
+        tree = gen.random_tree(8, seed=3)
+        gram = _check_gram(kernel, [tree, tree, gen.cycle_graph(8)])
+        assert gram[0, 1] == pytest.approx(1.0, abs=1e-8)
+
+    def test_complete_graphs(self, kernel):
+        graphs = [gen.complete_graph(n) for n in (3, 5, 7)]
+        _check_gram(kernel, graphs)

@@ -1,0 +1,52 @@
+"""Tests for the shortest-path kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.kernels.shortest_path import ShortestPathKernel
+
+
+class TestFeatureMap:
+    def test_path_graph_counts(self):
+        # P3: distances 1 (x2) and 2 (x1); unlabelled mode.
+        kernel = ShortestPathKernel(use_labels=False)
+        features = kernel.feature_matrix([gen.path_graph(3)])
+        assert sorted(features[0][features[0] > 0].tolist()) == [1.0, 2.0]
+
+    def test_labels_split_features(self):
+        plain = ShortestPathKernel(use_labels=False)
+        labelled = ShortestPathKernel(use_labels=True)
+        graphs = [gen.star_graph(5), gen.path_graph(5)]
+        assert (
+            labelled.feature_matrix(graphs).shape[1]
+            >= plain.feature_matrix(graphs).shape[1]
+        )
+
+    def test_distance_cap(self):
+        kernel = ShortestPathKernel(max_distance=2, use_labels=False)
+        features = kernel.feature_matrix([gen.path_graph(10)])
+        # All long distances collapse into the cap bucket -> 2 features.
+        assert np.count_nonzero(features[0]) == 2
+
+    def test_disconnected_pairs_ignored(self):
+        from repro.graphs.graph import Graph
+
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        kernel = ShortestPathKernel(use_labels=False)
+        features = kernel.feature_matrix([Graph(adjacency)])
+        assert features[0].sum() == 1.0  # only the 0-1 pair counts
+
+
+class TestKernelBehaviour:
+    def test_identical_graphs_maximal(self):
+        g = gen.barabasi_albert(8, 2, seed=0)
+        gram = ShortestPathKernel().gram([g, g], normalize=True)
+        assert gram[0, 1] == pytest.approx(1.0)
+
+    def test_distinguishes_star_from_path(self):
+        gram = ShortestPathKernel(use_labels=False).gram(
+            [gen.star_graph(7), gen.path_graph(7)], normalize=True
+        )
+        assert gram[0, 1] < 0.9

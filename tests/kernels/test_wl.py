@@ -1,0 +1,88 @@
+"""Tests for WL refinement and the WLSK kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.kernels.wl import (
+    WeisfeilerLehmanKernel,
+    wl_feature_matrix,
+    wl_label_sequences,
+)
+
+
+class TestRefinement:
+    def test_iteration_zero_is_initial_labels(self, labelled_graph):
+        sequences = wl_label_sequences([labelled_graph], 0)
+        assert len(sequences) == 1
+        # Vertices 1 and 2 share label 1 -> same compressed label.
+        labels = sequences[0][0]
+        assert labels[1] == labels[2]
+        assert labels[0] != labels[1]
+
+    def test_refinement_distinguishes_by_neighborhood(self, labelled_graph):
+        sequences = wl_label_sequences([labelled_graph], 1)
+        refined = sequences[1][0]
+        # Vertex 1 has neighbours {0, 2} (labels 0, 1); vertex 2 has {1, 3}
+        # (labels 1, 2) — they split after one iteration.
+        assert refined[1] != refined[2]
+
+    def test_shared_vocabulary_across_graphs(self):
+        graphs = [gen.cycle_graph(5), gen.cycle_graph(7)]
+        sequences = wl_label_sequences(graphs, 2)
+        for iteration in sequences:
+            # All cycle vertices are 2-regular and stay identical.
+            union = {int(x) for labels in iteration for x in labels}
+            assert len(union) == 1
+
+    def test_isomorphic_graphs_same_histograms(self):
+        g = gen.barabasi_albert(10, 2, seed=0)
+        perm = np.random.default_rng(1).permutation(10)
+        features = wl_feature_matrix([g, g.permuted(perm)], 3)
+        assert np.allclose(features[0], features[1])
+
+    def test_stable_partition_reached(self):
+        g = gen.path_graph(6)
+        sequences = wl_label_sequences([g], 8)
+        # Partition sizes stop changing once WL stabilises.
+        sizes = [len(set(labels[0].tolist())) for labels in sequences]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == sizes[-2]
+
+
+class TestWLSK:
+    def test_counts_match_manual(self):
+        triangle = gen.cycle_graph(3)
+        features = wl_feature_matrix([triangle], 1)
+        # 3 identical vertices at iterations 0 and 1 -> two vocabulary slots
+        # with count 3 each.
+        assert sorted(features[0][features[0] > 0].tolist()) == [3.0, 3.0]
+
+    def test_kernel_value_is_dot_product(self):
+        graphs = [gen.cycle_graph(4), gen.star_graph(4)]
+        kernel = WeisfeilerLehmanKernel(2)
+        gram = kernel.gram(graphs)
+        features = kernel.feature_matrix(graphs)
+        assert np.allclose(gram, features @ features.T)
+
+    def test_discriminates_structures(self):
+        gram = WeisfeilerLehmanKernel(3).gram(
+            [gen.cycle_graph(6), gen.cycle_graph(6), gen.star_graph(6)],
+            normalize=True,
+        )
+        assert gram[0, 1] == pytest.approx(1.0)
+        assert gram[0, 2] < 0.9
+
+    def test_cross_gram_shape(self):
+        kernel = WeisfeilerLehmanKernel(2)
+        cross = kernel.cross_gram(
+            [gen.cycle_graph(4)], [gen.star_graph(5), gen.path_graph(3)]
+        )
+        assert cross.shape == (1, 2)
+
+    def test_more_iterations_refine_similarity(self):
+        a = gen.watts_strogatz(12, 4, 0.0, seed=0)
+        b = gen.watts_strogatz(12, 4, 0.6, seed=1)
+        coarse = WeisfeilerLehmanKernel(0).gram([a, b], normalize=True)[0, 1]
+        fine = WeisfeilerLehmanKernel(4).gram([a, b], normalize=True)[0, 1]
+        assert fine <= coarse + 1e-9

@@ -1,0 +1,189 @@
+"""Tests for Gram-matrix conditioning (repro.ml.kernel_utils)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.ml.kernel_utils import (
+    center_gram,
+    condition_gram,
+    gram_signal_summary,
+    kernel_target_alignment,
+    scale_gram,
+)
+
+
+def _random_psd(n: int, seed: int, rank: "int | None" = None) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n, rank or n))
+    return factors @ factors.T
+
+
+class TestCenterGram:
+    def test_row_and_column_means_vanish(self):
+        k = _random_psd(12, seed=0)
+        centered = center_gram(k)
+        assert np.allclose(centered.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(centered.mean(axis=1), 0.0, atol=1e-10)
+
+    def test_preserves_psd(self):
+        k = _random_psd(15, seed=1)
+        eigenvalues = np.linalg.eigvalsh(center_gram(k))
+        assert eigenvalues.min() >= -1e-9
+
+    def test_removes_constant_component_exactly(self):
+        k = _random_psd(10, seed=2)
+        shifted = k + 37.0  # constant offset, the QJSD-kernel pathology
+        assert np.allclose(center_gram(shifted), center_gram(k), atol=1e-9)
+
+    def test_preserves_pairwise_feature_distances(self):
+        # Centering is a translation in feature space: the induced squared
+        # distance K_ii + K_jj - 2 K_ij must be unchanged.
+        k = _random_psd(9, seed=3)
+        centered = center_gram(k)
+        for mat in (k, centered):
+            diag = np.diag(mat)
+            dist = diag[:, None] + diag[None, :] - 2 * mat
+            if mat is k:
+                expected = dist
+        assert np.allclose(dist, expected, atol=1e-9)
+
+    def test_symmetry_preserved(self):
+        k = _random_psd(8, seed=4)
+        centered = center_gram(k)
+        assert np.allclose(centered, centered.T)
+
+    def test_idempotent(self):
+        k = _random_psd(8, seed=5)
+        once = center_gram(k)
+        assert np.allclose(center_gram(once), once, atol=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            center_gram(np.zeros((3, 4)))
+
+
+class TestScaleGram:
+    def test_unit_mean_diagonal(self):
+        k = _random_psd(10, seed=6) + np.eye(10)
+        scaled = scale_gram(k)
+        assert np.isclose(np.trace(scaled) / 10, 1.0)
+
+    def test_degenerate_matrix_returned_unchanged(self):
+        zero = np.zeros((5, 5))
+        assert np.array_equal(scale_gram(zero), zero)
+
+    def test_scaling_is_positive(self):
+        k = _random_psd(7, seed=7)
+        scaled = scale_gram(k)
+        ratio = k[k != 0] / scaled[scaled != 0]
+        assert np.allclose(ratio, ratio.flat[0])
+        assert ratio.flat[0] > 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            scale_gram(np.zeros((2, 3)))
+
+
+class TestConditionGram:
+    def test_constant_plus_signal_recovers_signal_scale(self):
+        # The motivating case: K = c*11^T + eps*S with tiny eps. After
+        # conditioning the dynamic range must be O(1), not O(eps).
+        signal = _random_psd(20, seed=8)
+        compressed = 5.0 + 1e-3 * signal
+        conditioned = condition_gram(compressed)
+        assert np.trace(conditioned) / 20 == pytest.approx(1.0)
+        assert conditioned.std() > 0.1
+
+    def test_preserves_psd(self):
+        k = _random_psd(12, seed=9)
+        eigenvalues = np.linalg.eigvalsh(condition_gram(k))
+        assert eigenvalues.min() >= -1e-9
+
+    def test_all_constant_gram_degenerates_to_zero(self):
+        constant = np.full((6, 6), 3.0)
+        assert np.allclose(condition_gram(constant), 0.0, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+        offset=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_offset_invariance_property(self, n, seed, offset):
+        """condition(K + c) == condition(K) for any constant shift c."""
+        k = _random_psd(n, seed=seed)
+        assert np.allclose(
+            condition_gram(k + offset), condition_gram(k), atol=1e-7
+        )
+
+
+class TestGramSignalSummary:
+    def test_perfect_block_kernel(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        k = (np.equal.outer(y, y)).astype(float)
+        summary = gram_signal_summary(k, y)
+        assert summary["one_nn_accuracy"] == 1.0
+        assert summary["within_mean"] == 1.0
+        assert summary["between_mean"] == 0.0
+        assert summary["gap"] == 1.0
+
+    def test_anti_signal_kernel(self):
+        y = np.array([0, 0, 1, 1])
+        k = (~np.equal.outer(y, y)).astype(float)
+        summary = gram_signal_summary(k, y)
+        assert summary["one_nn_accuracy"] == 0.0
+        assert summary["gap"] == -1.0
+
+    def test_diagonal_excluded_from_within(self):
+        y = np.array([0, 0])
+        k = np.array([[5.0, 0.25], [0.25, 5.0]])
+        summary = gram_signal_summary(k, y)
+        assert summary["within_mean"] == pytest.approx(0.25)
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            gram_signal_summary(np.eye(3), [0, 1])
+
+
+class TestKernelTargetAlignment:
+    def test_ideal_kernel_aligns_perfectly(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        ideal = np.equal.outer(y, y).astype(float)
+        assert kernel_target_alignment(ideal, y) == pytest.approx(1.0)
+
+    def test_anti_kernel_aligns_negatively(self):
+        y = np.array([0, 0, 1, 1])
+        anti = (~np.equal.outer(y, y)).astype(float)
+        assert kernel_target_alignment(anti, y) == pytest.approx(-1.0)
+
+    def test_constant_kernel_has_zero_alignment(self):
+        y = np.array([0, 1, 0, 1])
+        assert kernel_target_alignment(np.ones((4, 4)), y) == 0.0
+
+    def test_offset_invariant(self):
+        """Centering makes the measure invariant to constant Gram shifts —
+        the QJSD-kernel pathology must not inflate or deflate it."""
+        y = np.array([0, 0, 0, 1, 1, 1])
+        k = _random_psd(6, seed=11)
+        assert kernel_target_alignment(k + 42.0, y) == pytest.approx(
+            kernel_target_alignment(k, y), abs=1e-9
+        )
+
+    def test_scale_invariant(self):
+        y = np.array([0, 1, 1, 0, 1])
+        k = _random_psd(5, seed=12)
+        assert kernel_target_alignment(3.7 * k, y) == pytest.approx(
+            kernel_target_alignment(k, y), abs=1e-12
+        )
+
+    def test_reported_in_signal_summary(self):
+        y = np.array([0, 0, 1, 1])
+        summary = gram_signal_summary(np.equal.outer(y, y).astype(float), y)
+        assert summary["target_alignment"] == pytest.approx(1.0)
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            kernel_target_alignment(np.eye(4), [0, 1])

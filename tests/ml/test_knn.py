@@ -1,0 +1,114 @@
+"""Tests for kernel k-NN classification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.knn import KernelKNN, leave_one_out_knn_accuracy
+
+
+def _blob_kernel(n_per_class=8, n_classes=3, spread=0.3, seed=0):
+    """Linear kernel over Gaussian blobs — an easy, controllable testbed."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=3.0, size=(n_classes, 4))
+    points = np.vstack(
+        [rng.normal(c, spread, size=(n_per_class, 4)) for c in centers]
+    )
+    labels = np.repeat(np.arange(n_classes), n_per_class)
+    return points @ points.T, labels, points
+
+
+class TestPredict:
+    def test_perfect_on_well_separated_blobs(self):
+        gram, y, _ = _blob_kernel()
+        model = KernelKNN(n_neighbors=3, metric="distance").fit(gram, y)
+        masked = gram - np.eye(y.size) * 1e9
+        assert model.score(masked, y) == 1.0
+
+    def test_one_nn_matches_argmax(self):
+        gram, y, _ = _blob_kernel(seed=1)
+        model = KernelKNN(n_neighbors=1).fit(gram, y)
+        masked = gram - np.eye(y.size) * 1e9
+        predictions = model.predict(masked)
+        expected = y[masked.argmax(axis=1)]
+        assert np.array_equal(predictions, expected)
+
+    def test_majority_vote(self):
+        # 5 train points: three of class 0 are the nearest under k=3.
+        rows = np.array([[0.9, 0.8, 0.7, 1.0, 0.0]])
+        y = np.array([0, 0, 0, 1, 1])
+        model = KernelKNN(n_neighbors=3).fit(np.eye(5), y)
+        assert model.predict(rows)[0] == 0
+
+    def test_tie_breaks_toward_nearest(self):
+        # k=2, one vote each: the class of the single nearest point wins.
+        rows = np.array([[1.0, 0.9, 0.0]])
+        y = np.array([1, 0, 0])
+        model = KernelKNN(n_neighbors=2).fit(np.eye(3), y)
+        assert model.predict(rows)[0] == 1
+
+    def test_k_larger_than_train_is_capped(self):
+        gram, y, _ = _blob_kernel(n_per_class=2, n_classes=2)
+        model = KernelKNN(n_neighbors=50).fit(gram, y)
+        predictions = model.predict(gram)
+        assert predictions.shape == y.shape
+
+    def test_distance_metric_uses_diagonal(self):
+        # Similarity ranks train point 0 first; induced distance must
+        # penalise its huge self-similarity and prefer train point 1.
+        train_gram = np.array([[100.0, 0.0], [0.0, 1.0]])
+        y = np.array([0, 1])
+        rows = np.array([[3.0, 0.9]])
+        similarity = KernelKNN(n_neighbors=1).fit(train_gram, y)
+        assert similarity.predict(rows)[0] == 0
+        distance = KernelKNN(n_neighbors=1, metric="distance").fit(train_gram, y)
+        assert distance.predict(rows, self_diagonal=np.ones(1))[0] == 1
+
+
+class TestValidation:
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelKNN().predict(np.zeros((1, 3)))
+
+    def test_gram_label_mismatch(self):
+        with pytest.raises(ValidationError):
+            KernelKNN().fit(np.eye(3), [0, 1])
+
+    def test_row_width_mismatch(self):
+        model = KernelKNN().fit(np.eye(3), [0, 1, 0])
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 4)))
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelKNN(metric="cosine")
+
+    def test_bad_neighbor_count_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelKNN(n_neighbors=0)
+
+    def test_self_diagonal_length_checked(self):
+        model = KernelKNN(metric="distance").fit(np.eye(3), [0, 1, 0])
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 3)), self_diagonal=np.ones(5))
+
+
+class TestLeaveOneOut:
+    def test_perfect_block_kernel(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        gram = np.equal.outer(y, y).astype(float)
+        assert leave_one_out_knn_accuracy(gram, y) == 1.0
+
+    def test_matches_gram_signal_one_nn(self):
+        from repro.ml.kernel_utils import gram_signal_summary
+
+        gram, y, _ = _blob_kernel(spread=2.0, seed=3)
+        loo = leave_one_out_knn_accuracy(gram, y, n_neighbors=1)
+        summary = gram_signal_summary(gram, y)
+        assert loo == pytest.approx(summary["one_nn_accuracy"])
+
+    def test_higher_k_smooths_noise(self):
+        gram, y, _ = _blob_kernel(n_per_class=20, spread=2.5, seed=4)
+        loo_1 = leave_one_out_knn_accuracy(gram, y, n_neighbors=1)
+        loo_5 = leave_one_out_knn_accuracy(gram, y, n_neighbors=5)
+        assert loo_5 >= loo_1 - 0.1  # k=5 must not collapse

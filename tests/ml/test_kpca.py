@@ -1,0 +1,122 @@
+"""Tests for kernel PCA on precomputed Gram matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.kpca import KernelPCA, kernel_embedding
+
+
+def _points(n=20, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, dim))
+
+
+class TestFitTransform:
+    def test_embedding_reproduces_gram_for_full_rank(self):
+        """With all components kept, the embedding's inner products must
+        reproduce the *centered* Gram matrix."""
+        x = _points(n=12, dim=4, seed=1)
+        gram = x @ x.T
+        embedding = KernelPCA(n_components=12).fit_transform(gram)
+        centered = gram - gram.mean(0) - gram.mean(1)[:, None] + gram.mean()
+        assert np.allclose(embedding @ embedding.T, centered, atol=1e-8)
+
+    def test_matches_linear_pca_distances(self):
+        """Kernel PCA on a linear kernel = PCA: pairwise distances in the
+        embedding equal centered-data distances."""
+        x = _points(n=15, dim=3, seed=2)
+        gram = x @ x.T
+        embedding = KernelPCA(n_components=3).fit_transform(gram)
+        x_centered = x - x.mean(axis=0)
+
+        def pdist(points):
+            diff = points[:, None, :] - points[None, :, :]
+            return np.sqrt((diff**2).sum(-1))
+
+        assert np.allclose(pdist(embedding), pdist(x_centered), atol=1e-8)
+
+    def test_eigenvalues_sorted_and_nonnegative(self):
+        gram = _points(n=10, seed=3) @ _points(n=10, seed=3).T
+        pca = KernelPCA(n_components=10).fit(gram)
+        values = pca.eigenvalues_
+        assert np.all(values >= 0)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_explained_ratio_sums_to_at_most_one(self):
+        gram = _points(n=10, dim=2, seed=4) @ _points(n=10, dim=2, seed=4).T
+        pca = KernelPCA(n_components=5).fit(gram)
+        assert 0.0 < pca.explained_ratio_.sum() <= 1.0 + 1e-12
+        # rank 2 data: the first two components explain everything
+        assert pca.explained_ratio_[:2].sum() == pytest.approx(1.0)
+
+    def test_rank_deficient_components_are_zero(self):
+        x = _points(n=8, dim=2, seed=5)  # rank-2 feature space
+        embedding = KernelPCA(n_components=6).fit_transform(x @ x.T)
+        assert np.allclose(embedding[:, 2:], 0.0, atol=1e-8)
+
+    def test_components_capped_at_n(self):
+        gram = np.eye(4)
+        embedding = KernelPCA(n_components=10).fit_transform(gram)
+        assert embedding.shape == (4, 4)
+
+
+class TestTransform:
+    def test_train_rows_transform_to_training_embedding(self):
+        x = _points(n=10, dim=3, seed=6)
+        gram = x @ x.T
+        pca = KernelPCA(n_components=3)
+        training_embedding = pca.fit_transform(gram)
+        projected = pca.transform(gram)
+        assert np.allclose(projected, training_embedding, atol=1e-8)
+
+    def test_out_of_sample_matches_linear_projection(self):
+        x_train = _points(n=12, dim=3, seed=7)
+        x_test = _points(n=4, dim=3, seed=8)
+        pca = KernelPCA(n_components=3)
+        pca.fit(x_train @ x_train.T)
+        projected = pca.transform(x_test @ x_train.T)
+        # Distances between projected test points must match distances of
+        # the centered test points (projection onto the full PC basis).
+        centered_test = x_test - x_train.mean(axis=0)
+        diff_p = projected[:, None] - projected[None, :]
+        diff_x = centered_test[:, None] - centered_test[None, :]
+        assert np.allclose(
+            np.linalg.norm(diff_p, axis=-1),
+            np.linalg.norm(diff_x, axis=-1),
+            atol=1e-8,
+        )
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            KernelPCA().transform(np.zeros((1, 3)))
+
+    def test_wrong_width_rejected(self):
+        pca = KernelPCA().fit(np.eye(5))
+        with pytest.raises(ValidationError):
+            pca.transform(np.zeros((2, 4)))
+
+    def test_non_square_gram_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelPCA().fit(np.zeros((3, 5)))
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=20),
+        dim=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_embedding_is_centered(self, n, dim, seed):
+        x = _points(n=n, dim=dim, seed=seed)
+        embedding = kernel_embedding(x @ x.T, n_components=min(n, dim))
+        assert np.allclose(embedding.mean(axis=0), 0.0, atol=1e-7)
+
+    def test_helper_matches_class(self):
+        gram = _points(n=9, seed=9) @ _points(n=9, seed=9).T
+        a = kernel_embedding(gram, n_components=2)
+        b = KernelPCA(n_components=2).fit_transform(gram)
+        assert np.allclose(a, b)

@@ -1,0 +1,67 @@
+"""Tests for metrics and CV aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.metrics import (
+    CVResult,
+    accuracy,
+    confusion_matrix,
+    summarize_repeats,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy([1, 1, 2, 2], [1, 2, 2, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            accuracy([], [])
+
+
+class TestConfusion:
+    def test_diagonal_for_perfect(self):
+        m = confusion_matrix([0, 1, 1], [0, 1, 1])
+        assert np.array_equal(m, [[1, 0], [0, 2]])
+
+    def test_off_diagonal(self):
+        m = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert m[0, 1] == 1
+
+    def test_explicit_classes(self):
+        m = confusion_matrix([0], [0], classes=[0, 1, 2])
+        assert m.shape == (3, 3)
+
+    def test_total_count(self):
+        y_true = np.random.default_rng(0).integers(0, 3, 30)
+        y_pred = np.random.default_rng(1).integers(0, 3, 30)
+        assert confusion_matrix(y_true, y_pred).sum() == 30
+
+
+class TestSummarize:
+    def test_mean_and_stderr(self):
+        result = summarize_repeats([0.8, 0.9], best_c=1.0)
+        assert result.mean_accuracy == pytest.approx(0.85)
+        expected_se = np.std([0.8, 0.9], ddof=1) / np.sqrt(2)
+        assert result.standard_error == pytest.approx(expected_se)
+
+    def test_single_repeat_zero_stderr(self):
+        result = summarize_repeats([0.75], best_c=10.0)
+        assert result.standard_error == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            summarize_repeats([], best_c=1.0)
+
+    def test_str_format(self):
+        result = CVResult(0.8567, 0.0123, (0.85, 0.86), 1.0)
+        assert str(result) == "85.67 ± 1.23"

@@ -1,0 +1,75 @@
+"""Tests for the one-vs-one multiclass wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.multiclass import KernelSVC
+
+
+def blobs_kernel(n_classes=3, per=20, seed=0, spread=0.5):
+    rng = np.random.default_rng(seed)
+    centers = [(0.0, 0.0), (4.0, 0.0), (0.0, 4.0), (4.0, 4.0)][:n_classes]
+    x = np.vstack([rng.normal(c, spread, (per, 2)) for c in centers])
+    y = np.repeat(np.arange(n_classes), per)
+    return x @ x.T, y, x
+
+
+class TestMulticlass:
+    def test_three_class_training_accuracy(self):
+        kernel, y, _ = blobs_kernel()
+        model = KernelSVC(c=10.0).fit(kernel, y)
+        assert model.score(kernel, y) >= 0.95
+
+    def test_four_classes(self):
+        kernel, y, _ = blobs_kernel(n_classes=4, seed=1)
+        model = KernelSVC(c=10.0).fit(kernel, y)
+        assert model.score(kernel, y) >= 0.9
+
+    def test_binary_delegation(self):
+        kernel, y, _ = blobs_kernel(n_classes=2, seed=2)
+        model = KernelSVC(c=1.0).fit(kernel, y)
+        assert model.score(kernel, y) >= 0.95
+
+    def test_nonconsecutive_class_labels(self):
+        kernel, y, _ = blobs_kernel(seed=3)
+        remapped = np.asarray([10, 20, 77])[y]
+        model = KernelSVC(c=10.0).fit(kernel, remapped)
+        assert set(model.predict(kernel)) <= {10, 20, 77}
+
+    def test_deterministic_predictions(self):
+        kernel, y, _ = blobs_kernel(seed=4)
+        a = KernelSVC(c=1.0).fit(kernel, y).predict(kernel)
+        b = KernelSVC(c=1.0).fit(kernel, y).predict(kernel)
+        assert np.array_equal(a, b)
+
+    def test_holdout_generalisation(self):
+        rng = np.random.default_rng(5)
+        centers = [(0, 0), (4, 0), (0, 4)]
+        x_train = np.vstack([rng.normal(c, 0.5, (15, 2)) for c in centers])
+        y_train = np.repeat([0, 1, 2], 15)
+        x_test = np.vstack([rng.normal(c, 0.5, (5, 2)) for c in centers])
+        y_test = np.repeat([0, 1, 2], 5)
+        model = KernelSVC(c=10.0).fit(x_train @ x_train.T, y_train)
+        predictions = model.predict(x_test @ x_train.T)
+        assert np.mean(predictions == y_test) >= 0.85
+
+
+class TestValidation:
+    def test_rejects_single_class(self):
+        with pytest.raises(ValidationError):
+            KernelSVC().fit(np.eye(3), np.zeros(3))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            KernelSVC().fit(np.eye(3), np.asarray([0, 1]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelSVC().predict(np.zeros((2, 3)))
+
+    def test_predict_wrong_width(self):
+        kernel, y, _ = blobs_kernel(seed=6)
+        model = KernelSVC().fit(kernel, y)
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 7)))

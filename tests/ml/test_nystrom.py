@@ -1,0 +1,100 @@
+"""Tests for the Nyström Gram approximation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.graphs import generators as gen
+from repro.kernels import HAQJSKKernelD, WeisfeilerLehmanKernel
+from repro.ml.nystrom import NystromApproximation, nystrom_gram
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return (
+        [gen.random_tree(9, seed=i) for i in range(6)]
+        + [gen.erdos_renyi(10, 0.4, seed=i).largest_component() for i in range(6)]
+    )
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return HAQJSKKernelD(n_prototypes=8, n_levels=2, max_layers=3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def exact_gram(kernel, graphs):
+    return kernel.gram(graphs)
+
+
+class TestExactness:
+    def test_all_landmarks_recovers_exact_gram(self, kernel, graphs, exact_gram):
+        approx = nystrom_gram(kernel, graphs, n_landmarks=len(graphs))
+        assert np.allclose(approx, exact_gram, atol=1e-6)
+
+    def test_landmark_count_capped_at_n(self, kernel, graphs, exact_gram):
+        approx = nystrom_gram(kernel, graphs, n_landmarks=500)
+        assert np.allclose(approx, exact_gram, atol=1e-6)
+
+    def test_landmark_rows_reproduced_exactly(self, kernel, graphs, exact_gram):
+        """Nyström interpolates exactly on the landmark rows/columns."""
+        model = NystromApproximation(kernel, n_landmarks=6, seed=1).fit(graphs)
+        approx = model.approximate_gram()
+        landmarks = model.landmark_indices_
+        assert np.allclose(
+            approx[np.ix_(landmarks, landmarks)],
+            exact_gram[np.ix_(landmarks, landmarks)],
+            atol=1e-6,
+        )
+
+
+class TestApproximationQuality:
+    def test_error_decreases_with_landmarks(self, kernel, graphs, exact_gram):
+        errors = []
+        for m in (2, 6, len(graphs)):
+            approx = nystrom_gram(kernel, graphs, n_landmarks=m, seed=3)
+            errors.append(np.linalg.norm(approx - exact_gram))
+        assert errors[-1] <= errors[0] + 1e-9
+        assert errors[-1] < 1e-5
+
+    def test_approximation_is_psd(self, kernel, graphs):
+        approx = nystrom_gram(kernel, graphs, n_landmarks=4, seed=4)
+        assert np.linalg.eigvalsh(approx).min() >= -1e-9
+
+    def test_embedding_reproduces_gram(self, kernel, graphs):
+        model = NystromApproximation(kernel, n_landmarks=5, seed=5).fit(graphs)
+        assert np.allclose(
+            model.embedding_ @ model.embedding_.T,
+            model.approximate_gram(),
+        )
+
+    def test_deterministic_given_seed(self, kernel, graphs):
+        a = nystrom_gram(kernel, graphs, n_landmarks=4, seed=7)
+        b = nystrom_gram(kernel, graphs, n_landmarks=4, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestFeatureMapFallback:
+    def test_works_with_feature_map_kernel(self, graphs):
+        kernel = WeisfeilerLehmanKernel(n_iterations=2)
+        exact = kernel.gram(graphs)
+        approx = nystrom_gram(kernel, graphs, n_landmarks=len(graphs))
+        assert np.allclose(approx, exact, atol=1e-8)
+
+
+class TestValidation:
+    def test_rejects_non_kernel(self):
+        with pytest.raises(ValidationError):
+            NystromApproximation(object(), n_landmarks=3)
+
+    def test_rejects_empty_graphs(self, kernel):
+        with pytest.raises(ValidationError):
+            NystromApproximation(kernel, n_landmarks=3).fit([])
+
+    def test_gram_before_fit(self, kernel):
+        with pytest.raises(NotFittedError):
+            NystromApproximation(kernel, n_landmarks=3).approximate_gram()
+
+    def test_rejects_zero_landmarks(self, kernel):
+        with pytest.raises(ValidationError):
+            NystromApproximation(kernel, n_landmarks=0)

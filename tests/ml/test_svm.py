@@ -1,0 +1,198 @@
+"""Tests for the SMO binary SVM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml.svm import BinarySVM
+
+
+def linear_problem(n=60, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x = np.vstack(
+        [rng.normal(-gap / 2, 0.6, (half, 4)), rng.normal(gap / 2, 0.6, (half, 4))]
+    )
+    y = np.asarray([-1.0] * half + [1.0] * half)
+    return x @ x.T, y, x
+
+
+class TestFit:
+    def test_separable_problem_high_accuracy(self):
+        kernel, y, _ = linear_problem(gap=4.0)
+        svm = BinarySVM(c=1.0).fit(kernel, y)
+        accuracy = np.mean(svm.predict(kernel) == y)
+        assert accuracy >= 0.95
+
+    def test_box_constraint_respected(self):
+        kernel, y, _ = linear_problem(gap=0.5, seed=1)  # overlapping classes
+        c = 0.7
+        svm = BinarySVM(c=c).fit(kernel, y)
+        alphas = np.abs(svm.dual_coef_)
+        assert np.all(alphas <= c + 1e-9)
+
+    def test_equality_constraint_respected(self):
+        kernel, y, _ = linear_problem(seed=2)
+        svm = BinarySVM(c=1.0).fit(kernel, y)
+        assert float(svm.dual_coef_.sum()) == pytest.approx(0.0, abs=1e-6)
+
+    def test_support_vectors_subset(self):
+        kernel, y, _ = linear_problem(gap=4.0, seed=3)
+        svm = BinarySVM(c=10.0).fit(kernel, y)
+        # Widely separated data needs few support vectors.
+        assert 0 < svm.support_.size < y.size
+
+    def test_deterministic(self):
+        kernel, y, _ = linear_problem(seed=4)
+        a = BinarySVM(c=1.0).fit(kernel, y)
+        b = BinarySVM(c=1.0).fit(kernel, y)
+        assert np.allclose(a.dual_coef_, b.dual_coef_)
+        assert a.bias_ == pytest.approx(b.bias_)
+
+    def test_matches_margin_property(self):
+        """Free support vectors must sit near the +-1 margin."""
+        kernel, y, _ = linear_problem(gap=3.0, seed=5)
+        c = 1.0
+        svm = BinarySVM(c=c).fit(kernel, y)
+        decision = svm.decision_function(kernel)
+        alphas = np.abs(svm.dual_coef_)
+        free = (alphas > 1e-6) & (alphas < c - 1e-6)
+        if free.any():
+            margins = y[free] * decision[free]
+            assert np.allclose(margins, 1.0, atol=5e-2)
+
+    def test_iteration_cap_warns(self):
+        kernel, y, _ = linear_problem(seed=6)
+        from repro.errors import ConvergenceWarning
+
+        with pytest.warns(ConvergenceWarning):
+            BinarySVM(c=1.0, max_iter=2).fit(kernel, y)
+
+
+class TestValidation:
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValidationError, match="-1 or \\+1"):
+            BinarySVM().fit(np.eye(3), np.asarray([0.0, 1.0, 2.0]))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValidationError, match="both classes"):
+            BinarySVM().fit(np.eye(3), np.ones(3))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            BinarySVM().fit(np.eye(3), np.asarray([-1.0, 1.0]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            BinarySVM().predict(np.zeros((1, 3)))
+
+    def test_predict_wrong_width(self):
+        kernel, y, _ = linear_problem()
+        svm = BinarySVM().fit(kernel, y)
+        with pytest.raises(ValidationError):
+            svm.predict(np.zeros((2, 5)))
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ValidationError):
+            BinarySVM(c=0.0)
+
+
+class TestKKTOptimality:
+    """Property-based checks of the SMO solution's KKT conditions.
+
+    At the optimum of  min 1/2 aᵀQa - eᵀa  s.t. yᵀa = 0, 0 <= a <= C:
+
+    * feasibility: both constraints hold;
+    * stationarity/complementarity (LIBSVM form): with G = Qa - e,
+      max over "up" indices of -y_i G_i  minus  min over "low" indices
+      of -y_i G_i  is below the stopping tolerance.
+    """
+
+    @staticmethod
+    def _random_problem(n, seed, rank):
+        rng = np.random.default_rng(seed)
+        factors = rng.normal(size=(n, rank))
+        kernel = factors @ factors.T
+        y = np.ones(n)
+        y[: n // 2] = -1.0
+        rng.shuffle(y)
+        if np.unique(y).size < 2:  # n == 1 shrunk away; force both classes
+            y[0] = -y[0]
+        return kernel, y
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+        c=st.sampled_from([0.1, 1.0, 10.0]),
+        rank=st.integers(min_value=1, max_value=6),
+    )
+    def test_kkt_conditions_hold(self, n, seed, c, rank):
+        kernel, y = self._random_problem(n, seed, rank)
+        tol = 1e-3
+        svm = BinarySVM(c=c, tol=tol).fit(kernel, y)
+        alpha = svm.dual_coef_ * y  # dual_coef_ = alpha * y
+
+        # Feasibility.
+        assert np.all(alpha >= -1e-9)
+        assert np.all(alpha <= c + 1e-9)
+        assert abs(float(alpha @ y)) < 1e-6
+
+        # Maximal-violating-pair gap below tolerance.
+        gradient = (kernel * np.outer(y, y)) @ alpha - 1.0
+        neg_yg = -y * gradient
+        up = ((y > 0) & (alpha < c - 1e-12)) | ((y < 0) & (alpha > 1e-12))
+        low = ((y > 0) & (alpha > 1e-12)) | ((y < 0) & (alpha < c - 1e-12))
+        if up.any() and low.any():
+            gap = neg_yg[up].max() - neg_yg[low].min()
+            assert gap < tol + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_dual_objective_no_single_step_improvement(self, n, seed):
+        """No single coordinate pair move should improve the dual, checked
+        via the objective value against a few random feasible directions."""
+        kernel, y = self._random_problem(n, seed, rank=4)
+        c = 1.0
+        svm = BinarySVM(c=c, tol=1e-4).fit(kernel, y)
+        alpha = svm.dual_coef_ * y
+        q_matrix = kernel * np.outer(y, y)
+
+        def objective(a):
+            return 0.5 * a @ q_matrix @ a - a.sum()
+
+        base = objective(alpha)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            i, j = rng.integers(0, n, size=2)
+            if i == j:
+                continue
+            step = rng.uniform(-0.1, 0.1)
+            candidate = alpha.copy()
+            # Move along the equality-constraint-preserving direction.
+            candidate[i] += step * y[i]
+            candidate[j] -= step * y[j]
+            if np.any(candidate < -1e-12) or np.any(candidate > c + 1e-12):
+                continue
+            assert objective(candidate) >= base - 1e-6
+
+
+class TestGeneralisation:
+    def test_holdout_accuracy(self):
+        rng = np.random.default_rng(7)
+        x_train = np.vstack(
+            [rng.normal(-1.5, 0.7, (40, 3)), rng.normal(1.5, 0.7, (40, 3))]
+        )
+        y_train = np.asarray([-1.0] * 40 + [1.0] * 40)
+        x_test = np.vstack(
+            [rng.normal(-1.5, 0.7, (20, 3)), rng.normal(1.5, 0.7, (20, 3))]
+        )
+        y_test = np.asarray([-1.0] * 20 + [1.0] * 20)
+        svm = BinarySVM(c=1.0).fit(x_train @ x_train.T, y_train)
+        predictions = svm.predict(x_test @ x_train.T)
+        assert np.mean(predictions == y_test) >= 0.9

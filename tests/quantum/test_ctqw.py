@@ -1,0 +1,110 @@
+"""Tests for CTQW evolution (unitarity, norm conservation, reversibility)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumError
+from repro.graphs import generators as gen
+from repro.quantum.ctqw import CTQW
+from repro.quantum.state import (
+    degree_initial_state,
+    pure_state_density,
+    uniform_initial_state,
+)
+
+
+@pytest.fixture
+def walk(petersen_like):
+    return CTQW.from_graph(petersen_like)
+
+
+class TestEvolution:
+    def test_unitary(self, walk):
+        u = walk.unitary(1.3)
+        assert np.allclose(u @ u.conj().T, np.eye(walk.n_vertices), atol=1e-9)
+
+    def test_norm_conserved(self, walk):
+        for t in (0.0, 0.5, 2.0, 10.0):
+            assert np.linalg.norm(walk.state_at(t)) == pytest.approx(1.0)
+
+    def test_initial_state_at_time_zero(self, walk):
+        assert np.allclose(walk.state_at(0.0), walk.initial_state)
+
+    def test_reversibility(self, walk):
+        """U(-t) U(t) = I: the CTQW is reversible, unlike the CTRW."""
+        forward = walk.unitary(2.0)
+        backward = walk.unitary(-2.0)
+        assert np.allclose(backward @ forward, np.eye(walk.n_vertices), atol=1e-9)
+
+    def test_probabilities_sum_to_one(self, walk):
+        probs = walk.probabilities_at(3.7)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= -1e-12)
+
+    def test_composition_property(self, walk):
+        """U(s + t) = U(s) U(t) for a time-independent Hamiltonian."""
+        u_sum = walk.unitary(1.0 + 2.5)
+        u_composed = walk.unitary(1.0) @ walk.unitary(2.5)
+        assert np.allclose(u_sum, u_composed, atol=1e-9)
+
+    def test_average_probabilities_is_distribution(self, walk):
+        average = walk.average_probabilities(10.0, steps=100)
+        assert average.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_interference_creates_nonclassical_profile(self):
+        """On a path, quantum occupation differs from the stationary
+        distribution — the interference the paper credits for reducing
+        tottering."""
+        g = gen.path_graph(6)
+        walk = CTQW.from_graph(g)
+        classical_stationary = g.degrees() / g.degrees().sum()
+        quantum_average = walk.average_probabilities(50.0, steps=500)
+        assert not np.allclose(quantum_average, classical_stationary, atol=1e-3)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(QuantumError):
+            CTQW(np.zeros((0, 0)))
+
+    def test_rejects_bad_initial_norm(self, path4):
+        with pytest.raises(QuantumError, match="norm"):
+            CTQW(path4.adjacency, initial_state=np.asarray([1.0, 1.0, 0.0, 0.0]))
+
+    def test_rejects_size_mismatch(self, path4):
+        with pytest.raises(QuantumError):
+            CTQW(path4.adjacency, initial_state=uniform_initial_state(3))
+
+    def test_spectrum_sorted(self, walk):
+        assert np.all(np.diff(walk.spectrum) >= 0)
+
+    def test_alternative_hamiltonian(self, path4):
+        walk = CTQW(path4.adjacency, hamiltonian="adjacency")
+        assert walk.hamiltonian_kind == "adjacency"
+        assert np.allclose(walk.hamiltonian, path4.adjacency)
+
+
+class TestStates:
+    def test_degree_initial_state_normalised(self, star5):
+        psi = degree_initial_state(star5.adjacency)
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_degree_initial_state_prefers_hubs(self, star5):
+        psi = degree_initial_state(star5.adjacency)
+        assert psi[0] > psi[1]
+
+    def test_degree_initial_state_edgeless_uniform(self):
+        psi = degree_initial_state(np.zeros((4, 4)))
+        assert np.allclose(psi, 0.5)
+
+    def test_uniform_initial_state(self):
+        psi = uniform_initial_state(9)
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_pure_state_density_trace(self):
+        rho = pure_state_density(uniform_initial_state(5))
+        assert np.trace(rho) == pytest.approx(1.0)
+
+    def test_pure_state_density_rejects_unnormalised(self):
+        with pytest.raises(QuantumError):
+            pure_state_density(np.asarray([1.0, 1.0]))

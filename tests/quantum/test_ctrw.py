@@ -1,0 +1,153 @@
+"""Tests for the classical continuous-time random walk (CTRW)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantumError
+from repro.graphs import generators as gen
+from repro.quantum.ctqw import CTQW
+from repro.quantum.ctrw import CTRW, return_probability_curve
+
+
+@pytest.fixture(scope="module")
+def path_walk():
+    return CTRW.from_graph(gen.path_graph(6))
+
+
+class TestPropagator:
+    def test_identity_at_time_zero(self, path_walk):
+        assert np.allclose(path_walk.propagator(0.0), np.eye(6))
+
+    def test_doubly_stochastic(self, path_walk):
+        heat = path_walk.propagator(0.7)
+        assert np.allclose(heat.sum(axis=0), 1.0)
+        assert np.allclose(heat.sum(axis=1), 1.0)
+        assert heat.min() >= -1e-12
+
+    def test_semigroup_property(self, path_walk):
+        """exp(-L(s+t)) = exp(-Ls) exp(-Lt)."""
+        a = path_walk.propagator(0.3) @ path_walk.propagator(0.5)
+        b = path_walk.propagator(0.8)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_negative_time_rejected(self, path_walk):
+        with pytest.raises(QuantumError):
+            path_walk.propagator(-0.1)
+
+
+class TestDistribution:
+    def test_probabilities_normalised(self, path_walk):
+        for t in (0.0, 0.1, 1.0, 10.0):
+            probs = path_walk.probabilities_at(t)
+            assert probs.min() >= 0.0
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_default_initial_is_degree_distribution(self):
+        star = gen.star_graph(5)
+        walk = CTRW.from_graph(star)
+        degrees = star.adjacency.sum(axis=1)
+        assert np.allclose(
+            walk.initial_distribution, degrees / degrees.sum()
+        )
+
+    def test_converges_to_uniform_on_connected_graph(self):
+        walk = CTRW.from_graph(gen.cycle_graph(7))
+        late = walk.probabilities_at(200.0)
+        assert np.allclose(late, 1.0 / 7.0, atol=1e-6)
+
+    def test_stationary_uniform_per_component(self):
+        from repro.graphs.ops import disjoint_union
+
+        two = disjoint_union([gen.cycle_graph(4), gen.cycle_graph(4)])
+        # start entirely in the first component
+        p0 = np.zeros(8)
+        p0[0] = 1.0
+        walk = CTRW(two.adjacency, initial_distribution=p0)
+        stationary = walk.stationary_distribution()
+        assert np.allclose(stationary[:4], 0.25, atol=1e-10)
+        assert np.allclose(stationary[4:], 0.0, atol=1e-10)
+
+    def test_bad_initial_distribution_rejected(self):
+        adjacency = gen.path_graph(3).adjacency
+        with pytest.raises(QuantumError):
+            CTRW(adjacency, initial_distribution=[0.5, 0.5])  # wrong length
+        with pytest.raises(QuantumError):
+            CTRW(adjacency, initial_distribution=[0.9, 0.9, -0.8])
+
+    def test_bad_generator_rejected(self):
+        with pytest.raises(QuantumError):
+            CTRW(gen.path_graph(3).adjacency, generator="hamiltonian")
+
+    def test_normalized_laplacian_generator(self):
+        walk = CTRW.from_graph(gen.star_graph(5), generator="normalized_laplacian")
+        probs = walk.probabilities_at(1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        t=st.floats(min_value=0.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_distribution_valid_at_any_time(self, t, seed):
+        walk = CTRW.from_graph(gen.random_tree(8, seed=seed))
+        probs = walk.probabilities_at(t)
+        assert probs.min() >= 0.0
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestMixing:
+    def test_mixing_time_finite_on_connected_graph(self):
+        walk = CTRW.from_graph(gen.complete_graph(6))
+        assert walk.mixing_time() < 10.0
+
+    def test_denser_graph_mixes_faster(self):
+        slow = CTRW.from_graph(gen.path_graph(10)).mixing_time()
+        fast = CTRW.from_graph(gen.complete_graph(10)).mixing_time()
+        assert fast < slow
+
+    def test_epsilon_validated(self, path_walk):
+        with pytest.raises(QuantumError):
+            path_walk.mixing_time(epsilon=0.0)
+
+
+class TestClassicalVsQuantum:
+    """The paper's Section II-A remarks, measured."""
+
+    def test_classical_decays_quantum_oscillates(self):
+        """Return probability at the start vertex: the CTRW's curve is
+        (weakly) monotone toward stationarity; the CTQW's keeps moving.
+        """
+        cycle = gen.cycle_graph(8)
+        p0 = np.zeros(8)
+        p0[0] = 1.0
+        classical = CTRW(cycle.adjacency, initial_distribution=p0)
+        amplitudes = np.zeros(8)
+        amplitudes[0] = 1.0
+        quantum = CTQW(cycle.adjacency, initial_state=amplitudes)
+        times = np.linspace(0.1, 12.0, 60)
+        classical_curve = return_probability_curve(classical, times, 0)
+        quantum_curve = return_probability_curve(quantum, times, 0)
+        # classical: essentially monotone decay (allow float wiggle)
+        assert np.all(np.diff(classical_curve) <= 1e-6)
+        # quantum: substantial oscillation persists late into the window
+        late = quantum_curve[30:]
+        assert late.max() - late.min() > 0.1
+
+    def test_quantum_distinguishes_cospectral_sized_graphs_longer(self):
+        """After both walks mix classically, the CTQW occupation vectors
+        still differ between two same-size graphs (high-frequency info),
+        while the CTRW's are both ~uniform."""
+        a = gen.cycle_graph(8)
+        b = gen.path_graph(8)
+        t = 150.0
+        classical_gap = np.abs(
+            CTRW.from_graph(a).probabilities_at(t)
+            - CTRW.from_graph(b).probabilities_at(t)
+        ).max()
+        quantum_gap = np.abs(
+            CTQW.from_graph(a).probabilities_at(t)
+            - CTQW.from_graph(b).probabilities_at(t)
+        ).max()
+        assert quantum_gap > 5 * classical_gap

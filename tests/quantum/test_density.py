@@ -1,0 +1,132 @@
+"""Tests for the Eq. 4/5 time-averaged density matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotDensityMatrixError, QuantumError
+from repro.graphs import generators as gen
+from repro.quantum.density import (
+    check_density_matrix,
+    ctqw_density_matrix,
+    finite_time_density_matrix,
+    graph_density_matrix,
+    mix_density_matrices,
+    pad_density_matrix,
+    purity,
+)
+
+
+class TestClosedForm:
+    def test_is_density_matrix(self, petersen_like):
+        rho = graph_density_matrix(petersen_like)
+        check_density_matrix(rho)
+
+    def test_trace_one(self, mixed_collection):
+        for g in mixed_collection:
+            assert np.trace(graph_density_matrix(g)) == pytest.approx(1.0)
+
+    def test_matches_finite_time_limit(self):
+        g = gen.erdos_renyi(10, 0.35, seed=11)
+        closed = graph_density_matrix(g)
+        sampled = finite_time_density_matrix(g.adjacency, 400.0, steps=4000)
+        assert np.max(np.abs(closed - sampled)) < 5e-4
+
+    def test_regular_graph_pure_state(self):
+        # On a regular graph the degree initial state is the Laplacian's
+        # 0-eigenvector, so the time average is the pure initial state.
+        g = gen.cycle_graph(8)
+        rho = graph_density_matrix(g)
+        assert purity(rho) == pytest.approx(1.0, abs=1e-9)
+
+    def test_irregular_graph_mixed_state(self, star5):
+        rho = graph_density_matrix(star5)
+        assert purity(rho) < 1.0 - 1e-6
+
+    def test_permutation_covariance(self, petersen_like):
+        """rho(P G P^T) == P rho(G) P^T — density matrices are covariant."""
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(petersen_like.n_vertices)
+        rho = graph_density_matrix(petersen_like)
+        rho_permuted = graph_density_matrix(petersen_like.permuted(perm))
+        assert np.allclose(rho_permuted, rho[np.ix_(perm, perm)], atol=1e-9)
+
+    def test_custom_initial_state(self, path4):
+        psi0 = np.asarray([1.0, 0.0, 0.0, 0.0])
+        rho = ctqw_density_matrix(path4.adjacency, initial_state=psi0)
+        check_density_matrix(rho)
+
+    def test_rejects_zero_initial_state(self, path4):
+        with pytest.raises(QuantumError, match="non-zero"):
+            ctqw_density_matrix(path4.adjacency, initial_state=np.zeros(4))
+
+    def test_rejects_wrong_size_initial_state(self, path4):
+        with pytest.raises(QuantumError, match="shape"):
+            ctqw_density_matrix(path4.adjacency, initial_state=np.ones(3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(QuantumError):
+            ctqw_density_matrix(np.zeros((0, 0)))
+
+    def test_adjacency_hamiltonian_also_valid(self, petersen_like):
+        rho = graph_density_matrix(petersen_like, hamiltonian="adjacency")
+        check_density_matrix(rho)
+
+    def test_edgeless_graph_uniform_pure(self):
+        rho = ctqw_density_matrix(np.zeros((4, 4)))
+        assert np.allclose(rho, np.full((4, 4), 0.25))
+
+
+class TestCheckDensityMatrix:
+    def test_rejects_trace(self):
+        with pytest.raises(NotDensityMatrixError, match="trace"):
+            check_density_matrix(np.eye(3))
+
+    def test_rejects_indefinite(self):
+        bad = np.diag([1.5, -0.5])
+        with pytest.raises(NotDensityMatrixError, match="PSD"):
+            check_density_matrix(bad)
+
+    def test_rejects_empty(self):
+        with pytest.raises(NotDensityMatrixError):
+            check_density_matrix(np.zeros((0, 0)))
+
+
+class TestMixAndPad:
+    def test_mixture_is_density(self, star5, path4):
+        rho_a = graph_density_matrix(star5)
+        rho_b = graph_density_matrix(gen.cycle_graph(5))
+        mixed = mix_density_matrices([rho_a, rho_b])
+        check_density_matrix(mixed)
+
+    def test_mixture_weights(self):
+        a, b = np.diag([1.0, 0.0]), np.diag([0.0, 1.0])
+        mixed = mix_density_matrices([a, b], [3.0, 1.0])
+        assert np.allclose(np.diag(mixed), [0.75, 0.25])
+
+    def test_mixture_rejects_size_mismatch(self):
+        with pytest.raises(QuantumError):
+            mix_density_matrices([np.eye(2) / 2, np.eye(3) / 3])
+
+    def test_mixture_rejects_negative_weights(self):
+        with pytest.raises(QuantumError):
+            mix_density_matrices([np.eye(2) / 2, np.eye(2) / 2], [1.0, -1.0])
+
+    def test_pad_preserves_trace_and_psd(self, star5):
+        rho = graph_density_matrix(star5)
+        padded = pad_density_matrix(rho, 9)
+        check_density_matrix(padded)
+        assert padded.shape == (9, 9)
+
+    def test_pad_identity_when_same_size(self, star5):
+        rho = graph_density_matrix(star5)
+        assert np.array_equal(pad_density_matrix(rho, 5), rho)
+
+    def test_pad_rejects_shrinking(self, star5):
+        rho = graph_density_matrix(star5)
+        with pytest.raises(QuantumError):
+            pad_density_matrix(rho, 3)
+
+    def test_purity_bounds(self, mixed_collection):
+        for g in mixed_collection:
+            value = purity(graph_density_matrix(g))
+            assert 1.0 / g.n_vertices - 1e-9 <= value <= 1.0 + 1e-9

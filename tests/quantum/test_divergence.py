@@ -1,0 +1,125 @@
+"""Tests for QJSD and relatives (Eq. 8), incl. hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantumError
+from repro.graphs import generators as gen
+from repro.quantum.density import graph_density_matrix
+from repro.quantum.divergence import (
+    QJSD_MAX,
+    classical_jensen_shannon_divergence,
+    jensen_tsallis_q_difference,
+    qjsd_between_padded,
+    quantum_jensen_shannon_divergence,
+)
+
+
+def density_from_seed(seed: int, n: int = 6) -> np.ndarray:
+    g = gen.erdos_renyi(n, 0.4, seed=seed)
+    return graph_density_matrix(g)
+
+
+class TestQJSD:
+    def test_self_divergence_zero(self):
+        rho = density_from_seed(0)
+        assert quantum_jensen_shannon_divergence(rho, rho) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        rho, sigma = density_from_seed(1), density_from_seed(2)
+        assert quantum_jensen_shannon_divergence(
+            rho, sigma
+        ) == pytest.approx(quantum_jensen_shannon_divergence(sigma, rho))
+
+    def test_bounded_by_log2(self):
+        rho, sigma = density_from_seed(3), density_from_seed(4)
+        assert 0.0 <= quantum_jensen_shannon_divergence(rho, sigma) <= QJSD_MAX
+
+    def test_orthogonal_states_maximal(self):
+        rho = np.diag([1.0, 0.0])
+        sigma = np.diag([0.0, 1.0])
+        assert quantum_jensen_shannon_divergence(rho, sigma) == pytest.approx(QJSD_MAX)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(QuantumError, match="equal shapes"):
+            quantum_jensen_shannon_divergence(np.eye(2) / 2, np.eye(3) / 3)
+
+    def test_padded_variant_handles_sizes(self):
+        rho = density_from_seed(5, n=5)
+        sigma = density_from_seed(6, n=8)
+        value = qjsd_between_padded(rho, sigma)
+        assert 0.0 <= value <= QJSD_MAX
+
+    def test_padding_not_permutation_invariant(self):
+        """The unaligned padding protocol depends on vertex order — the
+        drawback motivating the paper (Section II-D)."""
+        g_small = gen.star_graph(4)
+        g_large = gen.barabasi_albert(8, 2, seed=7)
+        rho_small = graph_density_matrix(g_small)
+        rho_large = graph_density_matrix(g_large)
+        baseline = qjsd_between_padded(rho_small, rho_large)
+        perm = np.asarray([3, 0, 1, 2, 4, 5, 6, 7])
+        rho_perm = graph_density_matrix(g_large.permuted(perm))
+        permuted = qjsd_between_padded(rho_small, rho_perm)
+        assert abs(baseline - permuted) > 1e-6
+
+
+class TestClassicalJSD:
+    def test_identical_zero(self):
+        p = np.asarray([0.2, 0.8])
+        assert classical_jensen_shannon_divergence(p, p) == 0.0
+
+    def test_disjoint_maximal(self):
+        p = np.asarray([1.0, 0.0])
+        q = np.asarray([0.0, 1.0])
+        assert classical_jensen_shannon_divergence(p, q) == pytest.approx(QJSD_MAX)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(QuantumError):
+            classical_jensen_shannon_divergence(np.ones(2) / 2, np.ones(3) / 3)
+
+
+class TestJensenTsallis:
+    def test_self_zero(self):
+        rho = density_from_seed(8)
+        assert jensen_tsallis_q_difference(rho, rho, 2.0) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        rho, sigma = density_from_seed(9), density_from_seed(10)
+        forward = jensen_tsallis_q_difference(rho, sigma, 2.0)
+        backward = jensen_tsallis_q_difference(sigma, rho, 2.0)
+        assert forward == pytest.approx(backward)
+
+    def test_q2_bounded_by_half(self):
+        rho = np.diag([1.0, 0.0])
+        sigma = np.diag([0.0, 1.0])
+        value = jensen_tsallis_q_difference(rho, sigma, 2.0)
+        assert 0.0 < value <= 0.5 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed_a=st.integers(0, 200), seed_b=st.integers(0, 200))
+def test_qjsd_properties_hold_on_random_graph_states(seed_a, seed_b):
+    rho = density_from_seed(seed_a)
+    sigma = density_from_seed(seed_b)
+    value = quantum_jensen_shannon_divergence(rho, sigma)
+    assert 0.0 <= value <= QJSD_MAX
+    assert value == pytest.approx(quantum_jensen_shannon_divergence(sigma, rho))
+    if seed_a == seed_b:
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(0.01, 1.0), min_size=2, max_size=6),
+    st.lists(st.floats(0.01, 1.0), min_size=2, max_size=6),
+)
+def test_classical_jsd_bounds(raw_p, raw_q):
+    size = min(len(raw_p), len(raw_q))
+    p = np.asarray(raw_p[:size])
+    q = np.asarray(raw_q[:size])
+    p, q = p / p.sum(), q / q.sum()
+    value = classical_jensen_shannon_divergence(p, q)
+    assert 0.0 <= value <= QJSD_MAX

@@ -1,0 +1,110 @@
+"""Tests for entropies (Eq. 6/7 + Rényi/Tsallis generalisations)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantumError
+from repro.graphs import generators as gen
+from repro.quantum.density import graph_density_matrix
+from repro.quantum.entropy import (
+    graph_von_neumann_entropy,
+    renyi_entropy,
+    shannon_entropy,
+    tsallis_entropy,
+    von_neumann_entropy,
+)
+
+
+class TestVonNeumann:
+    def test_pure_state_zero(self):
+        pure = np.zeros((3, 3))
+        pure[0, 0] = 1.0
+        assert von_neumann_entropy(pure) == pytest.approx(0.0, abs=1e-12)
+
+    def test_maximally_mixed(self):
+        n = 5
+        assert von_neumann_entropy(np.eye(n) / n) == pytest.approx(np.log(n))
+
+    def test_bounds_on_graph_states(self, mixed_collection):
+        for g in mixed_collection:
+            entropy = graph_von_neumann_entropy(g)
+            assert -1e-10 <= entropy <= np.log(g.n_vertices) + 1e-10
+
+    def test_invariant_under_permutation(self, petersen_like):
+        rho = graph_density_matrix(petersen_like)
+        perm = np.random.default_rng(1).permutation(10)
+        assert von_neumann_entropy(rho[np.ix_(perm, perm)]) == pytest.approx(
+            von_neumann_entropy(rho)
+        )
+
+    def test_tolerates_tiny_negative_eigenvalues(self):
+        rho = np.diag([1.0 + 1e-12, -1e-13, 0.0])
+        assert von_neumann_entropy(rho) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestShannon:
+    def test_uniform(self):
+        assert shannon_entropy(np.full(8, 1 / 8)) == pytest.approx(np.log(8))
+
+    def test_point_mass_zero(self):
+        assert shannon_entropy(np.asarray([1.0, 0.0])) == 0.0
+
+    def test_unnormalised_input_normalised(self):
+        assert shannon_entropy(np.asarray([2.0, 2.0])) == pytest.approx(np.log(2))
+
+    def test_empty_is_zero(self):
+        assert shannon_entropy(np.asarray([])) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(QuantumError):
+            shannon_entropy(np.asarray([-0.5, 1.5]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(QuantumError):
+            shannon_entropy(np.eye(2))
+
+
+class TestRenyiTsallis:
+    def test_renyi_alpha_one_matches_von_neumann(self):
+        rho = np.diag([0.6, 0.3, 0.1])
+        assert renyi_entropy(rho, 1.0) == pytest.approx(von_neumann_entropy(rho))
+
+    def test_renyi_2_collision_entropy(self):
+        rho = np.diag([0.5, 0.5])
+        assert renyi_entropy(rho, 2.0) == pytest.approx(np.log(2))
+
+    def test_renyi_decreasing_in_alpha(self):
+        rho = np.diag([0.7, 0.2, 0.1])
+        assert renyi_entropy(rho, 0.5) >= renyi_entropy(rho, 2.0)
+
+    def test_tsallis_q2_formula(self):
+        rho = np.diag([0.5, 0.5])
+        assert tsallis_entropy(rho, 2.0) == pytest.approx(0.5)
+
+    def test_tsallis_q1_limit(self):
+        rho = np.diag([0.6, 0.4])
+        assert tsallis_entropy(rho, 1.0) == pytest.approx(von_neumann_entropy(rho))
+
+    def test_tsallis_pure_state_zero(self):
+        assert tsallis_entropy(np.diag([1.0, 0.0]), 2.0) == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_order(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            renyi_entropy(np.eye(2) / 2, 0.0)
+
+
+class TestGraphEntropy:
+    def test_star_has_positive_entropy(self, star5):
+        assert graph_von_neumann_entropy(star5) > 0.01
+
+    def test_regular_graph_zero_entropy(self):
+        assert graph_von_neumann_entropy(gen.cycle_graph(6)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_deterministic(self, petersen_like):
+        assert graph_von_neumann_entropy(petersen_like) == graph_von_neumann_entropy(
+            petersen_like
+        )

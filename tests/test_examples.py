@@ -1,0 +1,43 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+Examples are the public face of the library; a refactor that breaks one
+should fail CI, not a reader. Only the sub-5-second scripts run here (the
+dataset-heavy ones — quickstart, molecule/social/shape classification,
+embedding_and_scaling — are exercised implicitly through the experiment
+harness they share code with).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "viewpoint_alignment.py",
+    "quantum_walk_demo.py",
+    "hierarchy_visualisation.py",
+    "ctqw_vs_ctrw.py",
+    "attributed_kernels.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    # Examples read no argv; make sure a pytest flag doesn't leak in.
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_all_examples_have_docstring_and_main():
+    """Every example documents itself and is import-safe."""
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name}: no docstring"
+        assert '__name__ == "__main__"' in source, f"{path.name}: no main guard"

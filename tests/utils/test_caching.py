@@ -1,0 +1,63 @@
+"""Tests for repro.utils.caching."""
+
+import pytest
+
+from repro.utils.caching import KeyedCache, cached_on_instance
+
+
+class Counter:
+    def __init__(self):
+        self.calls = 0
+
+    @cached_on_instance
+    def expensive(self):
+        self.calls += 1
+        return self.calls
+
+
+class TestCachedOnInstance:
+    def test_computed_once(self):
+        counter = Counter()
+        assert counter.expensive() == 1
+        assert counter.expensive() == 1
+        assert counter.calls == 1
+
+    def test_not_shared_across_instances(self):
+        a, b = Counter(), Counter()
+        a.expensive()
+        assert b.calls == 0
+        assert b.expensive() == 1
+
+    def test_rejects_arguments(self):
+        counter = Counter()
+        with pytest.raises(TypeError):
+            counter.expensive(1)
+
+    def test_caches_none(self):
+        class NoneReturner:
+            calls = 0
+
+            @cached_on_instance
+            def get(self):
+                type(self).calls += 1
+                return None
+
+        obj = NoneReturner()
+        assert obj.get() is None
+        assert obj.get() is None
+        assert NoneReturner.calls == 1
+
+
+class TestKeyedCache:
+    def test_get_or_compute(self):
+        cache = KeyedCache()
+        assert cache.get_or_compute("k", lambda: 5) == 5
+        assert cache.get_or_compute("k", lambda: 99) == 5
+
+    def test_len_and_clear(self):
+        cache = KeyedCache()
+        cache.get_or_compute(1, lambda: "a")
+        cache.get_or_compute(2, lambda: "b")
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,139 @@
+"""Tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.linalg import (
+    eigh_sorted,
+    group_degenerate_eigenvalues,
+    is_positive_semidefinite,
+    is_symmetric,
+    normalized_trace_one,
+    project_to_psd,
+    safe_xlogx,
+)
+
+
+def random_symmetric(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.normal(size=(n, n))
+    return (m + m.T) / 2
+
+
+class TestEighSorted:
+    def test_ascending_order(self):
+        values, _ = eigh_sorted(random_symmetric(6, 0))
+        assert np.all(np.diff(values) >= 0)
+
+    def test_reconstruction(self):
+        m = random_symmetric(5, 1)
+        values, vectors = eigh_sorted(m)
+        assert np.allclose((vectors * values) @ vectors.T, m)
+
+    def test_empty_matrix(self):
+        values, vectors = eigh_sorted(np.zeros((0, 0)))
+        assert values.size == 0 and vectors.size == 0
+
+
+class TestGroupDegenerate:
+    def test_distinct_values_single_groups(self):
+        groups = group_degenerate_eigenvalues(np.asarray([0.0, 1.0, 2.0]))
+        assert [g.tolist() for g in groups] == [[0], [1], [2]]
+
+    def test_degenerate_grouped(self):
+        groups = group_degenerate_eigenvalues(np.asarray([1.0, 1.0 + 1e-12, 2.0]))
+        assert [g.tolist() for g in groups] == [[0, 1], [2]]
+
+    def test_all_equal(self):
+        groups = group_degenerate_eigenvalues(np.ones(5))
+        assert len(groups) == 1 and groups[0].size == 5
+
+    def test_empty(self):
+        assert group_degenerate_eigenvalues(np.empty(0)) == []
+
+    def test_partition_is_complete(self):
+        values = np.sort(np.random.default_rng(2).normal(size=20))
+        groups = group_degenerate_eigenvalues(values)
+        flattened = np.concatenate(groups)
+        assert np.array_equal(flattened, np.arange(20))
+
+
+class TestPsdHelpers:
+    def test_identity_is_psd(self):
+        assert is_positive_semidefinite(np.eye(4))
+
+    def test_negative_definite_is_not(self):
+        assert not is_positive_semidefinite(-np.eye(3))
+
+    def test_projection_makes_psd(self):
+        m = random_symmetric(6, 3)
+        assert is_positive_semidefinite(project_to_psd(m))
+
+    def test_projection_fixes_small_negatives_only(self):
+        m = np.diag([1.0, -0.5, 2.0])
+        projected = project_to_psd(m)
+        assert np.allclose(np.sort(np.diag(projected)), [0.0, 1.0, 2.0])
+
+    def test_psd_input_unchanged(self):
+        m = np.diag([0.5, 1.0, 2.0])
+        assert np.allclose(project_to_psd(m), m)
+
+    def test_is_symmetric_rejects_rectangular(self):
+        assert not is_symmetric(np.zeros((2, 3)))
+
+    def test_is_symmetric_accepts(self):
+        assert is_symmetric(random_symmetric(4, 4))
+
+
+class TestSafeXlogx:
+    def test_zero_maps_to_zero(self):
+        assert safe_xlogx(np.asarray([0.0]))[0] == 0.0
+
+    def test_small_negative_clipped(self):
+        assert safe_xlogx(np.asarray([-1e-15]))[0] == 0.0
+
+    def test_matches_xlogx(self):
+        x = np.asarray([0.5, 1.0, 2.0])
+        assert np.allclose(safe_xlogx(x), x * np.log(x))
+
+
+class TestNormalizedTraceOne:
+    def test_scales_to_unit_trace(self):
+        out = normalized_trace_one(np.eye(4) * 3.0)
+        assert np.trace(out) == pytest.approx(1.0)
+
+    def test_zero_matrix_fallback_uniform(self):
+        out = normalized_trace_one(np.zeros((3, 3)))
+        assert np.allclose(out, np.eye(3) / 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (4, 4),
+        elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_projection_is_idempotent(matrix):
+    sym = (matrix + matrix.T) / 2
+    once = project_to_psd(sym)
+    twice = project_to_psd(once)
+    assert np.allclose(once, twice, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (5,),
+        elements=st.floats(0, 10, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_group_degenerate_covers_all_indices(values):
+    sorted_values = np.sort(values)
+    groups = group_degenerate_eigenvalues(sorted_values)
+    assert sorted(np.concatenate(groups).tolist()) == list(range(5))

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_rng, child_rngs, shuffled, spawn_seed
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_rng(42).integers(0, 1000, size=5)
+        b = as_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_rng(1).integers(0, 10**9)
+        b = as_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            as_rng(True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            as_rng("seed")
+
+
+class TestSpawnSeed:
+    def test_in_range(self):
+        seed = spawn_seed(as_rng(0))
+        assert 0 <= seed < 2**63
+
+    def test_deterministic(self):
+        assert spawn_seed(as_rng(5)) == spawn_seed(as_rng(5))
+
+
+class TestChildRngs:
+    def test_count(self):
+        assert len(child_rngs(0, 4)) == 4
+
+    def test_children_independent_of_count(self):
+        three = child_rngs(7, 3)
+        five = child_rngs(7, 5)
+        for a, b in zip(three, five):
+            assert a.integers(0, 10**9) == b.integers(0, 10**9)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            child_rngs(0, -1)
+
+
+class TestShuffled:
+    def test_is_permutation(self):
+        items = list(range(20))
+        out = shuffled(items, 0)
+        assert sorted(out) == items
+
+    def test_deterministic(self):
+        assert shuffled(range(10), 3) == shuffled(range(10), 3)
+
+    def test_changes_order(self):
+        assert shuffled(range(50), 1) != list(range(50))

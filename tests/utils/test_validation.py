@@ -1,0 +1,115 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_in_range,
+    check_positive_int,
+    check_probability_vector,
+    check_square_matrix,
+    check_symmetric_matrix,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError, match=">= 2"):
+            check_positive_int(1, "x", minimum=2)
+
+    def test_custom_minimum_zero(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+
+class TestCheckInRange:
+    def test_within_range(self):
+        assert check_in_range(0.5, "p", low=0.0, high=1.0) == 0.5
+
+    def test_boundaries_inclusive_by_default(self):
+        assert check_in_range(0.0, "p", low=0.0, high=1.0) == 0.0
+        assert check_in_range(1.0, "p", low=0.0, high=1.0) == 1.0
+
+    def test_exclusive_boundary(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, "p", low=0.0, high=1.0, low_inclusive=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_in_range(float("nan"), "p")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError):
+            check_in_range(float("inf"), "p")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(ValidationError):
+            check_in_range("abc", "p")
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        out = check_square_matrix([[1, 2], [3, 4]], "m")
+        assert out.shape == (2, 2)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError, match="square"):
+            check_square_matrix(np.zeros((2, 3)), "m")
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.zeros(4), "m")
+
+    def test_rejects_nan_entries(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_square_matrix([[0.0, np.nan], [np.nan, 0.0]], "m")
+
+
+class TestCheckSymmetricMatrix:
+    def test_accepts_symmetric(self):
+        out = check_symmetric_matrix([[1.0, 2.0], [2.0, 1.0]], "m")
+        assert np.allclose(out, out.T)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError, match="symmetric"):
+            check_symmetric_matrix([[0.0, 1.0], [0.0, 0.0]], "m")
+
+    def test_tolerance_allows_roundoff(self):
+        m = np.asarray([[0.0, 1.0], [1.0 + 1e-12, 0.0]])
+        check_symmetric_matrix(m, "m")
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_distribution(self):
+        out = check_probability_vector([0.25, 0.75], "p")
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="negative"):
+            check_probability_vector([-0.1, 1.1], "p")
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            check_probability_vector([0.3, 0.3], "p")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector([], "p")
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.eye(2), "p")
