@@ -23,7 +23,8 @@ import numpy as np
 from repro.errors import AlignmentError, ValidationError
 from repro.graphs.graph import Graph
 from repro.graphs.ops import max_shortest_path_length
-from repro.quantum.entropy import shannon_entropy, von_neumann_entropy
+from repro.quantum.entropy import von_neumann_entropy
+from repro.utils.linalg import safe_xlogx
 from repro.utils.validation import check_positive_int
 
 _ENTROPY_KINDS = ("shannon", "von_neumann")
@@ -36,7 +37,15 @@ def _subgraph_entropy(adjacency: np.ndarray, kind: str) -> float:
     if kind == "shannon":
         if total <= 0:
             return 0.0
-        return shannon_entropy(degrees / total)
+        # Inlined shannon_entropy fast path (this runs once per vertex per
+        # expansion layer): same arithmetic — normalise, re-normalise by
+        # the float mass, -sum x log x — without per-call validation.
+        probabilities = degrees / total
+        mass = float(probabilities.sum())
+        if mass <= 0:
+            return 0.0
+        probabilities = probabilities / mass
+        return float(-np.sum(safe_xlogx(probabilities)))
     # von Neumann variant: normalised Laplacian spectrum as a pseudo-state.
     n = adjacency.shape[0]
     if n == 0 or total <= 0:
@@ -71,6 +80,8 @@ def db_representations(
         return np.zeros((0, n_layers))
     distances = graph.shortest_path_lengths()
     adjacency = graph.adjacency
+    if entropy == "shannon":
+        return _shannon_db_representations(adjacency, distances, n_layers)
     output = np.zeros((n, n_layers))
     for v in range(n):
         dist_v = distances[v]
@@ -83,6 +94,36 @@ def db_representations(
                 block = adjacency[np.ix_(members, members)]
                 previous = _subgraph_entropy(block, entropy)
             output[v, layer - 1] = previous
+    return output
+
+
+def _shannon_db_representations(
+    adjacency: np.ndarray, distances: np.ndarray, n_layers: int
+) -> np.ndarray:
+    """All-vertex Shannon DB representations via masked matmuls.
+
+    For layer ``l``, row ``v`` of ``mask`` flags the vertices within hop
+    distance ``l`` of ``v``; the induced-subgraph degree of member ``u``
+    is then ``(mask @ A)[v, u]`` (``A`` symmetric), masked back to the
+    member set — no per-vertex subgraph extraction. Non-members carry
+    exact zeros, which contribute nothing to the entropy (``0 log 0 = 0``),
+    so each row reproduces the per-subgraph computation. Saturated layers
+    (beyond a vertex's eccentricity) reproduce the previous layer's value
+    because their mask stops changing.
+    """
+    n = adjacency.shape[0]
+    reachable = distances >= 0
+    output = np.zeros((n, n_layers))
+    for layer in range(1, n_layers + 1):
+        mask = (reachable & (distances <= layer)).astype(float)
+        degrees = mask * (mask @ adjacency)  # (n, n): member degrees, else 0
+        totals = degrees.sum(axis=1)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        probabilities = degrees / safe_totals[:, None]
+        masses = probabilities.sum(axis=1)
+        safe_masses = np.where(masses > 0, masses, 1.0)
+        entropies = -safe_xlogx(probabilities / safe_masses[:, None]).sum(axis=1)
+        output[:, layer - 1] = np.where((totals > 0) & (masses > 0), entropies, 0.0)
     return output
 
 

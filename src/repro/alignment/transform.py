@@ -31,20 +31,32 @@ from repro.utils.linalg import normalized_trace_one
 from repro.utils.validation import check_symmetric_matrix
 
 
-def aligned_adjacency(adjacency: np.ndarray, correspondence: np.ndarray) -> np.ndarray:
+def aligned_adjacency(
+    adjacency: np.ndarray, correspondence: np.ndarray, *, validate: bool = True
+) -> np.ndarray:
     """``Cᵀ A C`` — the fixed-size aligned adjacency matrix (Eq. 19).
 
     The result is a weighted structure over prototypes: entry ``(a, b)``
     counts the edges between vertices mapped to prototypes ``a`` and ``b``
     (diagonal entries aggregate intra-prototype edges and act as vertex
     weights for the CTQW Laplacian, where they cancel).
+
+    ``validate=False`` skips the symmetry/correspondence checks — the
+    aligner's inner loop calls this once per (graph, level, dimension)
+    with inputs it constructed itself, and the checks cost more than the
+    congruence. The arithmetic is identical either way.
     """
-    a = check_symmetric_matrix(adjacency, "adjacency")
-    c = check_correspondence_matrix(correspondence)
-    if c.shape[0] != a.shape[0]:
-        raise AlignmentError(
-            f"correspondence has {c.shape[0]} rows for a {a.shape[0]}-vertex graph"
-        )
+    if validate:
+        a = check_symmetric_matrix(adjacency, "adjacency")
+        c = check_correspondence_matrix(correspondence)
+        if c.shape[0] != a.shape[0]:
+            raise AlignmentError(
+                f"correspondence has {c.shape[0]} rows for a "
+                f"{a.shape[0]}-vertex graph"
+            )
+    else:
+        a = np.asarray(adjacency, dtype=float)
+        c = np.asarray(correspondence, dtype=float)
     out = c.T @ a @ c
     return (out + out.T) / 2.0
 
@@ -54,22 +66,29 @@ def aligned_density(
     correspondence: np.ndarray,
     *,
     renormalize: bool = True,
+    validate: bool = True,
 ) -> np.ndarray:
     """``Cᵀ rho C`` — the fixed-size aligned density matrix (Eq. 21).
 
     With ``renormalize=True`` (default) the output is scaled to unit trace
-    so it remains a valid density matrix for the QJSD.
+    so it remains a valid density matrix for the QJSD. ``validate=False``
+    skips input checks for the aligner's inner loop (same arithmetic).
     """
-    rho = check_symmetric_matrix(density, "density")
-    c = check_correspondence_matrix(correspondence)
-    if c.shape[0] != rho.shape[0]:
-        raise AlignmentError(
-            f"correspondence has {c.shape[0]} rows for a {rho.shape[0]}-dim density"
-        )
+    if validate:
+        rho = check_symmetric_matrix(density, "density")
+        c = check_correspondence_matrix(correspondence)
+        if c.shape[0] != rho.shape[0]:
+            raise AlignmentError(
+                f"correspondence has {c.shape[0]} rows for a "
+                f"{rho.shape[0]}-dim density"
+            )
+    else:
+        rho = np.asarray(density, dtype=float)
+        c = np.asarray(correspondence, dtype=float)
     out = c.T @ rho @ c
     out = (out + out.T) / 2.0
     if renormalize:
-        out = normalized_trace_one(out, name="aligned density")
+        out = normalized_trace_one(out, name="aligned density", validate=validate)
     return out
 
 

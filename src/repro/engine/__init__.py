@@ -1,0 +1,69 @@
+"""Pluggable Gram-computation engines for the pairwise kernel family.
+
+The paper's Section III-D complexity bound ``O(N^2 n^3)`` is dominated by
+the pair-evaluation stage: every QJSD-family kernel value needs a
+mixed-state eigendecomposition, and a naive Gram evaluates ``N(N+1)/2``
+of them one Python call at a time. Because transitive alignment makes
+every prepared state a *fixed-size* matrix, the whole stage is batchable
+— and independently of batching, the symmetric Gram tiles cleanly across
+worker processes. This subsystem factors that scheduling decision out of
+the kernels into three interchangeable backends:
+
+``serial``
+    The historical reference path — an upper-triangular double loop over
+    ``kernel.pair_value``. Slowest, simplest, the equivalence baseline.
+``batched``  *(default)*
+    Symmetric block tiling through ``kernel.block_values``. Kernels that
+    implement a vectorized block (HAQJSK(A)/(D) and the attributed
+    variants, QJSK unaligned/aligned, JTQK) evaluate whole ``(B, m, m)``
+    stacks with one batched ``eigvalsh``; everything else transparently
+    falls back to the pairwise loop per tile.
+``process``
+    The same tiling fanned out over a
+    :class:`concurrent.futures.ProcessPoolExecutor`; each tile runs
+    ``block_values`` on another core. Degrades gracefully to in-process
+    execution where process pools are unavailable.
+
+Selecting a backend
+-------------------
+Every entry point takes an ``engine`` argument accepting a backend name,
+a :class:`GramEngine` instance (for custom tile sizes / worker counts),
+or ``None`` for the default::
+
+    kernel.gram(graphs, engine="process")
+    kernel.cross_gram(graphs_a, graphs_b, engine=BatchedEngine(tile_size=128))
+    nystrom_gram(kernel, graphs, n_landmarks=32, engine="batched")
+
+A kernel instance can carry a sticky default (``kernel.engine =
+"process"``), and the process-wide default is the ``REPRO_GRAM_ENGINE``
+environment variable (else ``"batched"``); the experiment harness records
+the active backend in every saved report. All three backends agree to
+``1e-10`` on every pairwise kernel in the zoo — enforced by
+``tests/engine/test_backends.py``.
+"""
+
+from repro.engine.base import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    GramEngine,
+    available_engines,
+    default_engine_name,
+    register_engine,
+    resolve_engine,
+)
+from repro.engine.batched import BatchedEngine
+from repro.engine.process import ProcessEngine
+from repro.engine.serial import SerialEngine
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "ENGINES",
+    "BatchedEngine",
+    "GramEngine",
+    "ProcessEngine",
+    "SerialEngine",
+    "available_engines",
+    "default_engine_name",
+    "register_engine",
+    "resolve_engine",
+]

@@ -1,0 +1,140 @@
+"""Engine abstraction: how a pairwise Gram matrix gets scheduled.
+
+A :class:`GramEngine` turns a :class:`~repro.kernels.base.PairwiseKernel`
+plus its prepared per-graph states into a (square or rectangular) Gram
+matrix. The engine owns *scheduling* — loop order, tiling, parallel
+fan-out — while the kernel owns the *mathematics* via ``pair_value`` /
+``block_values``. Engines therefore never import concrete kernels; they
+only rely on the small protocol below:
+
+``kernel.pair_value(state_a, state_b) -> float``
+    Scalar kernel value (the serial path).
+``kernel.block_values(states_a, states_b) -> (len_a, len_b) ndarray``
+    A rectangular block of kernel values; vectorized kernels override it.
+``kernel.symmetric_block_values(states) -> (n, n) ndarray``
+    A symmetric diagonal block, computed from the upper triangle so every
+    backend agrees bit-for-bit on symmetry.
+
+Backends register themselves in :data:`ENGINES` and are resolved by name
+through :func:`resolve_engine`; ``None`` falls back to the process-wide
+default (the ``REPRO_GRAM_ENGINE`` environment variable, else
+``"batched"``).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+
+import numpy as np
+
+from repro.errors import KernelError
+
+#: Hard floor for tile sizes — degenerate tiling is always a bug.
+_MIN_TILE = 1
+
+
+class GramEngine(abc.ABC):
+    """Strategy object computing Gram matrices from prepared states."""
+
+    #: Registry key; subclasses set it and appear in :data:`ENGINES`.
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def gram(self, kernel, states: list) -> np.ndarray:
+        """Symmetric ``(n, n)`` Gram over one prepared collection."""
+
+    @abc.abstractmethod
+    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
+        """Rectangular ``(len_a, len_b)`` Gram between two state lists."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def tile_ranges(n: int, tile_size: int) -> "list[tuple[int, int]]":
+    """Contiguous ``[start, stop)`` ranges covering ``range(n)``.
+
+    Contiguity (and ascending order) matters: symmetric engines compute
+    only tile pairs with ``row_tile <= col_tile``, so within any
+    off-diagonal tile every row index is strictly below every column
+    index — exactly the upper triangle the serial loop evaluates.
+    """
+    if n < 0:
+        raise KernelError(f"cannot tile a negative range ({n})")
+    size = max(int(tile_size), _MIN_TILE)
+    return [(start, min(start + size, n)) for start in range(0, n, size)]
+
+
+def symmetric_tile_pairs(n: int, tile_size: int):
+    """Yield ``(rows, cols)`` range pairs covering the upper triangle."""
+    ranges = tile_ranges(n, tile_size)
+    for i, rows in enumerate(ranges):
+        for cols in ranges[i:]:
+            yield rows, cols
+
+
+def assemble_symmetric(matrix: np.ndarray, rows, cols, block: np.ndarray) -> None:
+    """Place ``block`` at ``[rows, cols]`` and mirror it across the diagonal."""
+    r0, r1 = rows
+    c0, c1 = cols
+    matrix[r0:r1, c0:c1] = block
+    if (r0, r1) != (c0, c1):
+        matrix[c0:c1, r0:r1] = block.T
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+#: name -> engine factory (a zero-argument callable / class).
+ENGINES: "dict[str, type]" = {}
+
+#: Environment variable selecting the process-wide default backend.
+ENGINE_ENV_VAR = "REPRO_GRAM_ENGINE"
+
+#: Backend used when nothing else is specified.
+FALLBACK_ENGINE = "batched"
+
+
+def register_engine(cls):
+    """Class decorator adding an engine to the registry under ``cls.name``."""
+    ENGINES[cls.name] = cls
+    return cls
+
+
+def available_engines() -> "tuple[str, ...]":
+    """Registered backend names, sorted."""
+    return tuple(sorted(ENGINES))
+
+
+def default_engine_name() -> str:
+    """The process-wide default backend (env override, else batched)."""
+    name = os.environ.get(ENGINE_ENV_VAR, "").strip()
+    return name or FALLBACK_ENGINE
+
+
+def resolve_engine(engine: "GramEngine | str | None" = None) -> GramEngine:
+    """Resolve an engine spec (instance, name, or ``None``) to an instance.
+
+    ``None`` selects :func:`default_engine_name`. Unknown names raise a
+    :class:`~repro.errors.KernelError` listing the available backends, so a
+    typo in ``REPRO_GRAM_ENGINE`` or a config file fails loudly.
+    """
+    if isinstance(engine, GramEngine):
+        return engine
+    if engine is None:
+        engine = default_engine_name()
+    if not isinstance(engine, str):
+        raise KernelError(
+            f"engine must be a GramEngine, a backend name, or None; "
+            f"got {type(engine).__name__}"
+        )
+    try:
+        factory = ENGINES[engine]
+    except KeyError:
+        raise KernelError(
+            f"unknown gram engine {engine!r}; available: "
+            f"{', '.join(available_engines())}"
+        ) from None
+    return factory()

@@ -1,0 +1,121 @@
+"""Parallel backend: symmetric block tiles fanned out over worker processes.
+
+The same block-tiled schedule as the batched backend, but tile pairs are
+submitted to a :class:`concurrent.futures.ProcessPoolExecutor` so the
+per-tile ``block_values`` calls (batched ``eigvalsh`` stacks, or the
+pure-Python fallback loop) run on every available core. Each task ships
+only the kernel object and the two state slices it needs, so the pickling
+cost grows with the tile, not the collection.
+
+The result is identical to the batched backend tile-for-tile — the same
+``block_values`` code runs, merely in another process — which is what the
+backend-equivalence tests assert. When a pool cannot be created (no
+``fork``/``spawn`` available in a sandbox, interpreter shutting down, …)
+the engine degrades to in-process execution rather than failing the Gram
+computation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.engine.base import (
+    GramEngine,
+    assemble_symmetric,
+    register_engine,
+    symmetric_tile_pairs,
+    tile_ranges,
+)
+
+#: Smaller default tiles than the batched backend: more tasks to balance.
+DEFAULT_TILE_SIZE = 32
+
+
+def _gram_block(kernel, states_a, states_b, diagonal: bool):
+    """Module-level worker (must be picklable by ProcessPoolExecutor)."""
+    if diagonal:
+        return kernel.symmetric_block_values(states_a)
+    return kernel.block_values(states_a, states_b)
+
+
+@register_engine
+class ProcessEngine(GramEngine):
+    """Block-tiled Gram evaluation across a process pool."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        *,
+        tile_size: int = DEFAULT_TILE_SIZE,
+        max_workers: "int | None" = None,
+    ) -> None:
+        self.tile_size = int(tile_size)
+        self.max_workers = max_workers
+
+    def gram(self, kernel, states: list) -> np.ndarray:
+        n = len(states)
+        matrix = np.zeros((n, n))
+        jobs = []
+        for rows, cols in symmetric_tile_pairs(n, self.tile_size):
+            diagonal = rows == cols
+            states_a = states[rows[0] : rows[1]]
+            states_b = [] if diagonal else states[cols[0] : cols[1]]
+            jobs.append(((rows, cols), (kernel, states_a, states_b, diagonal)))
+        for (rows, cols), block in self._run(jobs):
+            assemble_symmetric(matrix, rows, cols, block)
+        return matrix
+
+    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
+        matrix = np.zeros((len(states_a), len(states_b)))
+        jobs = []
+        for rows in tile_ranges(len(states_a), self.tile_size):
+            for cols in tile_ranges(len(states_b), self.tile_size):
+                slice_a = states_a[rows[0] : rows[1]]
+                slice_b = states_b[cols[0] : cols[1]]
+                jobs.append(((rows, cols), (kernel, slice_a, slice_b, False)))
+        for ((r0, r1), (c0, c1)), block in self._run(jobs):
+            matrix[r0:r1, c0:c1] = block
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _worker_count(self, n_jobs: int) -> int:
+        limit = self.max_workers or os.cpu_count() or 1
+        return max(1, min(int(limit), n_jobs))
+
+    def _run(self, jobs):
+        """Yield ``(key, block ndarray)`` for every submitted tile job.
+
+        Only pool *setup* (executor creation / task submission) falls back
+        to in-process execution — that is where restricted environments
+        without ``fork``/``spawn`` fail. Once tasks are in flight, worker
+        errors (kernel bugs, a broken pool) propagate to the caller
+        instead of being masked by a silent full serial recompute.
+        """
+        if not jobs:
+            return
+        workers = self._worker_count(len(jobs))
+        pool = None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = [
+                (key, pool.submit(_gram_block, *args)) for key, args in jobs
+            ]
+        except (ImportError, OSError, PermissionError, RuntimeError):
+            if pool is not None:
+                pool.shutdown(wait=False)
+            for key, args in jobs:
+                yield key, np.asarray(_gram_block(*args), dtype=float)
+            return
+        try:
+            for key, future in futures:
+                yield key, np.asarray(future.result(), dtype=float)
+        finally:
+            pool.shutdown(wait=True)

@@ -1,0 +1,37 @@
+"""The reference backend: one ``pair_value`` call per pair.
+
+This is byte-for-byte the scheduling the kernel layer used before the
+engine subsystem existed — an upper-triangular double loop mirrored into
+the lower triangle. It never calls ``block_values``, so it stays the
+ground truth the vectorized and parallel backends are tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.base import GramEngine, register_engine
+
+
+@register_engine
+class SerialEngine(GramEngine):
+    """Pure-Python pairwise loop; the historical (and slowest) path."""
+
+    name = "serial"
+
+    def gram(self, kernel, states: list) -> np.ndarray:
+        n = len(states)
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                value = float(kernel.pair_value(states[i], states[j]))
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return matrix
+
+    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
+        matrix = np.zeros((len(states_a), len(states_b)))
+        for i, state_a in enumerate(states_a):
+            for j, state_b in enumerate(states_b):
+                matrix[i, j] = float(kernel.pair_value(state_a, state_b))
+        return matrix

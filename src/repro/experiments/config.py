@@ -19,6 +19,18 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL_SCALE", "") == "1"
 
 
+def gram_engine() -> str:
+    """The Gram-computation backend the harness runs with.
+
+    Set ``REPRO_GRAM_ENGINE`` to ``serial``, ``batched`` or ``process``
+    (see :mod:`repro.engine`); the default is the vectorized ``batched``
+    backend. Every saved report records the active backend.
+    """
+    from repro.engine import default_engine_name
+
+    return default_engine_name()
+
+
 @dataclass(frozen=True)
 class DatasetScale:
     """How much of a dataset the scaled harness uses."""

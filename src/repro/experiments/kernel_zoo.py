@@ -7,7 +7,7 @@ the CLI and the ablations construct identical kernels.
 from __future__ import annotations
 
 from repro.errors import KernelError
-from repro.experiments.config import full_scale, haqjsk_levels
+from repro.experiments.config import full_scale, gram_engine, haqjsk_levels
 from repro.kernels import (
     AlignedSubtreeKernel,
     GraphKernel,
@@ -27,12 +27,28 @@ from repro.kernels import (
 )
 
 
-def make_kernel(name: str, *, n_prototypes: int = 32, seed: int = 0) -> GraphKernel:
+def make_kernel(
+    name: str,
+    *,
+    n_prototypes: int = 32,
+    seed: int = 0,
+    engine: "str | None" = None,
+) -> GraphKernel:
     """Build the named Table IV kernel.
 
     ``n_prototypes`` parameterises only the HAQJSK kernels (level-1
-    prototype count; the paper uses 256 at full scale).
+    prototype count; the paper uses 256 at full scale). ``engine``
+    selects the Gram-computation backend (see :mod:`repro.engine`) and is
+    stamped onto the kernel as its sticky default; ``None`` takes the
+    harness-wide :func:`repro.experiments.config.gram_engine` setting so
+    benchmarks, CLI and ablations all run the same backend.
     """
+    kernel = _build_kernel(name, n_prototypes=n_prototypes, seed=seed)
+    kernel.engine = engine if engine is not None else gram_engine()
+    return kernel
+
+
+def _build_kernel(name: str, *, n_prototypes: int, seed: int) -> GraphKernel:
     full = full_scale()
     wl_iterations = 10 if full else 4
     db_layers = 10 if full else 6

@@ -43,12 +43,26 @@ def _cell(value) -> str:
     return str(value)
 
 
-def save_report(name: str, content: str, *, directory: str = "results") -> str:
-    """Write a report file and return its path."""
+def save_report(
+    name: str,
+    content: str,
+    *,
+    directory: str = "results",
+    metadata: "dict | None" = None,
+) -> str:
+    """Write a report file and return its path.
+
+    ``metadata`` key/value pairs (e.g. the active Gram engine backend)
+    are appended as an italicised footer so reruns under different
+    harness settings stay distinguishable.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.md")
     with open(path, "w") as f:
         f.write(content if content.endswith("\n") else content + "\n")
+        if metadata:
+            footer = ", ".join(f"{key}: {value}" for key, value in metadata.items())
+            f.write(f"\n_{footer}_\n")
     return path
 
 

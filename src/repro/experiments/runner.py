@@ -13,7 +13,7 @@ import sys
 
 from repro.experiments import complexity, figure2, properties, table2, table4, table5
 from repro.experiments.kernel_zoo import make_kernel
-from repro.experiments.config import TABLE4_KERNELS
+from repro.experiments.config import TABLE4_KERNELS, gram_engine
 from repro.experiments.reporting import format_table, save_report
 
 
@@ -57,7 +57,7 @@ def main(argv=None) -> int:
     name = argv[0]
     output = _EXPERIMENTS[name](argv[1:])
     if output:
-        path = save_report(name, output)
+        path = save_report(name, output, metadata={"gram_engine": gram_engine()})
         print(f"\n[saved to {path}]")
     return 0
 

@@ -109,6 +109,7 @@ def evaluate_cell(
         "stderr": result.standard_error * 100.0,
         "paper": PAPER_TABLE4.get(kernel_name, {}).get(dataset_name),
         "gram_seconds": gram_seconds,
+        "gram_engine": str(kernel.engine),
         "n_graphs": len(dataset),
     }
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.engine.base import GramEngine, resolve_engine
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
 from repro.utils.linalg import is_positive_semidefinite, project_to_psd
@@ -48,6 +49,10 @@ class GraphKernel(abc.ABC):
     name: str = "kernel"
     #: Static properties; see :class:`KernelTraits`.
     traits: KernelTraits = KernelTraits()
+    #: Sticky per-kernel Gram engine (name or :class:`GramEngine`); ``None``
+    #: defers to the process default. Only pairwise kernels consult it —
+    #: feature-map Grams are a single matmul already.
+    engine: "GramEngine | str | None" = None
 
     def gram(
         self,
@@ -55,6 +60,7 @@ class GraphKernel(abc.ABC):
         *,
         normalize: bool = False,
         ensure_psd: bool = False,
+        engine: "GramEngine | str | None" = None,
     ) -> np.ndarray:
         """The full ``N x N`` Gram matrix over ``graphs``.
 
@@ -67,9 +73,16 @@ class GraphKernel(abc.ABC):
             Clip negative Gram eigenvalues to zero. Only needed for the
             indefinite baselines (unaligned/aligned QJSK); the HAQJSK
             kernels are PD by construction.
+        engine:
+            Gram-computation backend (see :mod:`repro.engine`): a backend
+            name (``"serial"``, ``"batched"``, ``"process"``), a
+            :class:`GramEngine` instance, or ``None`` for this kernel's
+            sticky default / the process-wide default.
         """
         self._check_graphs(graphs)
-        matrix = np.asarray(self._compute_gram(list(graphs)), dtype=float)
+        matrix = np.asarray(
+            self._compute_gram(list(graphs), engine=engine), dtype=float
+        )
         n = len(graphs)
         if matrix.shape != (n, n):
             raise KernelError(
@@ -92,8 +105,16 @@ class GraphKernel(abc.ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
     @abc.abstractmethod
-    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+    def _compute_gram(
+        self, graphs: "list[Graph]", *, engine: "GramEngine | str | None" = None
+    ) -> np.ndarray:
         """Subclass hook: the raw (unnormalised) Gram matrix."""
+
+    def _resolve_engine(
+        self, engine: "GramEngine | str | None" = None
+    ) -> GramEngine:
+        """Resolve the call-site engine, falling back to the sticky one."""
+        return resolve_engine(engine if engine is not None else self.engine)
 
     @staticmethod
     def _check_graphs(graphs) -> None:
@@ -113,7 +134,11 @@ class FeatureMapKernel(GraphKernel):
     is then automatic.
     """
 
-    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+    def _compute_gram(
+        self, graphs: "list[Graph]", *, engine: "GramEngine | str | None" = None
+    ) -> np.ndarray:
+        # Engine selection is accepted for API uniformity but moot here:
+        # an explicit feature map makes the Gram a single (BLAS) matmul.
         features = self.feature_matrix(graphs)
         return features @ features.T
 
@@ -122,9 +147,17 @@ class FeatureMapKernel(GraphKernel):
         """``(N, D)`` feature matrix; columns are substructure counts."""
 
     def cross_gram(
-        self, graphs_a: "list[Graph]", graphs_b: "list[Graph]"
+        self,
+        graphs_a: "list[Graph]",
+        graphs_b: "list[Graph]",
+        *,
+        engine: "GramEngine | str | None" = None,
     ) -> np.ndarray:
-        """Rectangular Gram between two graph lists (shared feature space)."""
+        """Rectangular Gram between two graph lists (shared feature space).
+
+        ``engine`` is accepted for signature parity with the pairwise
+        family and ignored — the rectangle is one matmul.
+        """
         self._check_graphs(graphs_a)
         self._check_graphs(graphs_b)
         features = self.feature_matrix(list(graphs_a) + list(graphs_b))
@@ -133,29 +166,33 @@ class FeatureMapKernel(GraphKernel):
         return fa @ fb.T
 
 
+#: Memory budget (float64 elements, ~64 MB) for one batched intermediate in
+#: the vectorized kernels' pair chunking — shared so every kernel's chunked
+#: ``eigvalsh``/broadcast loop sizes its stacks the same way.
+MIXED_CHUNK_ELEMENTS = 1 << 23
+
+
 class PairwiseKernel(GraphKernel):
     """Kernels defined by a pairwise similarity over prepared states.
 
     Subclasses implement :meth:`prepare` (per-collection preprocessing; for
     HAQJSK this is where the shared prototype hierarchy is fitted) and
-    :meth:`pair_value`.
+    :meth:`pair_value`. The Gram loop itself is delegated to a pluggable
+    :class:`~repro.engine.base.GramEngine`; kernels whose pair value is
+    batchable additionally override :meth:`block_values` so the batched and
+    process backends can evaluate whole tiles with array operations.
     """
 
-    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+    def _compute_gram(
+        self, graphs: "list[Graph]", *, engine: "GramEngine | str | None" = None
+    ) -> np.ndarray:
         states = self.prepare(graphs)
         if len(states) != len(graphs):
             raise KernelError(
                 f"{self.name}: prepare() returned {len(states)} states for "
                 f"{len(graphs)} graphs"
             )
-        n = len(graphs)
-        matrix = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i, n):
-                value = float(self.pair_value(states[i], states[j]))
-                matrix[i, j] = value
-                matrix[j, i] = value
-        return matrix
+        return self._resolve_engine(engine).gram(self, states)
 
     @abc.abstractmethod
     def prepare(self, graphs: "list[Graph]") -> list:
@@ -165,8 +202,89 @@ class PairwiseKernel(GraphKernel):
     def pair_value(self, state_a, state_b) -> float:
         """Kernel value from two prepared states."""
 
+    def block_values(self, states_a: list, states_b: list) -> np.ndarray:
+        """Rectangular ``(len_a, len_b)`` block of kernel values.
+
+        The default evaluates :meth:`pair_value` per cell; vectorized
+        kernels override it with batched array math. Overrides must agree
+        with the loop to ``1e-10`` — the engine backends rely on it.
+        """
+        matrix = np.empty((len(states_a), len(states_b)))
+        for i, state_a in enumerate(states_a):
+            for j, state_b in enumerate(states_b):
+                matrix[i, j] = float(self.pair_value(state_a, state_b))
+        return matrix
+
+    @property
+    def has_vectorized_blocks(self) -> bool:
+        """True when this kernel overrides :meth:`block_values`."""
+        return type(self).block_values is not PairwiseKernel.block_values
+
+    def symmetric_block_values(self, states: list) -> np.ndarray:
+        """Symmetric ``(n, n)`` diagonal block over one state list.
+
+        Only the upper triangle is evaluated (and mirrored), so diagonal
+        tiles cost the same ``n(n+1)/2`` pair values as the serial loop
+        and every backend agrees on symmetry exactly. For vectorized
+        kernels this default computes the full rectangle and keeps the
+        upper triangle — acceptable only when the tile reduces to cheap
+        array arithmetic (e.g. JTQK's ``q = 2`` matmuls); kernels whose
+        per-pair cost dominates override this via
+        :meth:`_symmetric_from_pairs` to batch just the triangle.
+        """
+        n = len(states)
+        if self.has_vectorized_blocks:
+            block = np.asarray(self.block_values(states, states), dtype=float)
+            upper = np.triu(block)
+            return upper + np.triu(block, 1).T
+        matrix = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i, n):
+                value = float(self.pair_value(states[i], states[j]))
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return matrix
+
+    def _rectangular_from_pairs(
+        self, states_a: list, states_b: list, pair_values_fn
+    ) -> np.ndarray:
+        """Rectangular block from a pair-list evaluator.
+
+        ``pair_values_fn(states_a, states_b, idx_a, idx_b)`` returns the
+        flat values for pairs ``(idx_a[p], idx_b[p])``; vectorized kernels
+        plug their batched evaluator in here for :meth:`block_values`.
+        """
+        n_a, n_b = len(states_a), len(states_b)
+        if not n_a or not n_b:
+            return np.zeros((n_a, n_b))
+        idx_a = np.repeat(np.arange(n_a), n_b)
+        idx_b = np.tile(np.arange(n_b), n_a)
+        return pair_values_fn(states_a, states_b, idx_a, idx_b).reshape(n_a, n_b)
+
+    def _symmetric_from_pairs(self, states: list, pair_values_fn) -> np.ndarray:
+        """Symmetric diagonal block evaluating only the upper triangle.
+
+        For kernels whose per-pair cost dominates (an eigendecomposition
+        per mixed state), the redundant lower triangle is *not* free —
+        this restricts the batch to the serial loop's ``n(n+1)/2`` pairs
+        and mirrors the result.
+        """
+        n = len(states)
+        if not n:
+            return np.zeros((0, 0))
+        upper_i, upper_j = np.triu_indices(n)
+        values = pair_values_fn(states, states, upper_i, upper_j)
+        matrix = np.zeros((n, n))
+        matrix[upper_i, upper_j] = values
+        matrix[upper_j, upper_i] = values
+        return matrix
+
     def cross_gram(
-        self, graphs_a: "list[Graph]", graphs_b: "list[Graph]"
+        self,
+        graphs_a: "list[Graph]",
+        graphs_b: "list[Graph]",
+        *,
+        engine: "GramEngine | str | None" = None,
     ) -> np.ndarray:
         """Rectangular Gram between two graph lists.
 
@@ -174,18 +292,16 @@ class PairwiseKernel(GraphKernel):
         kernels (HAQJSK fits its prototype system on the graphs it sees)
         this is the only consistent reading, and it means a pair's value
         here can differ from its value under a different collection,
-        exactly as in the paper's protocol.
+        exactly as in the paper's protocol. The evaluation itself goes
+        through the same engine backends as :meth:`gram`, so Nyström
+        landmark columns get the batched path too.
         """
         self._check_graphs(graphs_a)
         self._check_graphs(graphs_b)
         states = self.prepare(list(graphs_a) + list(graphs_b))
         states_a = states[: len(graphs_a)]
         states_b = states[len(graphs_a) :]
-        matrix = np.zeros((len(graphs_a), len(graphs_b)))
-        for i, state_a in enumerate(states_a):
-            for j, state_b in enumerate(states_b):
-                matrix[i, j] = float(self.pair_value(state_a, state_b))
-        return matrix
+        return self._resolve_engine(engine).cross_gram(self, states_a, states_b)
 
 
 def normalize_gram(matrix: np.ndarray) -> np.ndarray:

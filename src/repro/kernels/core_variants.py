@@ -49,7 +49,7 @@ class CoreVariantKernel(GraphKernel):
         self.max_core = max_core
         self.name = f"CORE {base_kernel.name}"
 
-    def _compute_gram(self, graphs: "list[Graph]") -> np.ndarray:
+    def _compute_gram(self, graphs: "list[Graph]", *, engine=None) -> np.ndarray:
         n = len(graphs)
         highest = max(degeneracy(g) for g in graphs)
         if self.max_core is not None:
@@ -65,7 +65,7 @@ class CoreVariantKernel(GraphKernel):
                     alive.append(index)
             if len(alive) < 1:
                 break
-            block = self.base_kernel.gram(cores)
+            block = self.base_kernel.gram(cores, engine=engine)
             for a, i in enumerate(alive):
                 for b, j in enumerate(alive):
                     total[i, j] += block[a, b]

@@ -35,7 +35,7 @@ from repro.alignment.transform import (
 )
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
-from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.base import MIXED_CHUNK_ELEMENTS, KernelTraits, PairwiseKernel
 from repro.quantum.density import ctqw_density_matrix, graph_density_matrix
 from repro.quantum.divergence import QJSD_MAX
 from repro.utils.linalg import safe_xlogx
@@ -197,9 +197,16 @@ class HierarchicalAligner:
                     slice_k(representations[p], k), hierarchy
                 )
                 for h, c_matrix in enumerate(c_levels):
-                    a_hk = aligned_adjacency(graph.adjacency, c_matrix)
+                    # validate=False: adjacency/density/correspondence are
+                    # all constructed above; the checks dominate otherwise.
+                    a_hk = aligned_adjacency(
+                        graph.adjacency, c_matrix, validate=False
+                    )
                     rho_hk = aligned_density(
-                        densities[p], c_matrix, renormalize=self.renormalize_density
+                        densities[p],
+                        c_matrix,
+                        renormalize=self.renormalize_density,
+                        validate=False,
                     )
                     if adjacency_sums[p] is None:
                         adjacency_sums[p] = [None] * self.n_levels
@@ -254,12 +261,39 @@ def _entropy_fast(matrix: np.ndarray) -> float:
     return float(-np.sum(safe_xlogx(np.clip(values, 0.0, None))))
 
 
+def _entropies_fast(stack: np.ndarray) -> np.ndarray:
+    """Batched :func:`_entropy_fast` over a ``(..., m, m)`` stack.
+
+    The deepest hierarchy levels shrink to 1x1 and 2x2 matrices, where a
+    LAPACK call per matrix is all dispatch overhead — those spectra have
+    exact closed forms (for 2x2: ``mid +- sqrt(((a-c)/2)^2 + b^2)``),
+    which agree with the solver to machine epsilon.
+    """
+    m = stack.shape[-1]
+    if m == 1:
+        values = stack[..., 0, 0, None]
+    elif m == 2:
+        a = stack[..., 0, 0]
+        b = stack[..., 0, 1]
+        c = stack[..., 1, 1]
+        mid = (a + c) / 2.0
+        radius = np.sqrt(((a - c) / 2.0) ** 2 + b * b)
+        values = np.stack([mid - radius, mid + radius], axis=-1)
+    else:
+        values = np.linalg.eigvalsh(stack)
+    # safe_xlogx clips to [0, inf) itself, matching _entropy_fast exactly.
+    return -safe_xlogx(values).sum(axis=-1)
+
+
 class _HAQJSKBase(PairwiseKernel):
     """Shared machinery: prepare per-level density matrices, sum exp(-QJSD).
 
     Prepared state per graph: ``(entropies, matrices)`` with one density
     matrix per hierarchy level; the pairwise value only needs one extra
-    eigendecomposition (the mixed state) per level.
+    eigendecomposition (the mixed state) per level. Because alignment
+    makes every level-h matrix the same ``(m_h, m_h)`` size across the
+    collection, whole Gram tiles batch into ``(B, m_h, m_h)`` eigvalsh
+    stacks — see :meth:`block_values`.
     """
 
     traits = _HAQJSK_TRAITS
@@ -271,18 +305,42 @@ class _HAQJSKBase(PairwiseKernel):
 
     def prepare(self, graphs: "list[Graph]") -> list:
         structures = self.aligner.transform(graphs)
-        states = []
-        for structure in structures:
-            matrices = self._level_matrices(structure)
-            entropies = [_entropy_fast(m) for m in matrices]
-            states.append((entropies, matrices))
-        return states
+        all_matrices = [self._level_matrices(s) for s in structures]
+        n_levels = len(all_matrices[0]) if all_matrices else 0
+        # One stacked eigvalsh per hierarchy level (every graph's level-h
+        # matrix has the same aligned size) instead of a per-matrix loop.
+        all_entropies = [[0.0] * n_levels for _ in all_matrices]
+        for h in range(n_levels):
+            level_entropies = _entropies_fast(
+                np.stack([matrices[h] for matrices in all_matrices])
+            )
+            for p, value in enumerate(level_entropies):
+                all_entropies[p][h] = float(value)
+        return list(zip(all_entropies, all_matrices))
+
+    def _check_levels(self, state_a, state_b) -> int:
+        """Validate that two states share a hierarchy depth (Eq. 26/29).
+
+        States from different ``prepare`` calls (or hand-built ones) can
+        disagree on the level count; without this check the mismatch used
+        to surface as an opaque ``IndexError`` deep in the level loop.
+        """
+        levels_a = len(state_a[1])
+        levels_b = len(state_b[1])
+        if levels_a != levels_b:
+            raise KernelError(
+                f"{self.name}: hierarchy level count mismatch between "
+                f"prepared states ({levels_a} vs {levels_b} levels); both "
+                f"states must come from one prepare() over one collection"
+            )
+        return levels_a
 
     def pair_value(self, state_a, state_b) -> float:
         entropies_a, matrices_a = state_a
         entropies_b, matrices_b = state_b
+        n_levels = self._check_levels(state_a, state_b)
         total = 0.0
-        for h in range(len(matrices_a)):
+        for h in range(n_levels):
             mixed = (matrices_a[h] + matrices_b[h]) / 2.0
             divergence = (
                 _entropy_fast(mixed)
@@ -292,6 +350,68 @@ class _HAQJSKBase(PairwiseKernel):
             divergence = min(max(divergence, 0.0), QJSD_MAX)
             total += float(np.exp(-divergence))
         return total
+
+    def _values_for_pairs(
+        self,
+        states_a: list,
+        states_b: list,
+        idx_a: np.ndarray,
+        idx_b: np.ndarray,
+    ) -> np.ndarray:
+        """Kernel values for the pair list ``(idx_a[p], idx_b[p])``.
+
+        Per hierarchy level the matrices are stacked once into
+        ``(n, m_h, m_h)`` arrays, the requested mixed states gathered by
+        fancy indexing, and one batched ``eigvalsh`` per chunk yields all
+        mixed entropies; per-graph entropies come precomputed from
+        ``prepare``. Chunking bounds every intermediate by the memory
+        budget. Taking an explicit pair list lets diagonal Gram tiles
+        batch only the upper triangle — the same ``n(n+1)/2`` solves the
+        serial loop performs.
+        """
+        n_levels = self._check_levels(states_a[0], states_b[0])
+        for state in list(states_a) + list(states_b):
+            self._check_levels(states_a[0], state)
+        entropies_a = np.asarray([s[0] for s in states_a])  # (n_a, H)
+        entropies_b = np.asarray([s[0] for s in states_b])
+        n_pairs = idx_a.size
+        values = np.zeros(n_pairs)
+        for h in range(n_levels):
+            stack_a = np.stack([s[1][h] for s in states_a])  # (n_a, m, m)
+            stack_b = np.stack([s[1][h] for s in states_b])
+            if stack_a.shape[1:] != stack_b.shape[1:]:
+                raise KernelError(
+                    f"{self.name}: level {h + 1} aligned sizes differ "
+                    f"({stack_a.shape[1:]} vs {stack_b.shape[1:]}); both "
+                    f"states must come from one prepare() over one collection"
+                )
+            m = stack_a.shape[-1]
+            chunk = max(1, MIXED_CHUNK_ELEMENTS // max(1, m * m))
+            for start in range(0, n_pairs, chunk):
+                stop = min(start + chunk, n_pairs)
+                rows = idx_a[start:stop]
+                cols = idx_b[start:stop]
+                mixed = stack_a[rows] + stack_b[cols]
+                mixed *= 0.5
+                divergence = (
+                    _entropies_fast(mixed)
+                    - 0.5 * entropies_a[rows, h]
+                    - 0.5 * entropies_b[cols, h]
+                )
+                np.clip(divergence, 0.0, QJSD_MAX, out=divergence)
+                values[start:stop] += np.exp(-divergence)
+        return values
+
+    def block_values(self, states_a: list, states_b: list) -> np.ndarray:
+        """Vectorized rectangular tile (see :meth:`_values_for_pairs`)."""
+        return self._rectangular_from_pairs(
+            states_a, states_b, self._values_for_pairs
+        )
+
+    def symmetric_block_values(self, states: list) -> np.ndarray:
+        """Vectorized diagonal tile batching only the upper triangle
+        (mixed-state eigendecompositions dominate the per-pair cost)."""
+        return self._symmetric_from_pairs(states, self._values_for_pairs)
 
     def _level_matrices(self, structure: AlignedGraphStructures) -> "list[np.ndarray]":
         raise NotImplementedError

@@ -2,6 +2,7 @@
 
 from repro.ml.cross_validation import (
     DEFAULT_C_GRID,
+    cross_validate_graph_kernel,
     cross_validate_kernel,
     select_c,
     stratified_k_fold,
@@ -32,6 +33,7 @@ __all__ = [
     "center_gram",
     "condition_gram",
     "confusion_matrix",
+    "cross_validate_graph_kernel",
     "cross_validate_kernel",
     "gram_signal_summary",
     "kernel_embedding",

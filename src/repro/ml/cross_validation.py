@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.ml.kernel_utils import condition_gram
 from repro.ml.metrics import CVResult, accuracy, summarize_repeats
 from repro.ml.multiclass import KernelSVC
 from repro.utils.rng import as_rng, spawn_seed
@@ -153,3 +154,32 @@ def cross_validate_kernel(
             per_repeat.append(float(np.mean(fold_accuracies)))
     best_c = float(np.median(chosen_cs)) if chosen_cs else float("nan")
     return summarize_repeats(per_repeat, best_c)
+
+
+def cross_validate_graph_kernel(
+    kernel,
+    graphs,
+    labels,
+    *,
+    engine=None,
+    normalize: bool = True,
+    ensure_psd: bool = False,
+    condition: bool = True,
+    **cv_kwargs,
+) -> CVResult:
+    """End-to-end protocol from graphs: Gram -> conditioning -> repeated CV.
+
+    Convenience wrapper tying the kernel layer to the evaluation
+    protocol: the Gram matrix is computed with the selected
+    :mod:`repro.engine` backend (``engine=None`` defers to the kernel's
+    sticky default / the process default), optionally conditioned with
+    :func:`repro.ml.kernel_utils.condition_gram`, and handed to
+    :func:`cross_validate_kernel` with any remaining keyword arguments
+    (``n_folds``, ``n_repeats``, ``seed``, ...).
+    """
+    gram = kernel.gram(
+        graphs, normalize=normalize, ensure_psd=ensure_psd, engine=engine
+    )
+    if condition:
+        gram = condition_gram(gram)
+    return cross_validate_kernel(gram, labels, **cv_kwargs)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.base import GramEngine
 from repro.errors import NotFittedError, ValidationError
 from repro.kernels.base import GraphKernel, PairwiseKernel
 from repro.utils.rng import as_rng
@@ -39,13 +40,17 @@ class NystromApproximation:
     ----------
     kernel:
         Any :class:`GraphKernel`. Pairwise kernels take the efficient
-        path (one ``prepare``, N·m pair values); other kernels fall back
-        to ``cross_gram``/``gram`` calls.
+        path (one ``prepare``, N·m pair values evaluated through the
+        Gram engine); other kernels fall back to ``gram`` calls.
     n_landmarks:
         Number of landmark graphs ``m``. ``m = N`` reproduces the exact
         Gram matrix (up to the PSD projection inherent in W⁺).
     seed:
         Seeds the uniform landmark sampling.
+    engine:
+        Gram-computation backend for the ``K(X, L)`` evaluation (see
+        :mod:`repro.engine`); ``None`` defers to the kernel's own
+        default. Ignored for feature-map kernels.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -55,7 +60,12 @@ class NystromApproximation:
     """
 
     def __init__(
-        self, kernel: GraphKernel, *, n_landmarks: int, seed: "int | None" = 0
+        self,
+        kernel: GraphKernel,
+        *,
+        n_landmarks: int,
+        seed: "int | None" = 0,
+        engine: "GramEngine | str | None" = None,
     ) -> None:
         if not isinstance(kernel, GraphKernel):
             raise ValidationError(
@@ -66,6 +76,7 @@ class NystromApproximation:
             n_landmarks, "n_landmarks", minimum=1
         )
         self.seed = seed
+        self.engine = engine
         self.landmark_indices_: "np.ndarray | None" = None
         self.embedding_: "np.ndarray | None" = None
 
@@ -102,13 +113,10 @@ class NystromApproximation:
         if isinstance(self.kernel, PairwiseKernel):
             states = self.kernel.prepare(list(graphs))
             landmark_states = [states[i] for i in landmarks]
-            matrix = np.zeros((len(graphs), landmarks.size))
-            for i, state in enumerate(states):
-                for j, landmark_state in enumerate(landmark_states):
-                    matrix[i, j] = float(
-                        self.kernel.pair_value(state, landmark_state)
-                    )
-            return matrix
+            # The N x m rectangle goes through the same engine backends
+            # as a full Gram, so landmark columns get the batched path.
+            engine = self.kernel._resolve_engine(self.engine)
+            return engine.cross_gram(self.kernel, states, landmark_states)
         # Generic fallback: one full-collection Gram, sliced. Exact but not
         # cheaper — feature-map kernels are already linear in N.
         full = self.kernel.gram(list(graphs))
@@ -121,9 +129,10 @@ def nystrom_gram(
     *,
     n_landmarks: int,
     seed: "int | None" = 0,
+    engine: "GramEngine | str | None" = None,
 ) -> np.ndarray:
     """One-shot Nyström approximation of ``kernel.gram(graphs)``."""
     approximation = NystromApproximation(
-        kernel, n_landmarks=n_landmarks, seed=seed
+        kernel, n_landmarks=n_landmarks, seed=seed, engine=engine
     ).fit(graphs)
     return approximation.approximate_gram()

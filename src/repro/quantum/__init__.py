@@ -23,6 +23,7 @@ from repro.quantum.entropy import (
     renyi_entropy,
     shannon_entropy,
     tsallis_entropy,
+    von_neumann_entropies,
     von_neumann_entropy,
 )
 from repro.quantum.operators import (
@@ -60,5 +61,6 @@ __all__ = [
     "shannon_entropy",
     "tsallis_entropy",
     "uniform_initial_state",
+    "von_neumann_entropies",
     "von_neumann_entropy",
 ]

@@ -37,6 +37,25 @@ def von_neumann_entropy(matrix: np.ndarray) -> float:
     return float(-np.sum(safe_xlogx(values)))
 
 
+def von_neumann_entropies(stack: np.ndarray) -> np.ndarray:
+    """Batched von Neumann entropies over a ``(..., n, n)`` matrix stack.
+
+    The hot-path counterpart of :func:`von_neumann_entropy` used by the
+    vectorized Gram engines (:mod:`repro.engine`): one stacked
+    ``eigvalsh`` replaces a Python loop of per-matrix decompositions.
+    Inputs are symmetrised exactly like :func:`repro.utils.linalg.eigh_sorted`
+    so a stacked call agrees with the scalar path to solver round-off.
+    """
+    arr = np.asarray(stack, dtype=float)
+    if arr.ndim < 2 or arr.shape[-1] != arr.shape[-2]:
+        raise QuantumError(
+            f"expected a (..., n, n) stack of square matrices, got {arr.shape}"
+        )
+    sym = (arr + np.swapaxes(arr, -1, -2)) / 2.0
+    values = np.clip(np.linalg.eigvalsh(sym), _EIG_CLIP, None)
+    return -safe_xlogx(values).sum(axis=-1)
+
+
 def shannon_entropy(probabilities: np.ndarray) -> float:
     """Shannon entropy of a probability vector (natural log, 0 log 0 = 0)."""
     arr = np.asarray(probabilities, dtype=float)

@@ -101,15 +101,24 @@ def safe_xlogx(values: np.ndarray) -> np.ndarray:
     rather than producing NaNs.
     """
     arr = np.clip(np.asarray(values, dtype=float), 0.0, None)
-    out = np.zeros_like(arr)
-    positive = arr > 0.0
-    out[positive] = arr[positive] * np.log(arr[positive])
-    return out
+    with np.errstate(divide="ignore", invalid="ignore"):
+        product = arr * np.log(arr)
+    return np.where(arr > 0.0, product, 0.0)
 
 
-def normalized_trace_one(matrix: np.ndarray, *, name: str = "matrix") -> np.ndarray:
-    """Scale a PSD matrix to unit trace; identity/size fallback for zero trace."""
-    arr = check_symmetric_matrix(matrix, name)
+def normalized_trace_one(
+    matrix: np.ndarray, *, name: str = "matrix", validate: bool = True
+) -> np.ndarray:
+    """Scale a PSD matrix to unit trace; identity/size fallback for zero trace.
+
+    ``validate=False`` skips the symmetry check for hot loops whose inputs
+    are symmetric by construction; the scaling arithmetic is identical.
+    """
+    arr = (
+        check_symmetric_matrix(matrix, name)
+        if validate
+        else np.asarray(matrix, dtype=float)
+    )
     trace = float(np.trace(arr))
     if trace <= EIG_TOL:
         n = arr.shape[0]

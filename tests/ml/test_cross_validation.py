@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.ml.cross_validation import (
+    cross_validate_graph_kernel,
     cross_validate_kernel,
     select_c,
     stratified_k_fold,
@@ -104,3 +105,41 @@ class TestCrossValidate:
     def test_rejects_mismatched_inputs(self):
         with pytest.raises(ValidationError):
             cross_validate_kernel(np.eye(4), np.asarray([0, 1]))
+
+
+class TestGraphKernelEntryPoint:
+    """The end-to-end graphs -> Gram -> CV wrapper (engine-aware)."""
+
+    def _collection(self):
+        from repro.graphs import generators as gen
+
+        graphs = [gen.cycle_graph(5 + i % 3) for i in range(6)] + [
+            gen.star_graph(5 + i % 3) for i in range(6)
+        ]
+        labels = np.asarray([0] * 6 + [1] * 6)
+        return graphs, labels
+
+    def test_runs_end_to_end(self):
+        from repro.kernels import WeisfeilerLehmanKernel
+
+        graphs, labels = self._collection()
+        result = cross_validate_graph_kernel(
+            WeisfeilerLehmanKernel(2), graphs, labels,
+            n_folds=3, n_repeats=2, seed=0,
+        )
+        assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_engine_choice_does_not_change_result(self):
+        from repro.kernels import QJSKUnaligned
+
+        graphs, labels = self._collection()
+        kwargs = dict(
+            ensure_psd=True, n_folds=3, n_repeats=2, seed=0
+        )
+        serial = cross_validate_graph_kernel(
+            QJSKUnaligned(), graphs, labels, engine="serial", **kwargs
+        )
+        batched = cross_validate_graph_kernel(
+            QJSKUnaligned(), graphs, labels, engine="batched", **kwargs
+        )
+        assert serial.mean_accuracy == pytest.approx(batched.mean_accuracy)

@@ -82,6 +82,19 @@ class TestFeatureMapFallback:
         assert np.allclose(approx, exact, atol=1e-8)
 
 
+class TestEngineRouting:
+    """The landmark rectangle goes through the pluggable Gram engines."""
+
+    def test_backends_agree(self, kernel, graphs):
+        serial = nystrom_gram(kernel, graphs, n_landmarks=5, seed=2, engine="serial")
+        batched = nystrom_gram(kernel, graphs, n_landmarks=5, seed=2, engine="batched")
+        assert np.allclose(serial, batched, atol=1e-9)
+
+    def test_engine_stored(self, kernel):
+        model = NystromApproximation(kernel, n_landmarks=3, engine="batched")
+        assert model.engine == "batched"
+
+
 class TestValidation:
     def test_rejects_non_kernel(self):
         with pytest.raises(ValidationError):
