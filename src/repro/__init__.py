@@ -13,6 +13,7 @@ subpackages for the full API:
 * :mod:`repro.alignment` — DB representations, prototypes, correspondences
 * :mod:`repro.kernels`   — HAQJSK(A/D) plus every baseline of Table III
 * :mod:`repro.engine`    — pluggable Gram backends (serial/batched/process)
+* :mod:`repro.store`     — content-addressed artifacts, incremental Grams
 * :mod:`repro.ml`        — C-SVM (SMO), multiclass, cross-validation
 * :mod:`repro.gnn`       — numpy autograd + the deep baselines of Table V
 * :mod:`repro.experiments` — regenerate each paper table/figure

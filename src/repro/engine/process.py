@@ -12,14 +12,24 @@ The result is identical to the batched backend tile-for-tile — the same
 backend-equivalence tests assert. When a pool cannot be created (no
 ``fork``/``spawn`` available in a sandbox, interpreter shutting down, …)
 the engine degrades to in-process execution rather than failing the Gram
-computation.
+computation, emitting a :class:`RuntimeWarning` so the lost parallelism
+is visible. The pool itself is created and shut down deterministically
+within each ``gram``/``cross_gram`` call, on every exit path.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
+
+try:
+    from concurrent.futures import ProcessPoolExecutor
+except ImportError:  # pragma: no cover - interpreter without _multiprocessing
+    # WASM/pyodide-style builds: keep the module importable so the serial
+    # and batched backends still work; _run degrades in-process.
+    ProcessPoolExecutor = None
 
 from repro.engine.base import (
     GramEngine,
@@ -64,8 +74,11 @@ class ProcessEngine(GramEngine):
             states_a = states[rows[0] : rows[1]]
             states_b = [] if diagonal else states[cols[0] : cols[1]]
             jobs.append(((rows, cols), (kernel, states_a, states_b, diagonal)))
-        for (rows, cols), block in self._run(jobs):
-            assemble_symmetric(matrix, rows, cols, block)
+
+        def place(key, block):
+            assemble_symmetric(matrix, key[0], key[1], block)
+
+        self._run(jobs, place)
         return matrix
 
     def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
@@ -76,8 +89,12 @@ class ProcessEngine(GramEngine):
                 slice_a = states_a[rows[0] : rows[1]]
                 slice_b = states_b[cols[0] : cols[1]]
                 jobs.append(((rows, cols), (kernel, slice_a, slice_b, False)))
-        for ((r0, r1), (c0, c1)), block in self._run(jobs):
+
+        def place(key, block):
+            (r0, r1), (c0, c1) = key
             matrix[r0:r1, c0:c1] = block
+
+        self._run(jobs, place)
         return matrix
 
     # ------------------------------------------------------------------ #
@@ -88,34 +105,67 @@ class ProcessEngine(GramEngine):
         limit = self.max_workers or os.cpu_count() or 1
         return max(1, min(int(limit), n_jobs))
 
-    def _run(self, jobs):
-        """Yield ``(key, block ndarray)`` for every submitted tile job.
+    def _run(self, jobs, consume) -> None:
+        """Call ``consume(key, block ndarray)`` for every tile job.
+
+        Results stream into ``consume`` as futures are drained (tiles are
+        never all materialised at once), and the pool is created, drained
+        and shut down entirely inside this frame. Pushing the assembly in
+        — instead of yielding results out of a generator — is what makes
+        the pool lifecycle deterministic: a generator's ``finally`` only
+        runs when the consumer exhausts or closes it, so an exception
+        raised mid-assembly (or an abandoned iteration) used to leave
+        worker processes alive until GC. Here every exit path, including
+        a ``consume`` or worker exception, reaps the pool first.
 
         Only pool *setup* (executor creation / task submission) falls back
         to in-process execution — that is where restricted environments
-        without ``fork``/``spawn`` fail. Once tasks are in flight, worker
-        errors (kernel bugs, a broken pool) propagate to the caller
-        instead of being masked by a silent full serial recompute.
+        without ``fork``/``spawn`` fail — and the degradation is announced
+        with a :class:`RuntimeWarning` so users notice they lost
+        parallelism. Once tasks are in flight, worker errors (kernel bugs,
+        a broken pool) propagate to the caller instead of being masked by
+        a silent full serial recompute.
         """
         if not jobs:
             return
+        if ProcessPoolExecutor is None:
+            self._run_in_process(
+                jobs, consume, ImportError("concurrent.futures has no process pools")
+            )
+            return
         workers = self._worker_count(len(jobs))
-        pool = None
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
             pool = ProcessPoolExecutor(max_workers=workers)
+        except (ImportError, OSError, PermissionError, RuntimeError) as exc:
+            self._run_in_process(jobs, consume, exc)
+            return
+        try:
             futures = [
                 (key, pool.submit(_gram_block, *args)) for key, args in jobs
             ]
-        except (ImportError, OSError, PermissionError, RuntimeError):
-            if pool is not None:
-                pool.shutdown(wait=False)
-            for key, args in jobs:
-                yield key, np.asarray(_gram_block(*args), dtype=float)
+        except (OSError, PermissionError, RuntimeError) as exc:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._run_in_process(jobs, consume, exc)
             return
         try:
             for key, future in futures:
-                yield key, np.asarray(future.result(), dtype=float)
+                consume(key, np.asarray(future.result(), dtype=float))
         finally:
-            pool.shutdown(wait=True)
+            # Runs whether the drain completed or a worker raised: pending
+            # tiles are cancelled and the workers reaped before the caller
+            # sees either the results or the exception.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _run_in_process(jobs, consume, cause: BaseException) -> None:
+        """Pool-less fallback, announced so the lost parallelism is visible."""
+        warnings.warn(
+            f"ProcessEngine could not start a worker pool "
+            f"({type(cause).__name__}: {cause}); degrading to in-process "
+            f"execution — Gram results are unchanged but no parallel "
+            f"speedup applies",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        for key, args in jobs:
+            consume(key, np.asarray(_gram_block(*args), dtype=float))

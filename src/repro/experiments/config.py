@@ -31,6 +31,34 @@ def gram_engine() -> str:
     return default_engine_name()
 
 
+#: Environment variable pointing the harness at a persistent artifact store.
+STORE_ENV_VAR = "REPRO_STORE"
+
+
+def store_root() -> "str | None":
+    """The configured artifact-store directory, or ``None`` when unset."""
+    root = os.environ.get(STORE_ENV_VAR, "").strip()
+    return root or None
+
+
+def artifact_store(root: "str | None" = None):
+    """The harness-wide :class:`repro.store.ArtifactStore`, if configured.
+
+    ``root`` overrides the environment (a ``--store`` CLI flag); with
+    neither set, returns ``None`` and the harness recomputes everything —
+    the historical behaviour. Pointing ``REPRO_STORE`` at a directory
+    gives every experiment checkpoint/resume for free: each completed
+    Gram matrix is persisted under its content key, and a killed run
+    restarts from the last completed one.
+    """
+    root = root if root is not None else store_root()
+    if not root:
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(root)
+
+
 @dataclass(frozen=True)
 class DatasetScale:
     """How much of a dataset the scaled harness uses."""

@@ -5,15 +5,27 @@ Experiments: ``table1`` (properties), ``table2`` (dataset statistics),
 (deep-learning comparison), ``figure2`` (prototype hierarchy),
 ``complexity`` (Section III-D scaling). Reports are echoed and written
 under ``results/``.
+
+Checkpoint/resume: point ``REPRO_STORE`` at a directory (or pass
+``--store`` to experiments that accept it) and every completed Gram
+matrix is persisted in a content-addressed artifact store
+(:mod:`repro.store`). A killed run rerun with the same store restarts
+from its last completed Gram and produces the identical report.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.experiments import complexity, figure2, properties, table2, table4, table5
 from repro.experiments.kernel_zoo import make_kernel
-from repro.experiments.config import TABLE4_KERNELS, gram_engine
+from repro.experiments.config import (
+    STORE_ENV_VAR,
+    TABLE4_KERNELS,
+    gram_engine,
+    store_root,
+)
 from repro.experiments.reporting import format_table, save_report
 
 
@@ -46,18 +58,37 @@ _EXPERIMENTS = {
 }
 
 
+def _extract_store_flag(argv: list) -> list:
+    """Route a runner-global ``--store DIR`` through the environment.
+
+    Every experiment (and the report footer) reads the store via
+    ``REPRO_STORE``, so resolving the flag here keeps them all in
+    agreement — including experiments whose own parsers predate the flag.
+    """
+    if "--store" not in argv:
+        return argv
+    index = argv.index("--store")
+    if index + 1 >= len(argv):
+        raise SystemExit("--store needs a directory argument")
+    os.environ[STORE_ENV_VAR] = argv[index + 1]
+    return argv[:index] + argv[index + 2 :]
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in _EXPERIMENTS:
         names = ", ".join(sorted(_EXPERIMENTS))
-        print(f"usage: repro-experiments <experiment> [options]\n"
+        print(f"usage: repro-experiments <experiment> [--store DIR] [options]\n"
               f"experiments: {names}")
         return 0 if argv and argv[0] in ("-h", "--help") else 2
     name = argv[0]
-    output = _EXPERIMENTS[name](argv[1:])
+    output = _EXPERIMENTS[name](_extract_store_flag(argv[1:]))
     if output:
-        path = save_report(name, output, metadata={"gram_engine": gram_engine()})
+        metadata = {"gram_engine": gram_engine()}
+        if store_root():
+            metadata["artifact_store"] = store_root()
+        path = save_report(name, output, metadata=metadata)
         print(f"\n[saved to {path}]")
     return 0
 

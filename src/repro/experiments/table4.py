@@ -72,9 +72,22 @@ PAPER_TABLE4 = {
 
 
 def evaluate_cell(
-    kernel_name: str, dataset_name: str, *, seed: int = 0, n_repeats: "int | None" = None
+    kernel_name: str,
+    dataset_name: str,
+    *,
+    seed: int = 0,
+    n_repeats: "int | None" = None,
+    store=None,
 ) -> dict:
-    """One Table IV cell: accuracy of ``kernel_name`` on ``dataset_name``."""
+    """One Table IV cell: accuracy of ``kernel_name`` on ``dataset_name``.
+
+    With a ``store`` (:class:`repro.store.ArtifactStore`), the Gram matrix
+    — the cell's dominant cost — is fetched by content key and only
+    computed (then persisted) on a miss. A killed sweep rerun with the
+    same store therefore restarts from its last completed Gram: completed
+    cells reload in milliseconds and produce the identical report (the CV
+    protocol is deterministic given the seed).
+    """
     scale_cfg = dataset_scale(dataset_name)
     dataset = load_dataset(
         dataset_name,
@@ -85,12 +98,24 @@ def evaluate_cell(
     kernel = make_kernel(
         kernel_name, n_prototypes=scale_cfg.haqjsk_prototypes, seed=seed
     )
+    ensure_psd = kernel_name in INDEFINITE_KERNELS
+    key = None
+    gram = None
+    if store is not None:
+        from repro.store import gram_key
+
+        key = gram_key(
+            kernel, dataset.graphs, normalize=True, ensure_psd=ensure_psd
+        )
+        gram = store.get_array("gram", key)
+    gram_cached = gram is not None
     started = time.perf_counter()
-    gram = kernel.gram(
-        dataset.graphs,
-        normalize=True,
-        ensure_psd=kernel_name in INDEFINITE_KERNELS,
-    )
+    if gram is None:
+        gram = kernel.gram(
+            dataset.graphs, normalize=True, ensure_psd=ensure_psd
+        )
+        if store is not None:
+            store.put_array("gram", key, gram)
     gram_seconds = time.perf_counter() - started
     result = cross_validate_kernel(
         condition_gram(gram),
@@ -100,7 +125,12 @@ def evaluate_cell(
         seed=seed + 1,
     )
     _LOGGER.info(
-        "%s / %s: %s (gram %.1fs)", kernel_name, dataset_name, result, gram_seconds
+        "%s / %s: %s (gram %.1fs%s)",
+        kernel_name,
+        dataset_name,
+        result,
+        gram_seconds,
+        ", from store" if gram_cached else "",
     )
     return {
         "kernel": kernel_name,
@@ -110,12 +140,18 @@ def evaluate_cell(
         "paper": PAPER_TABLE4.get(kernel_name, {}).get(dataset_name),
         "gram_seconds": gram_seconds,
         "gram_engine": str(kernel.engine),
+        "gram_cached": gram_cached,
         "n_graphs": len(dataset),
     }
 
 
 def run_table4(
-    *, kernels=None, datasets=None, seed: int = 0, n_repeats: "int | None" = None
+    *,
+    kernels=None,
+    datasets=None,
+    seed: int = 0,
+    n_repeats: "int | None" = None,
+    store=None,
 ) -> "list[dict]":
     """All requested Table IV cells (defaults: the full paper grid)."""
     cells = []
@@ -123,7 +159,11 @@ def run_table4(
         for kernel_name in kernels or TABLE4_KERNELS:
             cells.append(
                 evaluate_cell(
-                    kernel_name, dataset_name, seed=seed, n_repeats=n_repeats
+                    kernel_name,
+                    dataset_name,
+                    seed=seed,
+                    n_repeats=n_repeats,
+                    store=store,
                 )
             )
     return cells
@@ -148,15 +188,23 @@ def cells_to_rows(cells: "list[dict]") -> "list[dict]":
 def main(argv=None) -> str:  # pragma: no cover - CLI glue
     import argparse
 
+    from repro.experiments.config import artifact_store
+
     parser = argparse.ArgumentParser(description="Regenerate Table IV")
     parser.add_argument("--datasets", nargs="*", default=None)
     parser.add_argument("--kernels", nargs="*", default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="artifact-store directory for checkpoint/resume "
+        "(default: $REPRO_STORE; unset = recompute everything)",
+    )
     args = parser.parse_args(argv)
     cells = run_table4(
         kernels=args.kernels, datasets=args.datasets, seed=args.seed,
-        n_repeats=args.repeats,
+        n_repeats=args.repeats, store=artifact_store(args.store),
     )
     table = format_table(cells_to_rows(cells))
     print(table)

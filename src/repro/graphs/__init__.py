@@ -1,6 +1,7 @@
 """Graph substrate: the :class:`Graph` type, operations, generators, IO."""
 
 from repro.graphs.graph import Graph
+from repro.graphs.hashing import collection_digest, graph_digest
 from repro.graphs.ops import (
     clustering_coefficient,
     core_numbers,
@@ -19,11 +20,13 @@ from repro.graphs.ops import (
 __all__ = [
     "Graph",
     "clustering_coefficient",
+    "collection_digest",
     "core_numbers",
     "degeneracy",
     "degree_distribution",
     "degree_matrix",
     "disjoint_union",
+    "graph_digest",
     "k_core_subgraph",
     "laplacian",
     "max_shortest_path_length",

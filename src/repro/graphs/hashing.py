@@ -1,0 +1,64 @@
+"""Stable content hashing for graphs and graph collections.
+
+The artifact store (:mod:`repro.store`) addresses persisted Gram blocks
+and prepared states by *content*: two byte-identical graphs always map to
+the same digest, across processes and sessions (unlike ``hash()``, which
+is salted per interpreter). The digest covers exactly what the kernels
+see — the canonicalised adjacency matrix and the vertex labels — and
+deliberately excludes the cosmetic ``name`` attribute.
+
+Note that the digest is a *representation* hash, not an isomorphism
+invariant: a permuted copy of a graph hashes differently, exactly as it
+may produce different rows in a Gram matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+
+#: Bumping this version string invalidates every previously stored digest
+#: (change it whenever the hashed byte layout changes).
+_DIGEST_VERSION = b"graph-digest-v1"
+
+
+def graph_digest(graph: Graph) -> str:
+    """Hex SHA-256 of a graph's canonical content.
+
+    Covers the adjacency matrix (already symmetrised, zero-diagonal
+    float64 by :class:`~repro.graphs.graph.Graph` construction) and the
+    labels (or an explicit unlabelled marker), but not ``graph.name``.
+    """
+    if not isinstance(graph, Graph):
+        raise GraphError(f"graph_digest needs a Graph, got {type(graph).__name__}")
+    digest = hashlib.sha256()
+    digest.update(_DIGEST_VERSION)
+    digest.update(f"|n={graph.n_vertices}|".encode())
+    digest.update(np.ascontiguousarray(graph.adjacency, dtype=np.float64).tobytes())
+    if graph.labels is None:
+        digest.update(b"|unlabelled")
+    else:
+        digest.update(b"|labels:")
+        digest.update(np.ascontiguousarray(graph.labels, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+def collection_digest(graphs: "Iterable[Graph]") -> str:
+    """Hex SHA-256 of an *ordered* graph collection.
+
+    Order-sensitive on purpose: a Gram matrix's rows follow the input
+    order, so reordered collections are distinct artifacts.
+    """
+    digest = hashlib.sha256()
+    digest.update(b"graph-collection-v1")
+    count = 0
+    for graph in graphs:
+        digest.update(graph_digest(graph).encode())
+        count += 1
+    digest.update(f"|count={count}".encode())
+    return digest.hexdigest()

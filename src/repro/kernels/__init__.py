@@ -15,6 +15,7 @@ from repro.kernels.core_variants import (
 )
 from repro.kernels.graphlet import GraphletKernel, three_graphlet_counts
 from repro.kernels.haqjsk import (
+    FrozenAlignmentSystem,
     HAQJSKKernelA,
     HAQJSKKernelD,
     HierarchicalAligner,
@@ -41,6 +42,7 @@ __all__ = [
     "AlignedSubtreeKernel",
     "CoreVariantKernel",
     "FeatureMapKernel",
+    "FrozenAlignmentSystem",
     "GraphKernel",
     "GraphletKernel",
     "HAQJSKAttributedA",

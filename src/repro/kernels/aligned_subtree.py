@@ -48,6 +48,11 @@ class AlignedSubtreeKernel(PairwiseKernel):
         captures_global=False,
         notes="pairwise Hungarian alignment; not transitive",
     )
+    #: The DB layer count K is chosen from the whole collection (greatest
+    #: shortest-path length, capped): a new large-diameter graph deepens
+    #: every old graph's representation and moves the Hungarian matching —
+    #: gram_extend must refuse.
+    collection_independent = False
 
     def __init__(self, *, n_iterations: int = 10, max_layers: int = 10) -> None:
         self.n_iterations = check_positive_int(n_iterations, "n_iterations", minimum=1)

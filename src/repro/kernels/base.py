@@ -18,7 +18,8 @@ import numpy as np
 from repro.engine.base import GramEngine, resolve_engine
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
-from repro.utils.linalg import is_positive_semidefinite, project_to_psd
+from repro.store.fingerprints import config_fingerprint
+from repro.utils.linalg import clip_to_psd
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,17 @@ class GraphKernel(abc.ABC):
     #: defers to the process default. Only pairwise kernels consult it —
     #: feature-map Grams are a single matmul already.
     engine: "GramEngine | str | None" = None
+    #: True when a pair's kernel value depends only on the two graphs, not
+    #: on which other graphs share the collection. This is the eligibility
+    #: condition for :meth:`gram_extend`: extending a Gram must not
+    #: silently change the old entries. Feature-map kernels qualify by
+    #: construction; pairwise kernels opt in per class; the HAQJSK family
+    #: qualifies only in frozen-prototype mode (see
+    #: :meth:`repro.kernels.haqjsk._HAQJSKBase.freeze`).
+    collection_independent: bool = False
+    #: Appended to the :meth:`gram_extend` refusal message; subclasses with
+    #: an eligible mode (frozen HAQJSK) point users at it here.
+    _extension_hint: str = ""
 
     def gram(
         self,
@@ -92,9 +104,101 @@ class GraphKernel(abc.ABC):
         matrix = (matrix + matrix.T) / 2.0
         if normalize:
             matrix = normalize_gram(matrix)
-        if ensure_psd and not is_positive_semidefinite(matrix):
-            matrix = project_to_psd(matrix)
+        if ensure_psd:
+            # One eigendecomposition serves both the PSD check and (when
+            # needed) the projection — see clip_to_psd.
+            matrix = clip_to_psd(matrix)
         return matrix
+
+    def gram_extend(
+        self,
+        cached_gram: np.ndarray,
+        old_graphs: "list[Graph]",
+        new_graphs: "list[Graph]",
+        *,
+        engine: "GramEngine | str | None" = None,
+    ) -> np.ndarray:
+        """Grow a cached raw Gram by ``ΔN`` new graphs, computing only the
+        new ``(N, ΔN)`` cross block and ``(ΔN, ΔN)`` diagonal block.
+
+        ``cached_gram`` must be the *raw* output of
+        ``gram(old_graphs, normalize=False, ensure_psd=False)`` (cosine
+        normalisation and PSD projection are global operations — apply
+        them to the returned matrix, and keep the raw one for further
+        extension). The result matches a from-scratch
+        ``gram(old_graphs + new_graphs)`` to the backends' 1e-10
+        agreement, at ``O(N·ΔN)`` pair evaluations instead of
+        ``O((N+ΔN)²)`` — the serving workload of a growing collection
+        against a fixed reference set.
+
+        Raises a :class:`~repro.errors.KernelError` when this kernel's
+        values depend on the whole collection (HAQJSK's prototype system,
+        shared-decay random walks, ...): extending such a Gram would
+        silently invalidate the cached ``N × N`` block.
+        """
+        self._check_graphs(old_graphs)
+        self._check_graphs(new_graphs)
+        if not self.collection_independent:
+            hint = f" {self._extension_hint}" if self._extension_hint else ""
+            raise KernelError(
+                f"{self.name}: gram_extend refused — this kernel's values "
+                f"depend on the whole collection, so extending would "
+                f"silently change the cached entries.{hint}"
+            )
+        n_old, n_new = len(old_graphs), len(new_graphs)
+        cached = np.asarray(cached_gram, dtype=float)
+        if cached.shape != (n_old, n_old):
+            raise KernelError(
+                f"{self.name}: cached_gram has shape {cached.shape}, "
+                f"expected ({n_old}, {n_old}) for {n_old} old graphs"
+            )
+        cross, diagonal = self._extension_blocks(
+            list(old_graphs), list(new_graphs), engine
+        )
+        cross = np.asarray(cross, dtype=float)
+        diagonal = np.asarray(diagonal, dtype=float)
+        if cross.shape != (n_old, n_new) or diagonal.shape != (n_new, n_new):
+            raise KernelError(
+                f"{self.name}: extension blocks have shapes {cross.shape}/"
+                f"{diagonal.shape}, expected ({n_old}, {n_new})/"
+                f"({n_new}, {n_new})"
+            )
+        full = np.empty((n_old + n_new, n_old + n_new))
+        full[:n_old, :n_old] = (cached + cached.T) / 2.0
+        full[:n_old, n_old:] = cross
+        full[n_old:, :n_old] = cross.T
+        full[n_old:, n_old:] = (diagonal + diagonal.T) / 2.0
+        return full
+
+    def _extension_blocks(
+        self,
+        old_graphs: "list[Graph]",
+        new_graphs: "list[Graph]",
+        engine: "GramEngine | str | None",
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Subclass hook: the ``(N, ΔN)`` cross and ``(ΔN, ΔN)`` diagonal
+        blocks of the extended Gram. Only called after the
+        collection-independence gate in :meth:`gram_extend` passed."""
+        raise KernelError(
+            f"{self.name}: no incremental Gram path is implemented for "
+            f"{type(self).__name__}"
+        )
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of this kernel's class and configuration.
+
+        Two kernels with equal fingerprints produce equal Gram matrices
+        (up to backend round-off) on equal graph collections — the
+        property the artifact store's content addressing relies on. The
+        Gram *engine* is excluded (scheduling never changes values);
+        fitted state that does change values is mixed in via
+        :meth:`_fingerprint_extra`.
+        """
+        return config_fingerprint(self, extra=self._fingerprint_extra())
+
+    def _fingerprint_extra(self) -> dict:
+        """Fitted state that changes kernel values (default: none)."""
+        return {}
 
     def __call__(self, graph_a: Graph, graph_b: Graph) -> float:
         """Kernel value between two graphs (via a 2x2 Gram)."""
@@ -134,6 +238,13 @@ class FeatureMapKernel(GraphKernel):
     is then automatic.
     """
 
+    #: ``K_pq = <φ(G_p), φ(G_q)>`` with per-graph substructure counts:
+    #: enlarging the collection only pads shared vocabularies with zero
+    #: columns, which never changes an inner product. (Kernels whose
+    #: features *sample* from collection-shared randomness must override
+    #: this back to False — see GraphletKernel.)
+    collection_independent = True
+
     def _compute_gram(
         self, graphs: "list[Graph]", *, engine: "GramEngine | str | None" = None
     ) -> np.ndarray:
@@ -164,6 +275,19 @@ class FeatureMapKernel(GraphKernel):
         fa = features[: len(graphs_a)]
         fb = features[len(graphs_a) :]
         return fa @ fb.T
+
+    def _extension_blocks(
+        self,
+        old_graphs: "list[Graph]",
+        new_graphs: "list[Graph]",
+        engine: "GramEngine | str | None",
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        # One shared feature space over old + new (vocabulary union); the
+        # old block's inner products are untouched by the extra columns.
+        features = self.feature_matrix(old_graphs + new_graphs)
+        old_features = features[: len(old_graphs)]
+        new_features = features[len(old_graphs) :]
+        return old_features @ new_features.T, new_features @ new_features.T
 
 
 #: Memory budget (float64 elements, ~64 MB) for one batched intermediate in
@@ -302,6 +426,31 @@ class PairwiseKernel(GraphKernel):
         states_a = states[: len(graphs_a)]
         states_b = states[len(graphs_a) :]
         return self._resolve_engine(engine).cross_gram(self, states_a, states_b)
+
+    def _extension_blocks(
+        self,
+        old_graphs: "list[Graph]",
+        new_graphs: "list[Graph]",
+        engine: "GramEngine | str | None",
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        # Preparation is (re)run over old + new as one collection — it is
+        # linear and cheap relative to the pair stage, and for
+        # collection-independent kernels (the gram_extend gate) it yields
+        # the same pair values as any other collection. Only the N·ΔN
+        # cross pairs and the ΔN(ΔN+1)/2 new diagonal pairs are evaluated,
+        # through the same engine backends as a full Gram.
+        states = self.prepare(old_graphs + new_graphs)
+        if len(states) != len(old_graphs) + len(new_graphs):
+            raise KernelError(
+                f"{self.name}: prepare() returned {len(states)} states for "
+                f"{len(old_graphs) + len(new_graphs)} graphs"
+            )
+        resolved = self._resolve_engine(engine)
+        old_states = states[: len(old_graphs)]
+        new_states = states[len(old_graphs) :]
+        cross = resolved.cross_gram(self, old_states, new_states)
+        diagonal = resolved.gram(self, new_states)
+        return cross, diagonal
 
 
 def normalize_gram(matrix: np.ndarray) -> np.ndarray:

@@ -99,6 +99,13 @@ class GraphletKernel(FeatureMapKernel):
         self.n_samples = check_positive_int(n_samples, "n_samples", minimum=1)
         self.seed = seed
 
+    @property
+    def collection_independent(self) -> bool:
+        """Size-3 counts are exact per graph; size-4 histograms draw from
+        one rng sequence shared across the collection, so a graph's
+        features depend on its position — gram_extend must refuse."""
+        return self.size == 3
+
     def feature_matrix(self, graphs: "list[Graph]") -> np.ndarray:
         rng = as_rng(self.seed)
         rows = []

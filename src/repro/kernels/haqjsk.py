@@ -19,15 +19,24 @@ set ``G``), kernel values depend on the collection. The positive
 definiteness and permutation-invariance claims of Table I are about this
 collection-level construction and are verified empirically in
 ``benchmarks/bench_table1_properties.py``.
+
+For the serving workload (newcomers arriving against a fixed reference
+collection) both kernels additionally support a **frozen-prototype mode**:
+``kernel.freeze(reference_graphs)`` fits the prototype system once, after
+which any graphs are aligned against those fixed prototypes — values
+become collection-independent and exact incremental Gram extension
+(:meth:`~repro.kernels.base.GraphKernel.gram_extend`) applies.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.alignment.correspondence import correspondence_matrices
 from repro.alignment.depth_based import DBRepresentationExtractor
-from repro.alignment.prototypes import fit_prototype_hierarchy
+from repro.alignment.prototypes import PrototypeHierarchy, fit_prototype_hierarchy
 from repro.alignment.transform import (
     AlignedGraphStructures,
     aligned_adjacency,
@@ -35,12 +44,42 @@ from repro.alignment.transform import (
 )
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
+from repro.graphs.hashing import collection_digest
 from repro.kernels.base import MIXED_CHUNK_ELEMENTS, KernelTraits, PairwiseKernel
 from repro.quantum.density import ctqw_density_matrix, graph_density_matrix
 from repro.quantum.divergence import QJSD_MAX
 from repro.utils.linalg import safe_xlogx
 from repro.utils.rng import as_rng, spawn_seed
 from repro.utils.validation import check_in_range, check_positive_int
+
+@dataclass
+class FrozenAlignmentSystem:
+    """A fitted, reusable prototype/alignment system (frozen mode).
+
+    Everything graph-independent that :meth:`HierarchicalAligner.transform`
+    derives from a collection: the fitted DB extractor (which pins the
+    layer count ``K``), one prototype hierarchy per DB dimension ``k``,
+    and the static-column layout. Once frozen, *any* graph — including one
+    never seen at fit time — can be aligned against these prototypes
+    without refitting, which makes the HAQJSK kernels collection-
+    independent: exactly the serving scenario of newcomers arriving
+    against a fixed reference collection.
+
+    The instance is a plain picklable value object, so a serving process
+    can persist it in the artifact store and warm-restart from disk.
+    """
+
+    extractor: object
+    hierarchies: "list[PrototypeHierarchy]"
+    n_layers: int
+    n_static: int
+    #: Content digest of the reference collection the system was fitted
+    #: on — mixed into the kernel fingerprint so Grams served against
+    #: different references never share a store key. Only ``fit`` (the
+    #: frozen path) pays for computing it; the one-shot per-collection
+    #: path leaves it empty because nothing ever reads it there.
+    reference_digest: str = ""
+
 
 _HAQJSK_TRAITS = KernelTraits(
     framework="Information Theory",
@@ -139,29 +178,86 @@ class HierarchicalAligner:
             check_positive_int(quantize_decimals, "quantize_decimals", minimum=1)
         self.quantize_decimals = quantize_decimals
         self.seed = seed
+        #: Fitted prototype system in frozen mode; ``None`` refits per call.
+        self.frozen_: "FrozenAlignmentSystem | None" = None
+
+    @property
+    def is_frozen(self) -> bool:
+        """True when a reference prototype system has been fitted."""
+        return self.frozen_ is not None
+
+    def fit(self, graphs: "list[Graph]") -> "HierarchicalAligner":
+        """Freeze the prototype system on a *reference* collection.
+
+        After fitting, :meth:`transform` aligns any graphs — including
+        newcomers — against these fixed prototypes instead of refitting
+        per call, so kernel values no longer depend on which graphs share
+        a ``transform`` call. This is the frozen-prototype serving mode:
+        exact Gram extension (``gram_extend``) becomes legal for the
+        HAQJSK kernels at the price of alignment quality being anchored
+        to the reference collection.
+        """
+        system, _ = self._fit_system(graphs)
+        # Only the frozen path needs the reference digest (store keying);
+        # hashing here keeps it off the unfrozen per-gram hot path.
+        system.reference_digest = collection_digest(graphs)
+        self.frozen_ = system
+        return self
+
+    def unfreeze(self) -> "HierarchicalAligner":
+        """Drop the frozen system; transform refits per collection again."""
+        self.frozen_ = None
+        return self
 
     def transform(self, graphs: "list[Graph]") -> "list[AlignedGraphStructures]":
-        """Aligned structures (Eq. 22-25) for every graph in the collection."""
+        """Aligned structures (Eq. 22-25) for every graph.
+
+        Unfrozen (the paper's protocol): the prototype system is fitted
+        on exactly the graphs passed in, so values are collection-level.
+        Frozen: the stored reference system is applied to the graphs
+        without refitting.
+        """
+        if not graphs:
+            raise KernelError("HierarchicalAligner needs at least one graph")
+        if self.frozen_ is not None:
+            system = self.frozen_
+            representations = [
+                self._quantized(system.extractor.transform(g)) for g in graphs
+            ]
+        else:
+            system, representations = self._fit_system(graphs)
+        return self._apply_system(system, representations, graphs)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _quantized(self, matrix: np.ndarray) -> np.ndarray:
+        """Round representations below signal scale (see class docstring)."""
+        if self.quantize_decimals is None:
+            return matrix
+        return np.round(matrix, self.quantize_decimals)
+
+    def _fit_system(
+        self, graphs: "list[Graph]"
+    ) -> "tuple[FrozenAlignmentSystem, list[np.ndarray]]":
+        """Fit extractor + per-dimension hierarchies on one collection.
+
+        Returns the fitted system and the collection's (quantised) vertex
+        representations, so the one-shot path does not recompute them.
+        """
         if not graphs:
             raise KernelError("HierarchicalAligner needs at least one graph")
         rng = as_rng(self.seed)
         extractor = self.extractor or DBRepresentationExtractor(
             max_layers=self.max_layers, entropy=self.entropy
         )
-        representations = extractor.fit_transform(graphs)
-        if self.quantize_decimals is not None:
-            representations = [
-                np.round(r, self.quantize_decimals) for r in representations
-            ]
+        representations = [
+            self._quantized(r) for r in extractor.fit_transform(graphs)
+        ]
         n_layers = extractor.n_layers_
         n_static = int(getattr(extractor, "n_static_", 0) or 0)
-        densities = [
-            graph_density_matrix(g, hamiltonian=self.hamiltonian) for g in graphs
-        ]
 
-        n_graphs = len(graphs)
-        adjacency_sums = [None] * n_graphs  # per graph: list over levels
-        density_sums = [None] * n_graphs
         # Canonicalise the pooled point order (lexicographic by the full
         # K-dimensional rows) so the fitted prototypes depend only on the
         # *multiset* of vertex representations — this is what makes the
@@ -171,15 +267,10 @@ class HierarchicalAligner:
         full = np.vstack(representations)
         canonical = full[np.lexsort(full.T[::-1])]
 
-        def slice_k(matrix: np.ndarray, k: int) -> np.ndarray:
-            """First k DB columns plus any static (label) tail columns."""
-            if not n_static:
-                return matrix[:, :k]
-            return np.hstack([matrix[:, :k], matrix[:, n_layers:]])
-
+        hierarchies: "list[PrototypeHierarchy]" = []
         warm_centers = None
         for k in range(1, n_layers + 1):
-            pooled = slice_k(canonical, k)
+            pooled = self._slice_k(canonical, k, n_layers, n_static)
             hierarchy = fit_prototype_hierarchy(
                 pooled,
                 n_prototypes=self.n_prototypes,
@@ -188,13 +279,40 @@ class HierarchicalAligner:
                 seed=spawn_seed(rng),
                 init_centers=warm_centers,
             )
+            hierarchies.append(hierarchy)
             if self.consistent_across_k and k < n_layers:
                 warm_centers = self._extend_centers(
                     hierarchy, pooled, canonical[:, k], insert_at=k
                 )
+        system = FrozenAlignmentSystem(
+            extractor=extractor,
+            hierarchies=hierarchies,
+            n_layers=n_layers,
+            n_static=n_static,
+        )
+        return system, representations
+
+    def _apply_system(
+        self,
+        system: "FrozenAlignmentSystem",
+        representations: "list[np.ndarray]",
+        graphs: "list[Graph]",
+    ) -> "list[AlignedGraphStructures]":
+        """Align every graph against an (already fitted) prototype system."""
+        n_layers = system.n_layers
+        n_static = system.n_static
+        densities = [
+            graph_density_matrix(g, hamiltonian=self.hamiltonian) for g in graphs
+        ]
+        n_graphs = len(graphs)
+        adjacency_sums = [None] * n_graphs  # per graph: list over levels
+        density_sums = [None] * n_graphs
+        for k in range(1, n_layers + 1):
+            hierarchy = system.hierarchies[k - 1]
             for p, graph in enumerate(graphs):
                 c_levels = correspondence_matrices(
-                    slice_k(representations[p], k), hierarchy
+                    self._slice_k(representations[p], k, n_layers, n_static),
+                    hierarchy,
                 )
                 for h, c_matrix in enumerate(c_levels):
                     # validate=False: adjacency/density/correspondence are
@@ -225,6 +343,15 @@ class HierarchicalAligner:
                 AlignedGraphStructures(adjacency_by_level, density_by_level)
             )
         return structures
+
+    @staticmethod
+    def _slice_k(
+        matrix: np.ndarray, k: int, n_layers: int, n_static: int
+    ) -> np.ndarray:
+        """First k DB columns plus any static (label) tail columns."""
+        if not n_static:
+            return matrix[:, :k]
+        return np.hstack([matrix[:, :k], matrix[:, n_layers:]])
 
     @staticmethod
     def _extend_centers(
@@ -297,11 +424,53 @@ class _HAQJSKBase(PairwiseKernel):
     """
 
     traits = _HAQJSK_TRAITS
+    _extension_hint = (
+        "Fit a frozen prototype system on a reference collection first "
+        "(kernel.freeze(reference_graphs)) to enter the serving mode in "
+        "which extension is exact."
+    )
 
     def __init__(self, aligner: "HierarchicalAligner | None" = None, **aligner_kwargs):
         if aligner is not None and aligner_kwargs:
             raise KernelError("pass either a HierarchicalAligner or kwargs, not both")
         self.aligner = aligner or HierarchicalAligner(**aligner_kwargs)
+
+    @property
+    def collection_independent(self) -> bool:
+        """True only in frozen-prototype mode (see :meth:`freeze`).
+
+        Unfrozen, the prototype system is refitted on every collection
+        (the paper's protocol), so a pair's value depends on which other
+        graphs it shares a ``gram`` call with — extending a cached Gram
+        would silently change the old entries, and ``gram_extend``
+        refuses with a named :class:`~repro.errors.KernelError`.
+        """
+        return self.aligner.is_frozen
+
+    def freeze(self, reference_graphs: "list[Graph]") -> "_HAQJSKBase":
+        """Enter frozen-prototype serving mode.
+
+        Fits the DB extractor and the hierarchical prototype system once
+        on ``reference_graphs``; afterwards every ``prepare``/``gram``
+        call aligns its graphs against those fixed prototypes instead of
+        refitting, so newcomers can be evaluated against a reference
+        collection incrementally (``gram_extend``) without perturbing it.
+        """
+        self._check_graphs(reference_graphs)
+        self.aligner.fit(list(reference_graphs))
+        return self
+
+    def unfreeze(self) -> "_HAQJSKBase":
+        """Back to the paper's per-collection fitting protocol."""
+        self.aligner.unfreeze()
+        return self
+
+    def _fingerprint_extra(self) -> dict:
+        """Frozen mode changes values, so the reference digest is part of
+        the kernel's identity in the artifact store."""
+        if self.aligner.is_frozen:
+            return {"frozen_reference": self.aligner.frozen_.reference_digest}
+        return {}
 
     def prepare(self, graphs: "list[Graph]") -> list:
         structures = self.aligner.transform(graphs)

@@ -24,6 +24,8 @@ class JensenShannonKernel(PairwiseKernel):
     """Classical JSD kernel over steady-state degree distributions."""
 
     name = "JSDK"
+    #: Per-graph degree distributions; pair padding only.
+    collection_independent = True
     traits = KernelTraits(
         framework="Information Theory",
         positive_definite=False,

@@ -69,6 +69,11 @@ class JensenTsallisQKernel(PairwiseKernel):
         captures_global=True,
         notes="simplified per-label aggregation; see module docstring",
     )
+    #: The shared WL vocabulary only *indexes* canonical subtree labels;
+    #: growing the collection pads both distributions of a pair with
+    #: matching zeros, which leave every Tsallis entropy (and hence the
+    #: pair value) unchanged.
+    collection_independent = True
 
     def __init__(
         self,

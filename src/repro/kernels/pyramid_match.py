@@ -22,6 +22,8 @@ class PyramidMatchKernel(PairwiseKernel):
     """PMGK with eigenvector embeddings and ``n_levels`` pyramid levels."""
 
     name = "PMGK"
+    #: Histogram pyramids are built per graph from its own spectrum.
+    collection_independent = True
     traits = KernelTraits(
         framework="R-convolution",
         positive_definite=True,

@@ -78,6 +78,9 @@ class QJSKUnaligned(PairwiseKernel):
 
     name = "QJSK"
     traits = _QJSK_TRAITS
+    #: Prepared states are per-graph CTQW density matrices; padding is per
+    #: pair — nothing about a pair's value sees the rest of the collection.
+    collection_independent = True
 
     def __init__(self, mu: float = 1.0, *, hamiltonian: str = "laplacian") -> None:
         self.mu = check_in_range(mu, "mu", low=0.0, high=np.inf, low_inclusive=False)
@@ -153,6 +156,8 @@ class QJSKAligned(PairwiseKernel):
         captures_global=True,
         notes="pairwise Umeyama alignment; not transitive, still indefinite",
     )
+    #: Umeyama matching and padding both happen per pair.
+    collection_independent = True
 
     def __init__(self, mu: float = 1.0, *, hamiltonian: str = "laplacian") -> None:
         self.mu = check_in_range(mu, "mu", low=0.0, high=np.inf, low_inclusive=False)

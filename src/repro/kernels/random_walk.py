@@ -47,6 +47,10 @@ class RandomWalkKernel(PairwiseKernel):
         captures_global=False,
         notes="suffers from tottering; ablation baseline",
     )
+    #: prepare() shrinks the decay to the *collection's* worst spectral
+    #: bound, so adding a denser graph changes every old pair's value —
+    #: gram_extend must refuse.
+    collection_independent = False
 
     def __init__(self, decay: float = 0.05, *, use_labels: bool = False) -> None:
         self.decay = check_in_range(decay, "decay", low=0.0, high=1.0, low_inclusive=False)

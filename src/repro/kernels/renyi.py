@@ -55,6 +55,9 @@ class RenyiEntropyKernel(PairwiseKernel):
     """SPEGK: Gaussian similarity over optimally aligned Rényi DB vectors."""
 
     name = "SPEGK"
+    #: DB vectors use the kernel's fixed ``n_layers``, not a
+    #: collection-level layer count; the assignment is per pair.
+    collection_independent = True
     traits = KernelTraits(
         framework="Information Theory",
         positive_definite=False,

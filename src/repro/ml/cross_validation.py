@@ -165,6 +165,7 @@ def cross_validate_graph_kernel(
     normalize: bool = True,
     ensure_psd: bool = False,
     condition: bool = True,
+    store=None,
     **cv_kwargs,
 ) -> CVResult:
     """End-to-end protocol from graphs: Gram -> conditioning -> repeated CV.
@@ -176,9 +177,22 @@ def cross_validate_graph_kernel(
     :func:`repro.ml.kernel_utils.condition_gram`, and handed to
     :func:`cross_validate_kernel` with any remaining keyword arguments
     (``n_folds``, ``n_repeats``, ``seed``, ...).
+
+    ``store`` (a :class:`repro.store.ArtifactStore`) makes the Gram step
+    persistent: the matrix is fetched by content key — kernel
+    fingerprint + collection digest + options — and only computed (then
+    persisted) on a miss, so repeated protocol runs and interrupted
+    experiment sweeps skip straight past completed Grams.
     """
-    gram = kernel.gram(
-        graphs, normalize=normalize, ensure_psd=ensure_psd, engine=engine
+    from repro.store import store_backed_gram
+
+    gram = store_backed_gram(
+        kernel,
+        list(graphs),
+        store,
+        normalize=normalize,
+        ensure_psd=ensure_psd,
+        engine=engine,
     )
     if condition:
         gram = condition_gram(gram)

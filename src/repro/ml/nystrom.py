@@ -51,6 +51,12 @@ class NystromApproximation:
         Gram-computation backend for the ``K(X, L)`` evaluation (see
         :mod:`repro.engine`); ``None`` defers to the kernel's own
         default. Ignored for feature-map kernels.
+    store:
+        Optional :class:`repro.store.ArtifactStore`: the ``K(X, L)``
+        rectangle — the expensive N·m pair stage — is fetched by content
+        key (kernel fingerprint + collection digest + landmark indices)
+        and persisted on miss, so refitting over the same collection and
+        seed is free.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -66,6 +72,7 @@ class NystromApproximation:
         n_landmarks: int,
         seed: "int | None" = 0,
         engine: "GramEngine | str | None" = None,
+        store=None,
     ) -> None:
         if not isinstance(kernel, GraphKernel):
             raise ValidationError(
@@ -77,6 +84,7 @@ class NystromApproximation:
         )
         self.seed = seed
         self.engine = engine
+        self.store = store
         self.landmark_indices_: "np.ndarray | None" = None
         self.embedding_: "np.ndarray | None" = None
 
@@ -110,6 +118,28 @@ class NystromApproximation:
 
     def _cross_matrix(self, graphs: list, landmarks: np.ndarray) -> np.ndarray:
         """``K(X, L)`` with one collection-level preparation if possible."""
+        key = None
+        if self.store is not None:
+            from repro.graphs.hashing import collection_digest
+            from repro.store import artifact_key
+
+            key = artifact_key(
+                "nystrom-cross",
+                self.kernel.fingerprint(),
+                collection_digest(graphs),
+                ",".join(str(int(i)) for i in landmarks),
+            )
+            cached = self.store.get_array("nystrom", key)
+            if cached is not None:
+                return cached
+        cross = self._compute_cross_matrix(graphs, landmarks)
+        if key is not None:
+            self.store.put_array("nystrom", key, cross)
+        return cross
+
+    def _compute_cross_matrix(
+        self, graphs: list, landmarks: np.ndarray
+    ) -> np.ndarray:
         if isinstance(self.kernel, PairwiseKernel):
             states = self.kernel.prepare(list(graphs))
             landmark_states = [states[i] for i in landmarks]
@@ -130,9 +160,10 @@ def nystrom_gram(
     n_landmarks: int,
     seed: "int | None" = 0,
     engine: "GramEngine | str | None" = None,
+    store=None,
 ) -> np.ndarray:
     """One-shot Nyström approximation of ``kernel.gram(graphs)``."""
     approximation = NystromApproximation(
-        kernel, n_landmarks=n_landmarks, seed=seed, engine=engine
+        kernel, n_landmarks=n_landmarks, seed=seed, engine=engine, store=store
     ).fit(graphs)
     return approximation.approximate_gram()

@@ -1,0 +1,45 @@
+"""Persistent, content-addressed artifact store for the kernel pipeline.
+
+The HAQJSK family costs ``O(N² n³)`` per Gram matrix (paper Section
+III-D); :mod:`repro.engine` attacks the constant factor, this subsystem
+attacks *recomputation*. Three pieces:
+
+* **Content addressing** — stable graph digests
+  (:func:`repro.graphs.hashing.graph_digest`) and kernel configuration
+  fingerprints (:meth:`repro.kernels.base.GraphKernel.fingerprint`)
+  combine into :func:`gram_key`, so artifacts are found by what computed
+  them, across processes and machines.
+* **The store** — :class:`ArtifactStore` persists Gram matrices and
+  prepared states under those keys (atomic writes, bounded in-memory
+  layer), giving the experiment harness checkpoint/resume
+  (``REPRO_STORE=dir python -m repro.experiments.runner table4 ...``) and
+  the ML layer store-backed Grams.
+* **The incremental path** —
+  :meth:`repro.kernels.base.GraphKernel.gram_extend` grows a cached Gram
+  by only the new ``(N, ΔN)`` cross and ``(ΔN, ΔN)`` diagonal blocks;
+  :class:`IncrementalGram` wraps it into a warm-restartable serving
+  object. Exact for collection-independent kernels; the HAQJSK family
+  first freezes its prototype system on a reference collection
+  (``kernel.freeze(...)``) — the frozen-prototype serving mode.
+"""
+
+from repro.store.artifacts import (
+    DEFAULT_MEMORY_ENTRIES,
+    ArtifactStore,
+    IncrementalGram,
+    artifact_key,
+    gram_key,
+    store_backed_gram,
+)
+from repro.store.fingerprints import config_fingerprint, stable_config
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_MEMORY_ENTRIES",
+    "IncrementalGram",
+    "artifact_key",
+    "config_fingerprint",
+    "gram_key",
+    "stable_config",
+    "store_backed_gram",
+]

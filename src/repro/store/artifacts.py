@@ -1,0 +1,348 @@
+"""Content-addressed on-disk artifact store with an in-memory layer.
+
+An :class:`ArtifactStore` persists the expensive intermediates of the
+kernel pipeline — Gram matrices and blocks (arrays) and prepared states /
+frozen alignment systems (pickled objects) — under keys derived from
+*content*: the kernel's configuration fingerprint plus the collection
+digest of the graphs involved (:func:`gram_key`). Identical inputs always
+map to the same path, so a killed experiment run restarts from its last
+completed artifact and a serving process warm-restarts from disk instead
+of recomputing a quadratic Gram.
+
+Layout: ``<root>/<kind>/<key[:2]>/<key>.npy`` (arrays) or ``.pkl``
+(objects); the two-character fan-out keeps directories small at millions
+of artifacts. Writes go through a temporary file and ``os.replace``, so a
+crash mid-write never leaves a torn artifact — the worst case is a
+missing key, which simply recomputes.
+
+A bounded :class:`~repro.utils.caching.KeyedCache` fronts the disk layer
+so a serving loop's hot artifacts (the reference Gram it extends on every
+arrival) stay in memory without the process growing without bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.hashing import collection_digest
+from repro.utils.caching import KeyedCache
+
+#: Default bound on the in-memory layer (entries, FIFO eviction).
+DEFAULT_MEMORY_ENTRIES = 256
+
+_KINDS_HINT = "kind must be a non-empty path-safe token (e.g. 'gram', 'states')"
+
+
+def artifact_key(*parts: str) -> str:
+    """Hex SHA-256 key combining any number of string parts."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(str(part).encode())
+        digest.update(b"\x1f")  # unit separator: ("ab","c") != ("a","bc")
+    return digest.hexdigest()
+
+
+def gram_key(
+    kernel,
+    graphs,
+    *,
+    normalize: bool = False,
+    ensure_psd: bool = False,
+    extra: "dict | None" = None,
+) -> str:
+    """The store key of ``kernel.gram(graphs, normalize=, ensure_psd=)``.
+
+    Combines the kernel's configuration fingerprint, the ordered
+    collection digest and the Gram options; ``extra`` mixes in run-level
+    context (e.g. whether downstream conditioning was applied).
+    """
+    payload = json.dumps(
+        {
+            "kernel": kernel.fingerprint(),
+            "graphs": collection_digest(graphs),
+            "normalize": bool(normalize),
+            "ensure_psd": bool(ensure_psd),
+            "extra": extra or {},
+        },
+        sort_keys=True,
+    )
+    return artifact_key("gram", payload)
+
+
+class ArtifactStore:
+    """Content-addressed persistence for Gram matrices and prepared states.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the artifacts (created if missing).
+    max_memory_entries:
+        Bound on the in-memory read cache (FIFO-evicted); ``None`` keeps
+        everything read or written this process — only safe for batch
+        runs, not long-lived serving processes.
+    """
+
+    def __init__(
+        self, root: str, *, max_memory_entries: "int | None" = DEFAULT_MEMORY_ENTRIES
+    ) -> None:
+        if not root or not str(root).strip():
+            raise ValidationError("ArtifactStore needs a non-empty root directory")
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._memory = KeyedCache(max_entries=max_memory_entries)
+
+    # ------------------------------------------------------------------ #
+    # Arrays (Gram matrices, blocks, embeddings)
+    # ------------------------------------------------------------------ #
+
+    def put_array(
+        self, kind: str, key: str, array: np.ndarray, *, copy: bool = True
+    ) -> str:
+        """Persist an array; returns its path. Idempotent per (kind, key).
+
+        The cached copy is decoupled from the caller's buffer and marked
+        read-only — content-addressed artifacts are immutable, and a
+        caller mutating a returned array in place must fail loudly
+        instead of silently poisoning every later read of the key.
+        ``copy=False`` hands ownership over without the defensive copy
+        (the array is frozen in place); only for callers that will never
+        touch their reference again.
+        """
+        if copy:
+            arr = np.array(array, copy=True)
+        else:
+            arr = np.asarray(array)
+        arr.setflags(write=False)
+        path = self.path_for(kind, key, suffix=".npy")
+        self._atomic_write(path, lambda f: np.save(f, arr, allow_pickle=False))
+        self._memory.put((kind, key), arr)
+        return path
+
+    def get_array(self, kind: str, key: str) -> "np.ndarray | None":
+        """The stored array (read-only), or ``None`` when absent."""
+        cached = self._memory.get((kind, key))
+        if cached is not None:
+            return cached
+        path = self.path_for(kind, key, suffix=".npy")
+        if not os.path.exists(path):
+            return None
+        arr = np.load(path, allow_pickle=False)
+        arr.setflags(write=False)
+        self._memory.put((kind, key), arr)
+        return arr
+
+    # ------------------------------------------------------------------ #
+    # Objects (prepared states, frozen alignment systems)
+    # ------------------------------------------------------------------ #
+
+    def put_object(self, kind: str, key: str, obj) -> str:
+        """Persist an arbitrary picklable object; returns its path."""
+        path = self.path_for(kind, key, suffix=".pkl")
+        self._atomic_write(
+            path, lambda f: pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self._memory.put((kind, key), obj)
+        return path
+
+    def get_object(self, kind: str, key: str, default=None):
+        """The stored object, or ``default`` when absent."""
+        cached = self._memory.get((kind, key))
+        if cached is not None:
+            return cached
+        path = self.path_for(kind, key, suffix=".pkl")
+        if not os.path.exists(path):
+            return default
+        with open(path, "rb") as f:
+            obj = pickle.load(f)
+        self._memory.put((kind, key), obj)
+        return obj
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def has(self, kind: str, key: str) -> bool:
+        """True when the artifact exists (memory or disk)."""
+        if (kind, key) in self._memory:
+            return True
+        return os.path.exists(self.path_for(kind, key, suffix=".npy")) or os.path.exists(
+            self.path_for(kind, key, suffix=".pkl")
+        )
+
+    def discard(self, kind: str, key: str) -> None:
+        """Drop an artifact from memory and disk (no-op when absent).
+
+        Content-addressed artifacts are immutable but not eternal:
+        callers that supersede an artifact (the incremental serving path
+        outgrowing an intermediate Gram) use this to keep the store from
+        accumulating dead weight.
+        """
+        self._memory.pop((kind, key))
+        for suffix in (".npy", ".pkl"):
+            path = self.path_for(kind, key, suffix=suffix)
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def path_for(self, kind: str, key: str, *, suffix: str = ".npy") -> str:
+        """Deterministic on-disk location of one artifact."""
+        kind = str(kind)
+        key = str(key)
+        if not kind or any(sep in kind for sep in ("/", "\\", "..")):
+            raise ValidationError(f"{_KINDS_HINT}; got {kind!r}")
+        if not key or any(sep in key for sep in ("/", "\\", "..")):
+            raise ValidationError(f"key must be a path-safe token, got {key!r}")
+        fan_out = key[:2] if len(key) > 2 else "__"
+        return os.path.join(self.root, kind, fan_out, key + suffix)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore(root={self.root!r})"
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _atomic_write(path: str, write) -> None:
+        """Write via a sibling temp file + ``os.replace`` (crash-safe)."""
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                write(f)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+
+def store_backed_gram(
+    kernel,
+    graphs,
+    store: "ArtifactStore | None",
+    *,
+    normalize: bool = False,
+    ensure_psd: bool = False,
+    engine=None,
+    extra: "dict | None" = None,
+) -> np.ndarray:
+    """Fetch ``kernel.gram(graphs, ...)`` from the store, computing on miss.
+
+    With ``store=None`` this is exactly ``kernel.gram(...)``, so callers
+    can thread an optional store through without branching. With a store,
+    the returned array is read-only on hit *and* miss — store-backed
+    Grams are immutable artifacts, and a caller seeing a writable matrix
+    on the first run but a read-only one after a warm restart would be a
+    trap.
+    """
+    if store is None:
+        return kernel.gram(
+            list(graphs), normalize=normalize, ensure_psd=ensure_psd, engine=engine
+        )
+    key = gram_key(
+        kernel, graphs, normalize=normalize, ensure_psd=ensure_psd, extra=extra
+    )
+    cached = store.get_array("gram", key)
+    if cached is not None:
+        return cached
+    gram = kernel.gram(
+        list(graphs), normalize=normalize, ensure_psd=ensure_psd, engine=engine
+    )
+    store.put_array("gram", key, gram)
+    return store.get_array("gram", key)
+
+
+class IncrementalGram:
+    """A growing raw Gram matrix — the warm-restart serving path.
+
+    Holds a collection and its *raw* (unnormalised, unprojected) Gram
+    matrix; :meth:`extend` folds newly arrived graphs in through
+    :meth:`~repro.kernels.base.GraphKernel.gram_extend`, paying
+    ``O(N·ΔN)`` per arrival instead of the full ``O((N+ΔN)²)``. With a
+    ``store``, every grown Gram is persisted under its collection's
+    content key, so a restarted process constructed over the same graphs
+    resumes from disk instead of recomputing.
+
+    For collection-level kernels (the HAQJSK family) the kernel must be
+    in frozen-prototype mode first (``kernel.freeze(reference_graphs)``);
+    otherwise :meth:`extend` raises the same named
+    :class:`~repro.errors.KernelError` as ``gram_extend``.
+
+    Persistence writes the *full* grown matrix per :meth:`extend` (which
+    keeps warm restart a single key lookup) but prunes each superseded
+    intermediate, so the store holds at most two Grams per serving
+    object: the one this object started from (another process may still
+    warm-restart from it) and the latest. If write bandwidth ever
+    dominates — it is O((N+ΔN)²) per arrival batch against O(N·ΔN)
+    compute — batch the arrivals.
+    """
+
+    def __init__(
+        self,
+        kernel,
+        graphs=(),
+        *,
+        engine=None,
+        store: "ArtifactStore | None" = None,
+    ) -> None:
+        self.kernel = kernel
+        self.engine = engine
+        self.store = store
+        self.graphs: list = list(graphs)
+        self._initial_key: "str | None" = None
+        self._latest_key: "str | None" = None
+        if not self.graphs:
+            self.gram = np.zeros((0, 0))
+        else:
+            self.gram = store_backed_gram(
+                kernel, self.graphs, store, engine=engine
+            )
+            if store is not None:
+                self._initial_key = gram_key(kernel, self.graphs)
+                self._latest_key = self._initial_key
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def extend(self, new_graphs) -> np.ndarray:
+        """Fold ``new_graphs`` into the Gram; returns the grown matrix."""
+        new_graphs = list(new_graphs)
+        if not new_graphs:
+            return self.gram
+        if not self.graphs:
+            self.graphs = new_graphs
+            self.gram = store_backed_gram(
+                self.kernel, self.graphs, self.store, engine=self.engine
+            )
+            if self.store is not None:
+                self._initial_key = gram_key(self.kernel, self.graphs)
+                self._latest_key = self._initial_key
+            return self.gram
+        grown = self.kernel.gram_extend(
+            self.gram, self.graphs, new_graphs, engine=self.engine
+        )
+        # Freshly assembled and owned by this object: freeze it so the
+        # serving Gram is uniformly immutable whether it was computed,
+        # extended, or warm-restarted from the store.
+        grown.setflags(write=False)
+        self.graphs = self.graphs + new_graphs
+        self.gram = grown
+        if self.store is not None:
+            new_key = gram_key(self.kernel, self.graphs)
+            # copy=False: `grown` is frozen and owned by this object.
+            self.store.put_array("gram", new_key, grown, copy=False)
+            # Prune the superseded intermediate, but never the Gram this
+            # object started from — a restarted process reconstructs over
+            # the initial collection and must still find it.
+            if self._latest_key not in (None, self._initial_key, new_key):
+                self.store.discard("gram", self._latest_key)
+            self._latest_key = new_key
+        return self.gram

@@ -1,7 +1,8 @@
 """Shared utilities: validation, RNG handling, numerically-stable linalg."""
 
-from repro.utils.caching import cached_on_instance
+from repro.utils.caching import KeyedCache, cached_on_instance
 from repro.utils.linalg import (
+    clip_to_psd,
     eigh_sorted,
     group_degenerate_eigenvalues,
     is_positive_semidefinite,
@@ -19,9 +20,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "KeyedCache",
     "as_rng",
     "cached_on_instance",
     "check_in_range",
+    "clip_to_psd",
     "check_positive_int",
     "check_probability_vector",
     "check_square_matrix",

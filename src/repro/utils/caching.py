@@ -53,16 +53,49 @@ class KeyedCache:
 
     Used where a method has parameters (e.g. DB representations keyed by the
     number of layers) and we still want per-instance reuse.
+
+    ``max_entries`` bounds the cache for long-lived processes (the artifact
+    store's in-memory layer in a serving loop): when full, the oldest entry
+    by first insertion is evicted (FIFO). The default ``None`` keeps the
+    historical unbounded behaviour, which is fine for batch runs whose
+    cached population is bounded by the workload itself.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_entries: "int | None" = None) -> None:
+        if max_entries is not None and int(max_entries) < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = None if max_entries is None else int(max_entries)
         self._store: dict = {}
+
+    def get(self, key, default=None):
+        """The cached value for ``key``, or ``default`` when absent."""
+        return self._store.get(key, default)
+
+    def put(self, key, value) -> None:
+        """Insert ``key``, evicting the oldest entry when at capacity."""
+        if key in self._store:
+            self._store[key] = value
+            return
+        if self.max_entries is not None and len(self._store) >= self.max_entries:
+            # dicts iterate in insertion order, so the first key is the
+            # oldest — exactly the FIFO eviction victim.
+            del self._store[next(iter(self._store))]
+        self._store[key] = value
+
+    def pop(self, key, default=None):
+        """Remove and return the entry for ``key`` (``default`` when absent)."""
+        return self._store.pop(key, default)
 
     def get_or_compute(self, key, compute: Callable[[], T]) -> T:
         """Return the cached value for ``key``, computing it on first use."""
-        if key not in self._store:
-            self._store[key] = compute()
-        return self._store[key]
+        if key in self._store:
+            return self._store[key]
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __contains__(self, key) -> bool:
+        return key in self._store
 
     def __len__(self) -> int:
         return len(self._store)

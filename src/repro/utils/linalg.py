@@ -94,6 +94,29 @@ def project_to_psd(matrix: np.ndarray, *, tol: float = 0.0) -> np.ndarray:
     return (vectors * clipped) @ vectors.T
 
 
+def clip_to_psd(
+    matrix: np.ndarray, *, check_tol: float = 1e-7, clip_floor: float = 0.0
+) -> np.ndarray:
+    """PSD check and (only if needed) projection from a single eigendecomposition.
+
+    Behaviourally identical to ``project_to_psd(m) if not
+    is_positive_semidefinite(m) else m`` — same relative-tolerance check,
+    same clipped reconstruction — but the spectrum is computed once and
+    reused for both the check and the projection, instead of two full
+    ``eigh`` calls on the same matrix. Already-PSD inputs are returned
+    unchanged (not reconstructed), so their entries are preserved exactly.
+    """
+    values, vectors = eigh_sorted(matrix)
+    arr = np.asarray(matrix, dtype=float)
+    if values.size == 0:
+        return arr.copy()
+    scale = max(1.0, float(np.max(np.abs(values))))
+    if values[0] >= -check_tol * scale:
+        return arr
+    clipped = np.clip(values, clip_floor, None)
+    return (vectors * clipped) @ vectors.T
+
+
 def safe_xlogx(values: np.ndarray) -> np.ndarray:
     """Elementwise ``x * log(x)`` with the convention ``0 log 0 = 0``.
 

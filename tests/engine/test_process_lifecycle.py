@@ -1,0 +1,172 @@
+"""ProcessEngine pool-lifecycle regression tests.
+
+The historical bug: ``_run`` was a generator, so the pool's
+``shutdown(wait=True)`` lived in a ``finally`` that only ran when the
+consumer exhausted the iterator — an exception mid-assembly (or an
+abandoned iteration) leaked worker processes until GC. These tests pin
+the fixed contract with a recording executor double: the pool is shut
+down on *every* exit path, ``max_workers`` is respected, and the
+in-process degradation announces itself with a RuntimeWarning.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.process as process_module
+from repro.engine.process import ProcessEngine
+
+
+class _StubKernel:
+    """Minimal kernel protocol: constant blocks, no real math."""
+
+    def block_values(self, states_a, states_b):
+        return np.ones((len(states_a), len(states_b)))
+
+    def symmetric_block_values(self, states):
+        return np.ones((len(states), len(states)))
+
+    def pair_value(self, state_a, state_b):
+        return 1.0
+
+
+class _FailingKernel(_StubKernel):
+    def block_values(self, states_a, states_b):
+        raise RuntimeError("boom in block_values")
+
+    def symmetric_block_values(self, states):
+        raise RuntimeError("boom in block_values")
+
+
+class _FakeFuture:
+    def __init__(self, fn, args):
+        self._fn, self._args = fn, args
+
+    def result(self):
+        return self._fn(*self._args)
+
+
+class _RecordingExecutor:
+    """In-process stand-in recording constructor args and shutdown calls."""
+
+    instances: list = []
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+        self.shutdown_calls: list = []
+        _RecordingExecutor.instances.append(self)
+
+    def submit(self, fn, *args):
+        return _FakeFuture(fn, args)
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdown_calls.append({"wait": wait, "cancel_futures": cancel_futures})
+
+
+class _UnavailableExecutor:
+    def __init__(self, max_workers=None):
+        raise OSError("no process pools in this sandbox")
+
+
+@pytest.fixture(autouse=True)
+def _reset_recorder():
+    _RecordingExecutor.instances = []
+    yield
+    _RecordingExecutor.instances = []
+
+
+@pytest.fixture
+def recording_pool(monkeypatch):
+    monkeypatch.setattr(process_module, "ProcessPoolExecutor", _RecordingExecutor)
+    return _RecordingExecutor
+
+
+def _states(n):
+    return list(range(n))
+
+
+class TestPoolLifecycle:
+    def test_pool_shut_down_after_successful_gram(self, recording_pool):
+        engine = ProcessEngine(tile_size=2)
+        gram = engine.gram(_StubKernel(), _states(5))
+        assert np.allclose(gram, 1.0)
+        (pool,) = recording_pool.instances
+        assert pool.shutdown_calls, "pool was never shut down"
+        assert pool.shutdown_calls[-1]["wait"] is True
+
+    def test_pool_shut_down_after_block_values_error(self, recording_pool):
+        """The regression: a worker error must still reap the pool."""
+        engine = ProcessEngine(tile_size=2)
+        with pytest.raises(RuntimeError, match="boom in block_values"):
+            engine.gram(_FailingKernel(), _states(5))
+        (pool,) = recording_pool.instances
+        assert pool.shutdown_calls, "error path leaked the pool"
+        assert pool.shutdown_calls[-1]["cancel_futures"] is True
+
+    def test_cross_gram_shuts_down_too(self, recording_pool):
+        engine = ProcessEngine(tile_size=2)
+        with pytest.raises(RuntimeError):
+            engine.cross_gram(_FailingKernel(), _states(4), _states(3))
+        (pool,) = recording_pool.instances
+        assert pool.shutdown_calls
+
+    def test_no_pool_for_empty_input(self, recording_pool):
+        engine = ProcessEngine(tile_size=2)
+        assert ProcessEngine(tile_size=2).gram(_StubKernel(), []).shape == (0, 0)
+        assert engine.cross_gram(_StubKernel(), [], []).shape == (0, 0)
+        assert recording_pool.instances == []
+
+
+class TestMaxWorkers:
+    def test_max_workers_passed_to_pool(self, recording_pool):
+        engine = ProcessEngine(tile_size=2, max_workers=2)
+        engine.gram(_StubKernel(), _states(8))  # 10 tile jobs at size 2
+        (pool,) = recording_pool.instances
+        assert pool.max_workers == 2
+
+    def test_workers_capped_by_job_count(self, recording_pool):
+        engine = ProcessEngine(tile_size=64, max_workers=16)
+        engine.gram(_StubKernel(), _states(4))  # a single diagonal tile
+        (pool,) = recording_pool.instances
+        assert pool.max_workers == 1
+
+    def test_worker_count_floor(self):
+        engine = ProcessEngine(max_workers=0)  # falsy -> cpu count, >= 1
+        assert engine._worker_count(3) >= 1
+
+
+class TestDegradation:
+    def test_unavailable_pool_warns_and_degrades(self, monkeypatch):
+        monkeypatch.setattr(
+            process_module, "ProcessPoolExecutor", _UnavailableExecutor
+        )
+        engine = ProcessEngine(tile_size=2)
+        with pytest.warns(RuntimeWarning, match="in-process"):
+            gram = engine.gram(_StubKernel(), _states(5))
+        assert np.allclose(gram, 1.0)
+
+    def test_degraded_results_match_real_pool(self, monkeypatch):
+        from repro.graphs import generators as gen
+        from repro.kernels import QJSKUnaligned
+
+        kernel = QJSKUnaligned()
+        graphs = [gen.cycle_graph(5), gen.path_graph(6), gen.star_graph(6)]
+        expected = kernel.gram(graphs, engine="serial")
+        monkeypatch.setattr(
+            process_module, "ProcessPoolExecutor", _UnavailableExecutor
+        )
+        with pytest.warns(RuntimeWarning):
+            degraded = kernel.gram(graphs, engine=ProcessEngine(tile_size=2))
+        assert np.allclose(degraded, expected, atol=1e-10, rtol=0.0)
+
+    def test_submission_failure_degrades_and_reaps(self, monkeypatch):
+        class _SubmitFails(_RecordingExecutor):
+            def submit(self, fn, *args):
+                raise OSError("spawn failed at submit")
+
+        monkeypatch.setattr(process_module, "ProcessPoolExecutor", _SubmitFails)
+        engine = ProcessEngine(tile_size=2)
+        with pytest.warns(RuntimeWarning, match="in-process"):
+            gram = engine.gram(_StubKernel(), _states(5))
+        assert np.allclose(gram, 1.0)
+        (pool,) = _RecordingExecutor.instances
+        assert pool.shutdown_calls, "failed submission leaked the pool"

@@ -61,3 +61,57 @@ class TestKeyedCache:
         assert len(cache) == 2
         cache.clear()
         assert len(cache) == 0
+
+    def test_get_and_put(self):
+        cache = KeyedCache()
+        assert cache.get("missing") is None
+        assert cache.get("missing", 7) == 7
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert "k" in cache and "missing" not in cache
+
+    def test_unbounded_by_default(self):
+        cache = KeyedCache()
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+
+
+class TestKeyedCacheEviction:
+    def test_fifo_eviction_bounds_size(self):
+        cache = KeyedCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a", the oldest insertion
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_eviction_order_is_first_insertion(self):
+        cache = KeyedCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite keeps "a" oldest (FIFO, not LRU)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_get_or_compute_respects_bound(self):
+        cache = KeyedCache(max_entries=3)
+        for i in range(10):
+            cache.get_or_compute(i, lambda i=i: i * i)
+        assert len(cache) == 3
+        assert cache.get(9) == 81
+
+    def test_capacity_one(self):
+        cache = KeyedCache(max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("b") == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedCache(max_entries=0)
+        with pytest.raises(ValueError):
+            KeyedCache(max_entries=-3)
