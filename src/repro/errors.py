@@ -44,5 +44,9 @@ class NotFittedError(ReproError):
     """A model or transformer was used before ``fit`` was called."""
 
 
+class ServingError(ReproError):
+    """A model bundle is missing, corrupt, or inconsistent with its data."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped at its iteration cap before converging."""

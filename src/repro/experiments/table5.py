@@ -28,7 +28,7 @@ from repro.gnn import (
     train_graph_classifier,
 )
 from repro.ml import (
-    condition_gram,
+    GramConditioner,
     cross_validate_kernel,
     stratified_k_fold,
     summarize_repeats,
@@ -125,7 +125,7 @@ def evaluate_cell(
             )
         gram = kernel.gram(dataset.graphs, normalize=True)
         result = cross_validate_kernel(
-            condition_gram(gram), dataset.targets, n_folds=10,
+            GramConditioner().fit_transform(gram), dataset.targets, n_folds=10,
             n_repeats=n_repeats or cv_repeats(), seed=seed + 1,
         )
         mean, stderr = result.mean_accuracy, result.standard_error

@@ -10,6 +10,7 @@ from repro.ml.cross_validation import (
 from repro.ml.knn import KernelKNN, leave_one_out_knn_accuracy
 from repro.ml.kpca import KernelPCA, kernel_embedding
 from repro.ml.kernel_utils import (
+    GramConditioner,
     center_gram,
     condition_gram,
     gram_signal_summary,
@@ -25,6 +26,7 @@ __all__ = [
     "BinarySVM",
     "CVResult",
     "DEFAULT_C_GRID",
+    "GramConditioner",
     "KernelKNN",
     "KernelPCA",
     "KernelSVC",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.ml.kernel_utils import condition_gram
+from repro.ml.kernel_utils import GramConditioner
 from repro.ml.metrics import CVResult, accuracy, summarize_repeats
 from repro.ml.multiclass import KernelSVC
 from repro.utils.rng import as_rng, spawn_seed
@@ -173,8 +173,8 @@ def cross_validate_graph_kernel(
     Convenience wrapper tying the kernel layer to the evaluation
     protocol: the Gram matrix is computed with the selected
     :mod:`repro.engine` backend (``engine=None`` defers to the kernel's
-    sticky default / the process default), optionally conditioned with
-    :func:`repro.ml.kernel_utils.condition_gram`, and handed to
+    sticky default / the process default), optionally conditioned with a
+    :class:`repro.ml.kernel_utils.GramConditioner`, and handed to
     :func:`cross_validate_kernel` with any remaining keyword arguments
     (``n_folds``, ``n_repeats``, ``seed``, ...).
 
@@ -195,5 +195,8 @@ def cross_validate_graph_kernel(
         engine=engine,
     )
     if condition:
-        gram = condition_gram(gram)
+        # The same fit/transform object the serving path uses
+        # (repro.serve), so protocol runs and bundles condition Grams
+        # through one code path.
+        gram = GramConditioner().fit_transform(gram)
     return cross_validate_kernel(gram, labels, **cv_kwargs)

@@ -24,13 +24,29 @@ conditioning before the SVM sees the matrix:
 Both transformations are label-free, so applying them to the full Gram
 before cross-validation introduces no label leakage (the same benign
 transductivity as the usual cosine normalisation).
+
+Transductive vs inductive use
+-----------------------------
+:func:`condition_gram` (and the bare :func:`center_gram`/:func:`scale_gram`)
+are **transductive**: the statistics (row/column means, the diagonal
+scale) are recomputed from whatever matrix is passed in. That is exactly
+right for the paper's protocol — the full Gram over the collection is
+conditioned once, before cross-validation. It is exactly *wrong* for
+serving: conditioning a ``(ΔN, N)`` cross block ``K(new, train)`` with
+statistics of that block silently disagrees with the matrix the SVM was
+trained on, shifting every decision value. Serving-time callers must use
+:class:`GramConditioner` instead — ``fit(K_train)`` captures the
+*training* statistics once, ``transform(K_train)`` conditions the
+training Gram with them, and ``transform_cross(rows)`` applies the same
+frozen statistics to newcomer rows, so training and serving see one
+consistent feature-space translation and scale.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ValidationError
+from repro.errors import NotFittedError, ValidationError
 
 #: Diagonals below this are treated as numerically zero (degenerate Gram).
 _DEGENERATE_DIAGONAL = 1e-12
@@ -75,8 +91,139 @@ def scale_gram(matrix: np.ndarray) -> np.ndarray:
 
 
 def condition_gram(matrix: np.ndarray) -> np.ndarray:
-    """Center then rescale — the harness's standard pre-SVM conditioning."""
-    return scale_gram(center_gram(matrix))
+    """Center then rescale — the harness's standard pre-SVM conditioning.
+
+    Transductive: the statistics come from ``matrix`` itself. This is one
+    code path with the serving-time :class:`GramConditioner` (``fit`` then
+    ``transform`` on the same matrix), so the Table IV/V harness and the
+    prediction service condition training Grams identically.
+    """
+    conditioner = GramConditioner().fit(matrix)
+    return conditioner.transform(matrix)
+
+
+class GramConditioner:
+    """Fit/transform split of :func:`condition_gram` for inductive serving.
+
+    ``fit(K_train)`` captures the training Gram's centering statistics
+    (per-column means and the grand mean — i.e. the implicit feature-space
+    translation) and the post-centering diagonal scale.
+    ``transform(K_train)`` then reproduces ``condition_gram(K_train)``
+    bit-for-bit, and ``transform_cross(rows)`` applies the *same frozen
+    statistics* to serving-time ``K(new, train)`` rows:
+
+        K̃(t, i) = ( K(t, i) − mean_j K(t, j) − mean_j K(j, i)
+                    + mean_jj' K(j, j') ) / s
+
+    which is the exact centered kernel ``<φ(t) − μ, φ(i) − μ>`` with the
+    *training* mean ``μ`` and training scale ``s``. Conditioning the cross
+    block with its own statistics instead (the transductive functions
+    above) would translate test points by a different ``μ`` than the
+    machine was trained with — the latent out-of-sample bug this class
+    exists to fix.
+
+    How close is this to the transductive protocol? The SVM dual is
+    exactly invariant to the choice of centering vector on its feasible
+    set ``yᵀα = 0`` (the SMO trajectory is identical step for step), so
+    the *centering* difference between train-only and full-collection
+    statistics never changes a prediction. The *scale* statistic does
+    differ (mean centered diagonal over train vs over train+test), which
+    at a fixed ``C`` slightly rescales the effective box constraint — so
+    label agreement with the transductive protocol is exact up to points
+    whose margin is within that perturbation. The serving equivalence
+    tests pin exact label agreement empirically on the test datasets.
+
+    Parameters
+    ----------
+    center / scale:
+        Disable either step; both default on, matching
+        :func:`condition_gram`.
+    """
+
+    def __init__(self, *, center: bool = True, scale: bool = True) -> None:
+        self.center = bool(center)
+        self.scale = bool(scale)
+        self.n_train_: "int | None" = None
+        self.column_means_: "np.ndarray | None" = None
+        self.grand_mean_: float = 0.0
+        self.scale_: float = 1.0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.n_train_ is not None
+
+    def fit(self, gram: np.ndarray) -> "GramConditioner":
+        """Capture centering means and diagonal scale from ``K_train``."""
+        arr = _as_square(gram, "gram")
+        self.n_train_ = arr.shape[0]
+        self.column_means_ = arr.mean(axis=0)
+        self.grand_mean_ = float(arr.mean())
+        self.scale_ = 1.0
+        if self.scale:
+            centered = self._centered(arr) if self.center else arr
+            mean_diagonal = float(np.trace(centered)) / max(arr.shape[0], 1)
+            # Degenerate Grams (see scale_gram) keep scale 1: no signal.
+            if mean_diagonal > _DEGENERATE_DIAGONAL:
+                self.scale_ = mean_diagonal
+        return self
+
+    def transform(self, gram: np.ndarray) -> np.ndarray:
+        """Condition a square Gram over the *training* collection."""
+        arr = _as_square(gram, "gram")
+        self._check_columns(arr)
+        return self._apply(arr)
+
+    def transform_cross(self, rows: np.ndarray) -> np.ndarray:
+        """Condition serving-time ``K(new, train)`` rows — the inductive
+        path: training statistics, never the rows' own."""
+        arr = np.asarray(rows, dtype=float)
+        if arr.ndim != 2:
+            raise ValidationError(
+                f"cross rows must be a 2-D (n_new, n_train) block, "
+                f"got shape {arr.shape}"
+            )
+        self._check_columns(arr)
+        return self._apply(arr)
+
+    def fit_transform(self, gram: np.ndarray) -> np.ndarray:
+        """``fit`` then ``transform`` — equals :func:`condition_gram`."""
+        return self.fit(gram).transform(gram)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _centered(self, block: np.ndarray) -> np.ndarray:
+        """Center rows against the stored training statistics.
+
+        The row term is each point's mean similarity *to the training
+        collection* (its columns), the column term and grand mean are the
+        frozen training means — on the training matrix itself this is
+        exactly :func:`center_gram`.
+        """
+        return (
+            block
+            - block.mean(axis=1, keepdims=True)
+            - self.column_means_[None, :]
+            + self.grand_mean_
+        )
+
+    def _apply(self, block: np.ndarray) -> np.ndarray:
+        out = self._centered(block) if self.center else np.array(block)
+        if self.scale and self.scale_ != 1.0:
+            out = out / self.scale_
+        return out
+
+    def _check_columns(self, block: np.ndarray) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                "GramConditioner must be fitted on the training Gram first"
+            )
+        if block.shape[1] != self.n_train_:
+            raise ValidationError(
+                f"expected {self.n_train_} training columns, "
+                f"got shape {block.shape}"
+            )
 
 
 def kernel_target_alignment(matrix: np.ndarray, labels) -> float:

@@ -81,6 +81,9 @@ class KernelKNN:
             raise ValidationError(
                 f"kernel_rows must have {n_train} columns, got {rows.shape}"
             )
+        if rows.shape[0] == 0:
+            # Empty serving batch: nothing to rank, empty labels out.
+            return self._labels[:0]
         scores = self._neighbour_scores(rows, self_diagonal)
         k = min(self.n_neighbors, n_train)
         predictions = np.empty(rows.shape[0], dtype=self._labels.dtype)

@@ -23,12 +23,36 @@ def accuracy(y_true, y_pred) -> float:
 
 
 def confusion_matrix(y_true, y_pred, classes=None) -> np.ndarray:
-    """Counts ``C[i, j]`` of true class ``i`` predicted as class ``j``."""
+    """Counts ``C[i, j]`` of true class ``i`` predicted as class ``j``.
+
+    With an explicit ``classes`` argument, every observed label must be
+    covered — an unknown label raises :class:`ValidationError` naming the
+    offenders rather than surfacing as a raw ``KeyError`` from the index
+    lookup.
+    """
     true_arr = np.asarray(y_true)
     pred_arr = np.asarray(y_pred)
-    if classes is None:
+    if true_arr.shape != pred_arr.shape:
+        raise ValidationError(
+            f"shape mismatch: y_true {true_arr.shape} vs y_pred {pred_arr.shape}"
+        )
+    explicit = classes is not None
+    if not explicit:
+        # Derived from the labels themselves: unknowns impossible.
         classes = np.unique(np.concatenate([true_arr, pred_arr]))
     index = {c: i for i, c in enumerate(classes)}
+    if explicit:
+        unknown = sorted(
+            {
+                label.item() if hasattr(label, "item") else label
+                for label in np.concatenate([true_arr, pred_arr])
+                if label not in index
+            }
+        )
+        if unknown:
+            raise ValidationError(
+                f"labels {unknown} do not appear in classes={list(classes)}"
+            )
     matrix = np.zeros((len(classes), len(classes)), dtype=int)
     for t, p in zip(true_arr, pred_arr):
         matrix[index[t], index[p]] += 1

@@ -55,11 +55,14 @@ class KernelSVC:
             self._machines.append((class_a, class_b, indices, machine))
         return self
 
-    def predict(self, kernel_rows: np.ndarray) -> np.ndarray:
-        """Predict labels for test rows ``K(test, train)`` by OvO voting.
+    def vote_margins(self, kernel_rows: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-class OvO votes and accumulated decision margins.
 
-        Ties break toward the class with the larger accumulated decision
-        margin, then toward the smaller class label (deterministic).
+        Returns ``(votes, margins)``, both ``(n_test, n_classes)`` aligned
+        with :attr:`classes_`: each pairwise machine adds one vote to its
+        winner and its signed decision value to both classes' margin
+        accumulators. The margins are what the serving layer reports as
+        prediction confidence.
         """
         if self._machines is None or self.classes_ is None:
             raise NotFittedError("KernelSVC must be fitted before prediction")
@@ -80,6 +83,29 @@ class KernelSVC:
             votes[~wins_a, b_idx] += 1
             margins[:, a_idx] += decision
             margins[:, b_idx] -= decision
+        return votes, margins
+
+    def predict(self, kernel_rows: np.ndarray) -> np.ndarray:
+        """Predict labels for test rows ``K(test, train)`` by OvO voting.
+
+        Ties break toward the class with the larger accumulated decision
+        margin, then toward the smaller class label (deterministic).
+        Empty batches (``n_test == 0``) return an empty label array —
+        ``np.ptp`` is undefined on zero-size margins.
+        """
+        votes, margins = self.vote_margins(kernel_rows)
+        return self.labels_from_votes(votes, margins)
+
+    def labels_from_votes(
+        self, votes: np.ndarray, margins: np.ndarray
+    ) -> np.ndarray:
+        """Labels from a :meth:`vote_margins` result — the voting argmax
+        without re-running the pairwise decision functions (the serving
+        layer needs both labels and margins from one evaluation)."""
+        if self.classes_ is None:
+            raise NotFittedError("KernelSVC must be fitted before prediction")
+        if votes.shape[0] == 0:
+            return self.classes_[:0]
         # Lexicographic argmax: votes first, margins as tie-break.
         margin_range = np.ptp(margins) + 1.0
         score = votes + (margins / margin_range) * 0.5

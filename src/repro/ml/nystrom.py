@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.base import GramEngine
-from repro.errors import NotFittedError, ValidationError
+from repro.errors import KernelError, NotFittedError, ValidationError
 from repro.kernels.base import GraphKernel, PairwiseKernel
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive_int
@@ -61,6 +61,8 @@ class NystromApproximation:
     Attributes (after :meth:`fit`)
     ------------------------------
     landmark_indices_:  indices of the selected landmark graphs.
+    landmark_graphs_:   the landmark graphs themselves (the fitted
+                        landmark system :meth:`transform` embeds against).
     embedding_:         ``(N, r)`` feature matrix with ``Φ Φᵀ = K̂``
                         (``r`` = numerical rank of W).
     """
@@ -86,7 +88,9 @@ class NystromApproximation:
         self.engine = engine
         self.store = store
         self.landmark_indices_: "np.ndarray | None" = None
+        self.landmark_graphs_: "list | None" = None
         self.embedding_: "np.ndarray | None" = None
+        self._inv_sqrt: "np.ndarray | None" = None
 
     def fit(self, graphs: list) -> "NystromApproximation":
         """Select landmarks, evaluate C and W, and build the embedding."""
@@ -103,8 +107,53 @@ class NystromApproximation:
         cutoff = max(values.max(), 0.0) * _SPECTRUM_TOL
         keep = values > cutoff
         inv_sqrt = vectors[:, keep] / np.sqrt(values[keep])[None, :]
+        self.landmark_graphs_ = [graphs[i] for i in self.landmark_indices_]
+        self._inv_sqrt = inv_sqrt
         self.embedding_ = cross @ inv_sqrt
         return self
+
+    def transform(self, graphs: list) -> np.ndarray:
+        """Out-of-sample ``(n_new, r)`` embeddings against the fitted
+        landmark system — the Nyström serving path.
+
+        Each newcomer ``g`` gets ``φ(g) = K(g, L) W^{-1/2}`` from the
+        *fitted* landmarks and spectrum, so new embeddings live in the
+        same ``r``-dimensional space as :attr:`embedding_` and inner
+        products approximate kernel values against the fitted collection.
+        Only ``n_new · m`` pair values are evaluated.
+
+        Requires a collection-independent kernel (feature maps, the QJSD
+        family, frozen-prototype HAQJSK): for a kernel that refits
+        collection state per call, newcomer columns would be computed
+        against different landmarks than ``W`` was, so the method refuses
+        with the same named error as ``gram_extend``. Downstream
+        conditioning of serving-time approximate Gram rows must use a
+        :class:`~repro.ml.kernel_utils.GramConditioner` fitted on the
+        training approximation, never fresh statistics.
+        """
+        if self.embedding_ is None or self._inv_sqrt is None:
+            raise NotFittedError("NystromApproximation must be fitted first")
+        # Eligibility before the empty-batch shortcut: an ineligible
+        # pipeline must fail on its smoke input, not only in production.
+        if not self.kernel.collection_independent:
+            hint = getattr(self.kernel, "_extension_hint", "")
+            raise KernelError(
+                f"{self.kernel.name}: out-of-sample Nyström embeddings "
+                f"need collection-independent kernel values; this kernel "
+                f"refits collection state per call."
+                + (f" {hint}" if hint else "")
+            )
+        graphs = list(graphs)
+        if not graphs:
+            return np.zeros((0, self._inv_sqrt.shape[1]))
+        if hasattr(self.kernel, "cross_gram"):
+            cross = self.kernel.cross_gram(
+                graphs, self.landmark_graphs_, engine=self.engine
+            )
+        else:  # pragma: no cover - every shipped kernel has cross_gram
+            full = self.kernel.gram(graphs + self.landmark_graphs_)
+            cross = full[: len(graphs), len(graphs) :]
+        return np.asarray(cross, dtype=float) @ self._inv_sqrt
 
     def approximate_gram(self) -> np.ndarray:
         """The ``N x N`` approximation ``K̂ = Φ Φᵀ`` (PSD by construction)."""

@@ -1,0 +1,214 @@
+"""``python -m repro.serve`` — train, predict, and inspect model bundles.
+
+Three subcommands close the train→persist→predict loop from the shell:
+
+* ``train``   — build a dataset (synthetic registry surrogate or an
+  on-disk TU-format directory), construct a Table IV kernel, freeze it on
+  the training collection when needed (HAQJSK), fit the serving pipeline
+  (:func:`repro.serve.train_bundle`) and persist the bundle in an
+  artifact store.
+* ``predict`` — load the named bundle in a *fresh process*, classify a
+  batch of newcomer graphs, and print one label per line (or a JSON
+  document with OvO margins).
+* ``info``    — print the bundle's content identities and configuration.
+
+Every subcommand takes ``--store`` (defaulting to ``$REPRO_STORE``), so a
+training box and a serving box meet at a shared directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.utils.logging import get_logger
+
+_LOGGER = get_logger("serve.cli")
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="artifact-store directory (default: $REPRO_STORE)",
+    )
+    parser.add_argument("--name", required=True, help="bundle name in the store")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="MUTAG",
+        help="registry dataset name, or the TU dataset name with --tu-dir",
+    )
+    parser.add_argument(
+        "--tu-dir", default=None,
+        help="directory holding a TU-format dataset (overrides the registry)",
+    )
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="registry dataset scale (ignored with --tu-dir)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="dataset seed (ignored with --tu-dir)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="use only the first LIMIT graphs")
+
+
+def _resolve_store(root: "str | None"):
+    from repro.experiments.config import artifact_store
+
+    store = artifact_store(root)
+    if store is None:
+        raise SystemExit(
+            "no artifact store configured: pass --store DIR or set REPRO_STORE"
+        )
+    return store
+
+
+def _load_graphs(args) -> tuple:
+    """``(graphs, targets)`` from the registry or a TU directory."""
+    if args.tu_dir:
+        from repro.datasets import load_tu_directory
+
+        dataset = load_tu_directory(args.tu_dir, args.dataset)
+    else:
+        from repro.datasets import load_dataset
+
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    graphs, targets = dataset.graphs, dataset.targets
+    if args.limit is not None:
+        graphs, targets = graphs[: args.limit], targets[: args.limit]
+    return graphs, targets
+
+
+def _command_train(args) -> int:
+    from repro.experiments.kernel_zoo import make_kernel
+    from repro.serve.bundle import train_bundle
+
+    store = _resolve_store(args.store)
+    graphs, targets = _load_graphs(args)
+    kernel = make_kernel(
+        args.kernel, n_prototypes=args.prototypes, seed=args.kernel_seed,
+        engine=args.engine,
+    )
+    if not kernel.collection_independent and hasattr(kernel, "freeze"):
+        # HAQJSK serving mode: anchor the prototype system to the
+        # training collection so newcomer rows cannot move it.
+        _LOGGER.info("freezing %s prototypes on %d training graphs",
+                     kernel.name, len(graphs))
+        kernel.freeze(graphs)
+    bundle = train_bundle(
+        kernel,
+        graphs,
+        targets,
+        c=args.c,
+        normalize=args.normalize,
+        engine=args.engine,
+        store=store,
+        seed=args.kernel_seed,
+        metadata={
+            "dataset": args.dataset,
+            "tu_dir": args.tu_dir,
+            "scale": args.scale,
+            "dataset_seed": args.seed,
+            "kernel": args.kernel,
+        },
+    )
+    path = bundle.save(store, args.name)
+    print(f"bundle: {args.name}")
+    print(f"path: {path}")
+    print(f"kernel: {bundle.kernel.name} ({bundle.kernel_fingerprint[:12]}…)")
+    print(f"training graphs: {bundle.n_training_graphs}")
+    print(f"classes: {bundle.info()['classes']}")
+    print(f"c: {bundle.c}")
+    print(f"train accuracy: {bundle.train_accuracy:.4f}")
+    return 0
+
+
+def _scalar(value):
+    """Numpy scalar → native Python (labels may be any comparable type)."""
+    return value.item() if hasattr(value, "item") else value
+
+
+def _command_predict(args) -> int:
+    from repro.serve.service import PredictionService
+
+    store = _resolve_store(args.store)
+    service = PredictionService.from_store(
+        store, args.name, engine=args.engine, batch_size=args.batch_size
+    )
+    graphs, _ = _load_graphs(args)
+    result = service.predict(graphs)
+    if args.json:
+        payload = {
+            "bundle": args.name,
+            "classes": [_scalar(c) for c in result.classes],
+            "labels": [_scalar(label) for label in result.labels],
+            "margins": [[float(m) for m in row] for row in result.margins],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        for label in result.labels:
+            print(_scalar(label))
+    return 0
+
+
+def _command_info(args) -> int:
+    from repro.serve.bundle import ModelBundle
+
+    store = _resolve_store(args.store)
+    bundle = ModelBundle.load(store, args.name)
+    for key, value in bundle.info().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Train, inspect and serve graph-classification bundles",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="fit and persist a bundle")
+    _add_store_arguments(train)
+    _add_graph_arguments(train)
+    train.add_argument("--kernel", default="HAQJSK(D)",
+                       help="Table IV kernel name (default: HAQJSK(D))")
+    train.add_argument("--prototypes", type=int, default=16,
+                       help="HAQJSK level-1 prototype count")
+    train.add_argument("--kernel-seed", type=int, default=0)
+    train.add_argument("--c", type=float, default=None,
+                       help="box constraint (default: inner-CV selection)")
+    train.add_argument("--normalize", action="store_true",
+                       help="cosine-normalise the Gram (costs ΔN extra "
+                            "self-pair values per serving batch)")
+    train.add_argument("--engine", default=None,
+                       help="gram engine: serial | batched | process")
+    train.set_defaults(func=_command_train)
+
+    predict = commands.add_parser(
+        "predict", help="classify newcomer graphs from a fresh process"
+    )
+    _add_store_arguments(predict)
+    _add_graph_arguments(predict)
+    predict.add_argument("--engine", default=None)
+    predict.add_argument("--batch-size", type=int, default=None,
+                         help="bound per-engine-call batch size")
+    predict.add_argument("--json", action="store_true",
+                         help="emit JSON with per-class OvO margins")
+    predict.set_defaults(func=_command_predict)
+
+    info = commands.add_parser("info", help="print bundle metadata")
+    _add_store_arguments(info)
+    info.set_defaults(func=_command_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""The prediction service — batch classification of newcomer graphs.
+
+Serving cost model: against a bundle of ``N`` training graphs, a batch of
+``ΔN`` newcomers costs exactly the ``(ΔN, N)`` cross-block pair
+evaluations (the same engine-backed rectangle
+:meth:`~repro.kernels.base.GraphKernel.gram_extend` computes for its
+cross block — but *without* the ``(ΔN, ΔN)`` diagonal block, which an SVM
+decision function never reads). ``tests/serve`` pins the exact pair
+budget with a counting kernel, the way
+``benchmarks/bench_incremental_gram.py`` does for ``gram_extend``.
+
+The cross rows are then conditioned **inductively** — the bundle's
+:class:`~repro.ml.kernel_utils.GramConditioner` applies the training-fold
+centering and scale statistics, never fresh ones — and handed to the
+one-vs-one SVM, which returns labels plus per-class accumulated OvO
+margins as the confidence signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.kernels.base import FeatureMapKernel, PairwiseKernel
+from repro.serve.bundle import ModelBundle
+
+#: Non-positive self-similarities (possible for indefinite baselines) are
+#: treated as 1 in cosine normalisation, mirroring ``normalize_gram``.
+_MIN_SELF_SIMILARITY = 0.0
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """One batch's predictions.
+
+    ``margins[t, k]`` is the accumulated signed OvO decision value for
+    class ``classes[k]`` on newcomer ``t`` — larger means more confident;
+    ``votes`` are the raw OvO win counts the label argmax runs on.
+    """
+
+    labels: np.ndarray
+    votes: np.ndarray
+    margins: np.ndarray
+    classes: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+
+class PredictionService:
+    """Serves label predictions for newcomer graphs from a model bundle.
+
+    Parameters
+    ----------
+    bundle:
+        A (verified) :class:`ModelBundle`; :meth:`from_store` loads and
+        verifies one by name.
+    engine:
+        Gram-engine backend for the cross-block evaluation (``"serial"``,
+        ``"batched"``, ``"process"``, an instance, or ``None`` for the
+        kernel's sticky default) — the serving knob for throughput.
+    batch_size:
+        When set, :meth:`predict` internally splits larger batches so no
+        single engine call materialises more than ``batch_size × N``
+        kernel values (bounded memory for heavy-traffic loops).
+    """
+
+    def __init__(
+        self,
+        bundle: ModelBundle,
+        *,
+        engine=None,
+        batch_size: "int | None" = None,
+    ) -> None:
+        if not isinstance(bundle, ModelBundle):
+            raise ValidationError(
+                f"bundle must be a ModelBundle, got {type(bundle).__name__}"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        self.bundle = bundle.verify()
+        self.engine = engine
+        self.batch_size = batch_size
+        # Prepared states of the training collection, computed once per
+        # service (legal: the bundle kernel is collection-independent, so
+        # states do not depend on which newcomers they are paired with).
+        self._train_states: "list | None" = None
+
+    @classmethod
+    def from_store(
+        cls, store, name: str, *, engine=None, batch_size: "int | None" = None
+    ) -> "PredictionService":
+        """Load + verify the named bundle and wrap it for serving.
+
+        Verification runs once, in the constructor — ``verify=False``
+        here avoids hashing the N training graphs twice per cold start.
+        """
+        return cls(
+            ModelBundle.load(store, name, verify=False),
+            engine=engine,
+            batch_size=batch_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+
+    def predict(self, graphs: "list[Graph]") -> PredictionResult:
+        """Classify a batch of newcomer graphs.
+
+        Evaluates only the ``(ΔN, N)`` cross pairs against the bundle's
+        training graphs (plus ``ΔN`` self-similarities when the bundle
+        was trained on a cosine-normalised Gram), conditions them with
+        the frozen training statistics, and votes the OvO machines.
+        """
+        graphs = list(graphs)
+        model = self.bundle.model
+        if not graphs:
+            classes = model.classes_
+            empty = np.zeros((0, classes.size))
+            return PredictionResult(
+                labels=classes[:0], votes=empty, margins=empty, classes=classes
+            )
+        chunk = self.batch_size or len(graphs)
+        labels, votes, margins = [], [], []
+        for start in range(0, len(graphs), chunk):
+            rows = self.conditioned_rows(graphs[start : start + chunk])
+            # One pass over the OvO machines yields votes + margins; the
+            # labels are derived from them without re-evaluating.
+            chunk_votes, chunk_margins = model.vote_margins(rows)
+            labels.append(model.labels_from_votes(chunk_votes, chunk_margins))
+            votes.append(chunk_votes)
+            margins.append(chunk_margins)
+        return PredictionResult(
+            labels=np.concatenate(labels),
+            votes=np.vstack(votes),
+            margins=np.vstack(margins),
+            classes=model.classes_,
+        )
+
+    def predict_labels(self, graphs: "list[Graph]") -> np.ndarray:
+        """Just the labels (the CLI's default output)."""
+        return self.predict(graphs).labels
+
+    def conditioned_rows(self, graphs: "list[Graph]") -> np.ndarray:
+        """The fully conditioned ``(ΔN, N)`` rows the SVM consumes.
+
+        Exposed so the serving-equivalence tests can compare against the
+        transductive full-Gram protocol row by row.
+        """
+        bundle = self.bundle
+        kernel = bundle.kernel
+        if isinstance(kernel, PairwiseKernel):
+            # Amortised pairwise path: the training states are prepared
+            # once per service, so a batch pays O(ΔN) preparation plus
+            # exactly the ΔN·N cross pair values through the engine.
+            if self._train_states is None:
+                self._train_states = kernel.prepare(list(bundle.training_graphs))
+            new_states = kernel.prepare(graphs)
+            engine = kernel._resolve_engine(self.engine)
+            rows = engine.cross_gram(kernel, new_states, self._train_states)
+        else:
+            # Feature-map kernels re-extract features over train + batch
+            # each call: vocabularies are per-call, so rows from separate
+            # feature_matrix calls cannot be dotted. Extraction is linear
+            # in N (no quadratic pair stage), so the cross rectangle still
+            # dominates; a vocabulary-stable feature cache would shave the
+            # O(N) term if feature-map serving ever becomes the hot path.
+            rows = kernel.cross_gram(
+                graphs, bundle.training_graphs, engine=self.engine
+            )
+        rows = np.asarray(rows, dtype=float)
+        if bundle.normalize:
+            rows = self._cosine_normalized(rows, graphs)
+        return bundle.conditioner.transform_cross(rows)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _cosine_normalized(
+        self, rows: np.ndarray, graphs: "list[Graph]"
+    ) -> np.ndarray:
+        """``K(t, i) / sqrt(K_tt K_ii)`` with the *stored* training
+        diagonal; newcomer self-similarities cost ΔN extra pair values."""
+        new_diagonal = self._self_similarities(graphs)
+        train_diagonal = np.array(self.bundle.train_diagonal, dtype=float)
+        new_diagonal[new_diagonal <= _MIN_SELF_SIMILARITY] = 1.0
+        train_diagonal[train_diagonal <= _MIN_SELF_SIMILARITY] = 1.0
+        return rows / np.sqrt(np.outer(new_diagonal, train_diagonal))
+
+    def _self_similarities(self, graphs: "list[Graph]") -> np.ndarray:
+        """``K(g, g)`` per newcomer — ΔN pair evaluations, no rectangle.
+
+        Legitimate because the bundle kernel is collection-independent
+        (verified): preparing the newcomers alone yields the same states
+        as preparing them alongside the training graphs.
+        """
+        kernel = self.bundle.kernel
+        if isinstance(kernel, PairwiseKernel):
+            states = kernel.prepare(graphs)
+            return np.array(
+                [float(kernel.pair_value(s, s)) for s in states], dtype=float
+            )
+        if isinstance(kernel, FeatureMapKernel):
+            features = np.asarray(kernel.feature_matrix(graphs), dtype=float)
+            return np.einsum("ij,ij->i", features, features)
+        return np.array([float(kernel(g, g)) for g in graphs], dtype=float)
+
+    def info(self) -> dict:
+        """Bundle summary plus the serving configuration."""
+        info = self.bundle.info()
+        info["engine"] = str(self.engine) if self.engine is not None else "default"
+        info["batch_size"] = self.batch_size
+        return info

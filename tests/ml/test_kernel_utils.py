@@ -5,8 +5,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ValidationError
+from repro.errors import NotFittedError, ValidationError
 from repro.ml.kernel_utils import (
+    GramConditioner,
     center_gram,
     condition_gram,
     gram_signal_summary,
@@ -187,3 +188,89 @@ class TestKernelTargetAlignment:
     def test_label_mismatch_rejected(self):
         with pytest.raises(ValidationError):
             kernel_target_alignment(np.eye(4), [0, 1])
+
+
+class TestGramConditioner:
+    """The fit/transform split behind inductive serving conditioning."""
+
+    def test_fit_transform_matches_condition_gram_bitwise(self):
+        k = _random_psd(14, seed=10)
+        assert np.array_equal(
+            GramConditioner().fit_transform(k), condition_gram(k)
+        )
+
+    def test_transform_cross_on_training_matrix_is_transform(self):
+        k = _random_psd(11, seed=11)
+        conditioner = GramConditioner().fit(k)
+        assert np.array_equal(
+            conditioner.transform(k), conditioner.transform_cross(k)
+        )
+
+    def test_cross_rows_equal_centered_feature_inner_products(self):
+        """transform_cross computes <phi(t)-mu, phi(i)-mu>/s exactly,
+        with mu and s the *training* statistics."""
+        rng = np.random.default_rng(12)
+        x_train = rng.normal(size=(10, 4))
+        x_new = rng.normal(size=(3, 4))
+        k_train = x_train @ x_train.T
+        conditioner = GramConditioner().fit(k_train)
+        rows = conditioner.transform_cross(x_new @ x_train.T)
+        mu = x_train.mean(axis=0)
+        expected = (x_new - mu) @ (x_train - mu).T / conditioner.scale_
+        assert np.allclose(rows, expected, atol=1e-10)
+
+    def test_cross_conditioning_differs_from_transductive(self):
+        """The bug this class fixes: conditioning the cross block with its
+        own statistics produces a different matrix than the training
+        statistics do."""
+        rng = np.random.default_rng(13)
+        x_train = rng.normal(size=(12, 4)) + 1.5  # offset: centering matters
+        x_new = rng.normal(size=(5, 4)) - 1.5
+        k_train = x_train @ x_train.T
+        cross = x_new @ x_train.T
+        inductive = GramConditioner().fit(k_train).transform_cross(cross)
+        # Transductive misuse: fresh statistics of the (non-square) block
+        # via the full-collection Gram's means restricted to the block.
+        full = np.vstack([x_train, x_new]) @ np.vstack([x_train, x_new]).T
+        transductive = condition_gram(full)[12:, :12]
+        assert not np.allclose(inductive, transductive, atol=1e-6)
+
+    def test_degenerate_gram_keeps_unit_scale(self):
+        conditioner = GramConditioner().fit(np.ones((6, 6)))
+        assert conditioner.scale_ == 1.0
+
+    def test_center_scale_disabled_is_identity(self):
+        k = _random_psd(7, seed=14)
+        conditioner = GramConditioner(center=False, scale=False).fit(k)
+        assert np.allclose(conditioner.transform(k), k)
+        rows = k[:3]
+        assert np.allclose(conditioner.transform_cross(rows), rows)
+
+    def test_requires_fit_before_transform(self):
+        with pytest.raises(NotFittedError):
+            GramConditioner().transform(np.eye(3))
+        with pytest.raises(NotFittedError):
+            GramConditioner().transform_cross(np.ones((2, 3)))
+
+    def test_rejects_wrong_training_width(self):
+        conditioner = GramConditioner().fit(_random_psd(8, seed=15))
+        with pytest.raises(ValidationError):
+            conditioner.transform_cross(np.ones((2, 5)))
+        with pytest.raises(ValidationError):
+            conditioner.transform(np.eye(5))
+
+    def test_rejects_non_2d_cross_rows(self):
+        conditioner = GramConditioner().fit(_random_psd(4, seed=16))
+        with pytest.raises(ValidationError):
+            conditioner.transform_cross(np.ones(4))
+
+    def test_picklable(self):
+        import pickle
+
+        k = _random_psd(9, seed=17)
+        conditioner = GramConditioner().fit(k)
+        clone = pickle.loads(pickle.dumps(conditioner))
+        rows = k[:4]
+        assert np.array_equal(
+            clone.transform_cross(rows), conditioner.transform_cross(rows)
+        )

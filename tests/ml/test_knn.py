@@ -53,6 +53,15 @@ class TestPredict:
         predictions = model.predict(gram)
         assert predictions.shape == y.shape
 
+    def test_empty_batch_predicts_empty(self):
+        """An empty serving batch returns an empty label array of the
+        training labels' dtype."""
+        gram, y, _ = _blob_kernel(seed=3)
+        model = KernelKNN(n_neighbors=3).fit(gram, y)
+        predictions = model.predict(np.zeros((0, y.size)))
+        assert predictions.shape == (0,)
+        assert predictions.dtype == y.dtype
+
     def test_distance_metric_uses_diagonal(self):
         # Similarity ranks train point 0 first; induced distance must
         # penalise its huge self-similarity and prefer train point 1.

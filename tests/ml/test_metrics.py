@@ -46,6 +46,25 @@ class TestConfusion:
         y_pred = np.random.default_rng(1).integers(0, 3, 30)
         assert confusion_matrix(y_true, y_pred).sum() == 30
 
+    def test_label_outside_explicit_classes_named_error(self):
+        """A prediction outside `classes` must raise a named error listing
+        the offenders, not a raw KeyError from the index lookup."""
+        with pytest.raises(ValidationError, match=r"\[2\]"):
+            confusion_matrix([0, 1], [0, 2], classes=[0, 1])
+
+    def test_true_label_outside_explicit_classes(self):
+        with pytest.raises(ValidationError, match=r"\[3\]"):
+            confusion_matrix([0, 3], [0, 1], classes=[0, 1])
+
+    def test_all_offending_labels_listed(self):
+        with pytest.raises(ValidationError, match=r"\[2, 5\]"):
+            confusion_matrix([0, 5], [2, 0], classes=[0, 1])
+
+    def test_length_mismatch_rejected(self):
+        """Mismatched inputs must raise, not silently truncate via zip."""
+        with pytest.raises(ValidationError, match="shape mismatch"):
+            confusion_matrix([0, 1, 1], [0, 1])
+
 
 class TestSummarize:
     def test_mean_and_stderr(self):

@@ -73,3 +73,44 @@ class TestValidation:
         model = KernelSVC().fit(kernel, y)
         with pytest.raises(ValidationError):
             model.predict(np.zeros((2, 7)))
+
+
+class TestEmptyBatch:
+    def test_empty_batch_predicts_empty(self):
+        """An empty serving batch returns an empty label array instead of
+        whatever np.ptp does on zero-size margins."""
+        kernel, y, _ = blobs_kernel(seed=7)
+        model = KernelSVC(c=1.0).fit(kernel, y)
+        predictions = model.predict(np.zeros((0, y.size)))
+        assert predictions.shape == (0,)
+        assert predictions.dtype == model.classes_.dtype
+
+    def test_empty_batch_vote_margins_shapes(self):
+        kernel, y, _ = blobs_kernel(seed=8)
+        model = KernelSVC(c=1.0).fit(kernel, y)
+        votes, margins = model.vote_margins(np.zeros((0, y.size)))
+        assert votes.shape == (0, model.classes_.size)
+        assert margins.shape == (0, model.classes_.size)
+
+
+class TestVoteMargins:
+    def test_vote_counts_sum_to_machine_count(self):
+        kernel, y, _ = blobs_kernel(n_classes=3, seed=9)
+        model = KernelSVC(c=10.0).fit(kernel, y)
+        votes, _ = model.vote_margins(kernel)
+        assert np.all(votes.sum(axis=1) == 3)  # K(K-1)/2 machines
+
+    def test_margins_are_zero_sum_across_classes(self):
+        kernel, y, _ = blobs_kernel(n_classes=3, seed=10)
+        model = KernelSVC(c=10.0).fit(kernel, y)
+        _, margins = model.vote_margins(kernel)
+        assert np.allclose(margins.sum(axis=1), 0.0, atol=1e-9)
+
+    def test_predicted_class_has_max_votes(self):
+        kernel, y, _ = blobs_kernel(n_classes=3, seed=11)
+        model = KernelSVC(c=10.0).fit(kernel, y)
+        votes, _ = model.vote_margins(kernel)
+        predictions = model.predict(kernel)
+        class_index = {c: i for i, c in enumerate(model.classes_)}
+        for t, label in enumerate(predictions):
+            assert votes[t, class_index[label]] == votes[t].max()

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.errors import NotFittedError, ValidationError
+from repro.errors import KernelError, NotFittedError, ValidationError
 from repro.graphs import generators as gen
-from repro.kernels import HAQJSKKernelD, WeisfeilerLehmanKernel
+from repro.kernels import HAQJSKKernelD, QJSKUnaligned, WeisfeilerLehmanKernel
 from repro.ml.nystrom import NystromApproximation, nystrom_gram
 
 
@@ -93,6 +93,63 @@ class TestEngineRouting:
     def test_engine_stored(self, kernel):
         model = NystromApproximation(kernel, n_landmarks=3, engine="batched")
         assert model.engine == "batched"
+
+
+class TestOutOfSampleTransform:
+    """Newcomer embeddings from the fitted landmark system (serving)."""
+
+    def test_transform_reproduces_fitted_embedding(self, graphs):
+        model = NystromApproximation(QJSKUnaligned(), n_landmarks=6, seed=0)
+        model.fit(graphs)
+        assert np.allclose(model.transform(graphs), model.embedding_, atol=1e-8)
+
+    def test_newcomer_cross_values_recovered_exactly_at_full_rank(self, graphs):
+        """With landmarks = the whole fitted collection, ``phi_new phi_trainᵀ``
+        equals the true cross Gram (pinv identity Aᵀ(AAᵀ)⁺(AAᵀ) = Aᵀ)."""
+        kernel = WeisfeilerLehmanKernel(n_iterations=2)
+        train, newcomers = graphs[:9], graphs[9:]
+        model = NystromApproximation(kernel, n_landmarks=len(train)).fit(train)
+        phi_new = model.transform(newcomers)
+        cross = kernel.cross_gram(newcomers, train)
+        assert np.allclose(phi_new @ model.embedding_.T, cross, atol=1e-6)
+
+    def test_embedding_dimension_matches_fit(self, graphs):
+        model = NystromApproximation(QJSKUnaligned(), n_landmarks=5, seed=1)
+        model.fit(graphs[:8])
+        phi = model.transform(graphs[8:])
+        assert phi.shape == (len(graphs) - 8, model.embedding_.shape[1])
+
+    def test_empty_batch(self, graphs):
+        model = NystromApproximation(QJSKUnaligned(), n_landmarks=4, seed=2)
+        model.fit(graphs)
+        phi = model.transform([])
+        assert phi.shape == (0, model.embedding_.shape[1])
+
+    def test_unfrozen_haqjsk_refused(self, kernel, graphs):
+        """Collection-level kernels cannot serve newcomers: their landmark
+        values would shift with the batch."""
+        model = NystromApproximation(kernel, n_landmarks=4, seed=0).fit(graphs)
+        with pytest.raises(KernelError):
+            model.transform(graphs[:2])
+
+    def test_unfrozen_haqjsk_refused_even_on_empty_batch(self, kernel, graphs):
+        """An ineligible pipeline must fail on an empty smoke batch too."""
+        model = NystromApproximation(kernel, n_landmarks=4, seed=0).fit(graphs)
+        with pytest.raises(KernelError):
+            model.transform([])
+
+    def test_frozen_haqjsk_allowed(self, graphs):
+        frozen = HAQJSKKernelD(n_prototypes=8, n_levels=2, max_layers=3, seed=0)
+        frozen.freeze(graphs[:8])
+        model = NystromApproximation(frozen, n_landmarks=5, seed=0)
+        model.fit(graphs[:8])
+        phi = model.transform(graphs[8:])
+        assert phi.shape == (len(graphs) - 8, model.embedding_.shape[1])
+        assert np.all(np.isfinite(phi))
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            NystromApproximation(QJSKUnaligned(), n_landmarks=3).transform([])
 
 
 class TestValidation:

@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro.serve`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.cli import main
+
+
+@pytest.fixture(scope="module")
+def trained_store(tmp_path_factory):
+    """One trained WLSK bundle shared by the CLI tests (fast, no freeze)."""
+    root = str(tmp_path_factory.mktemp("cli") / "store")
+    code = main([
+        "train", "--store", root, "--name", "cli-bundle",
+        "--dataset", "MUTAG", "--scale", "0.15", "--seed", "0",
+        "--kernel", "WLSK", "--c", "10",
+    ])
+    assert code == 0
+    return root
+
+
+class TestTrain:
+    def test_train_reports_bundle(self, trained_store, capsys):
+        code = main([
+            "train", "--store", trained_store, "--name", "cli-bundle-2",
+            "--dataset", "MUTAG", "--scale", "0.15", "--seed", "0",
+            "--kernel", "WLSK", "--c", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bundle: cli-bundle-2" in out
+        assert "train accuracy:" in out
+
+    def test_train_freezes_haqjsk(self, tmp_path, capsys):
+        root = str(tmp_path / "store")
+        code = main([
+            "train", "--store", root, "--name", "frozen",
+            "--dataset", "MUTAG", "--scale", "0.1", "--seed", "0",
+            "--kernel", "HAQJSK(D)", "--prototypes", "8", "--c", "10",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HAQJSK(D)" in out
+
+    def test_missing_store_is_actionable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit, match="store"):
+            main(["info", "--name", "whatever"])
+
+
+class TestPredict:
+    def test_labels_one_per_line(self, trained_store, capsys):
+        code = main([
+            "predict", "--store", trained_store, "--name", "cli-bundle",
+            "--dataset", "MUTAG", "--scale", "0.08", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        labels = [int(line) for line in out.strip().splitlines()]
+        assert len(labels) == 15  # MUTAG at scale 0.08
+        assert set(labels) <= {0, 1}
+
+    def test_json_output_has_margins(self, trained_store, capsys):
+        code = main([
+            "predict", "--store", trained_store, "--name", "cli-bundle",
+            "--dataset", "MUTAG", "--scale", "0.08", "--seed", "7",
+            "--limit", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bundle"] == "cli-bundle"
+        assert len(payload["labels"]) == 4
+        assert np.asarray(payload["margins"]).shape == (4, 2)
+
+    def test_deterministic_across_invocations(self, trained_store, capsys):
+        args = [
+            "predict", "--store", trained_store, "--name", "cli-bundle",
+            "--dataset", "MUTAG", "--scale", "0.08", "--seed", "7",
+        ]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestInfo:
+    def test_info_prints_identities(self, trained_store, capsys):
+        code = main(["info", "--store", trained_store, "--name", "cli-bundle"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kernel_fingerprint:" in out
+        assert "training_digest:" in out
+        assert "classes: [0, 1]" in out

@@ -1,0 +1,313 @@
+"""Serving-equivalence and pair-budget tests for :mod:`repro.serve`.
+
+The acceptance bar: bundle predictions on held-out graphs must exactly
+match the labels of the transductive full-Gram protocol (condition the
+whole train+test Gram, fit on the train block, predict the test rows) for
+frozen / collection-independent kernels — while evaluating only the
+``(ΔN, N)`` cross pairs, proven with a counting kernel the way
+``benchmarks/bench_incremental_gram.py`` proves the ``gram_extend``
+budget.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError, ServingError, ValidationError
+from repro.graphs import generators as gen
+from repro.kernels import HAQJSKKernelD, QJSKUnaligned, WeisfeilerLehmanKernel
+from repro.ml import GramConditioner, KernelSVC, condition_gram
+from repro.serve import ModelBundle, PredictionService, train_bundle
+from repro.store import ArtifactStore
+
+#: Fixed box constraint so the transductive baseline and the bundle train
+#: the same machine (C selection uses randomised inner folds).
+C = 10.0
+
+
+def _make_collection():
+    """12 graphs, two structural classes (trees vs dense ER components)."""
+    trees = [gen.random_tree(9, seed=i) for i in range(6)]
+    dense = [gen.erdos_renyi(10, 0.45, seed=i).largest_component() for i in range(6)]
+    graphs = trees + dense
+    labels = np.array([0] * 6 + [1] * 6)
+    # Interleave so train and held-out slices both carry both classes.
+    order = np.arange(12).reshape(2, 6).T.reshape(-1)
+    return [graphs[i] for i in order], labels[order]
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return _make_collection()
+
+
+@pytest.fixture(scope="module")
+def split(collection):
+    graphs, labels = collection
+    return (graphs[:8], labels[:8], graphs[8:], labels[8:])
+
+
+def _serving_kernels(reference):
+    frozen = HAQJSKKernelD(n_prototypes=8, n_levels=2, max_layers=3, seed=0)
+    frozen.freeze(reference)
+    return {
+        "HAQJSK(D)-frozen": frozen,
+        "QJSK": QJSKUnaligned(),
+        "WLSK": WeisfeilerLehmanKernel(3),
+    }
+
+
+def _transductive_labels(kernel, train_graphs, train_y, new_graphs, *, normalize):
+    """The paper-protocol baseline: full Gram, transductive conditioning."""
+    everything = list(train_graphs) + list(new_graphs)
+    full = kernel.gram(everything, normalize=normalize)
+    conditioned = condition_gram(full)
+    n = len(train_graphs)
+    train_idx = np.arange(n)
+    test_idx = np.arange(n, len(everything))
+    model = KernelSVC(c=C).fit(conditioned[np.ix_(train_idx, train_idx)], train_y)
+    return model.predict(conditioned[np.ix_(test_idx, train_idx)])
+
+
+class TestServingEquivalence:
+    """Bundle predictions == in-process combined-collection fit, exactly."""
+
+    @pytest.mark.parametrize("name", ["HAQJSK(D)-frozen", "QJSK", "WLSK"])
+    def test_labels_match_transductive_protocol(self, split, name):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)[name]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        service = PredictionService(bundle)
+        served = service.predict(new_graphs)
+        expected = _transductive_labels(
+            kernel, train_graphs, train_y, new_graphs, normalize=False
+        )
+        assert np.array_equal(served.labels, expected)
+
+    def test_labels_match_with_cosine_normalisation(self, split):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["HAQJSK(D)-frozen"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C, normalize=True)
+        served = PredictionService(bundle).predict(new_graphs)
+        expected = _transductive_labels(
+            kernel, train_graphs, train_y, new_graphs, normalize=True
+        )
+        assert np.array_equal(served.labels, expected)
+
+    def test_margins_shape_and_classes(self, split):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["WLSK"]
+        service = PredictionService(train_bundle(kernel, train_graphs, train_y, c=C))
+        result = service.predict(new_graphs)
+        assert result.labels.shape == (len(new_graphs),)
+        assert result.margins.shape == (len(new_graphs), 2)
+        assert result.votes.shape == (len(new_graphs), 2)
+        assert np.array_equal(result.classes, np.array([0, 1]))
+        assert len(result) == len(new_graphs)
+
+    def test_batch_chunking_is_transparent(self, split):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["QJSK"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        whole = PredictionService(bundle).predict(new_graphs)
+        chunked = PredictionService(bundle, batch_size=1).predict(new_graphs)
+        assert np.array_equal(whole.labels, chunked.labels)
+        assert np.allclose(whole.margins, chunked.margins, atol=1e-10)
+
+    def test_engine_backends_agree_on_labels(self, split):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["HAQJSK(D)-frozen"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        serial = PredictionService(bundle, engine="serial").predict(new_graphs)
+        batched = PredictionService(bundle, engine="batched").predict(new_graphs)
+        assert np.array_equal(serial.labels, batched.labels)
+        assert np.allclose(serial.margins, batched.margins, atol=1e-9)
+
+    def test_conditioned_rows_use_training_statistics(self, split):
+        """The inductive-conditioning contract, row by row."""
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["QJSK"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        rows = PredictionService(bundle).conditioned_rows(new_graphs)
+        raw_cross = kernel.cross_gram(new_graphs, train_graphs)
+        raw_train = kernel.gram(train_graphs)
+        expected = GramConditioner().fit(raw_train).transform_cross(raw_cross)
+        assert np.allclose(rows, expected, atol=1e-10)
+
+    def test_empty_batch(self, split):
+        train_graphs, train_y, _, _ = split
+        kernel = _serving_kernels(train_graphs)["WLSK"]
+        service = PredictionService(train_bundle(kernel, train_graphs, train_y, c=C))
+        result = service.predict([])
+        assert result.labels.shape == (0,)
+        assert result.margins.shape == (0, 2)
+
+
+class _CountingQJSK(QJSKUnaligned):
+    """QJSK that counts its pair evaluations (serial backend only)."""
+
+    def __init__(self):
+        super().__init__()
+        self.pair_calls = 0
+
+    def pair_value(self, state_a, state_b) -> float:
+        self.pair_calls += 1
+        return super().pair_value(state_a, state_b)
+
+
+class TestPairBudget:
+    """Serving evaluates exactly the N·ΔN cross pairs — no diagonal block,
+    no quadratic recompute (the bench_incremental_gram proof, for serve)."""
+
+    def test_predict_costs_exactly_n_times_delta(self, split):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _CountingQJSK()
+        bundle = train_bundle(
+            kernel, train_graphs, train_y, c=C, engine="serial"
+        )
+        n, delta = len(train_graphs), len(new_graphs)
+        service = PredictionService(bundle, engine="serial")
+
+        kernel.pair_calls = 0
+        service.predict(new_graphs)
+        assert kernel.pair_calls == n * delta
+
+        # The training states are cached on the service: the second batch
+        # pays the same cross budget, nothing more.
+        kernel.pair_calls = 0
+        service.predict(new_graphs)
+        assert kernel.pair_calls == n * delta
+
+    def test_cosine_normalisation_adds_only_delta_self_pairs(self, split):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _CountingQJSK()
+        bundle = train_bundle(
+            kernel, train_graphs, train_y, c=C, engine="serial", normalize=True
+        )
+        n, delta = len(train_graphs), len(new_graphs)
+        service = PredictionService(bundle, engine="serial")
+        kernel.pair_calls = 0
+        service.predict(new_graphs)
+        assert kernel.pair_calls == n * delta + delta
+
+
+class TestBundlePersistence:
+    def test_store_roundtrip_same_process(self, split, tmp_path):
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["HAQJSK(D)-frozen"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        store = ArtifactStore(str(tmp_path / "store"))
+        path = bundle.save(store, "roundtrip")
+        assert os.path.exists(path)
+        reloaded = PredictionService.from_store(store, "roundtrip")
+        direct = PredictionService(bundle)
+        assert np.array_equal(
+            reloaded.predict(new_graphs).labels,
+            direct.predict(new_graphs).labels,
+        )
+
+    def test_fresh_process_roundtrip(self, split, tmp_path):
+        """save → load in a *new interpreter* → predict: the labels of the
+        serving process match the training process bit for bit."""
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["HAQJSK(D)-frozen"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        store = ArtifactStore(str(tmp_path / "store"))
+        bundle.save(store, "fresh")
+        expected = PredictionService(bundle).predict(new_graphs).labels
+
+        script = """
+import numpy as np
+from repro.graphs import generators as gen
+from repro.serve import PredictionService
+from repro.store import ArtifactStore
+
+# Rebuild the held-out newcomers deterministically (seeded generators).
+trees = [gen.random_tree(9, seed=i) for i in range(6)]
+dense = [gen.erdos_renyi(10, 0.45, seed=i).largest_component() for i in range(6)]
+graphs = trees + dense
+order = np.arange(12).reshape(2, 6).T.reshape(-1)
+newcomers = [graphs[i] for i in order[8:]]
+
+service = PredictionService.from_store(ArtifactStore({root!r}), "fresh")
+print(",".join(str(int(l)) for l in service.predict(newcomers).labels))
+""".format(root=str(tmp_path / "store"))
+        repo_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(repo_root, "src"),
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True, cwd=repo_root,
+        ).stdout.strip()
+        served = np.array([int(x) for x in output.split(",")])
+        assert np.array_equal(served, expected)
+
+    def test_missing_bundle_is_named_error(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with pytest.raises(ServingError, match="no bundle named"):
+            ModelBundle.load(store, "never-trained")
+
+    def test_tampered_training_graphs_refused(self, split, tmp_path):
+        train_graphs, train_y, _, _ = split
+        kernel = _serving_kernels(train_graphs)["WLSK"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        bundle.training_graphs = bundle.training_graphs[:-1]
+        with pytest.raises(ServingError, match="count changed"):
+            bundle.verify()
+
+    def test_swapped_graph_localised_in_error(self, split, collection):
+        """Per-graph digests name the tampered index in the refusal."""
+        train_graphs, train_y, _, _ = split
+        graphs, _ = collection
+        kernel = _serving_kernels(train_graphs)["WLSK"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        bundle.training_graphs = (
+            bundle.training_graphs[:3]
+            + [graphs[11]]
+            + bundle.training_graphs[4:]
+        )
+        with pytest.raises(ServingError, match=r"indices \[3\]"):
+            bundle.verify()
+
+    def test_unfrozen_kernel_in_loaded_bundle_refused(self, split):
+        train_graphs, train_y, _, _ = split
+        kernel = _serving_kernels(train_graphs)["HAQJSK(D)-frozen"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        bundle.kernel.unfreeze()
+        with pytest.raises(ServingError):
+            bundle.verify()
+
+
+class TestTrainValidation:
+    def test_collection_level_kernel_refused(self, split):
+        train_graphs, train_y, _, _ = split
+        unfrozen = HAQJSKKernelD(n_prototypes=8, n_levels=2, max_layers=3, seed=0)
+        with pytest.raises(KernelError, match="freeze"):
+            train_bundle(unfrozen, train_graphs, train_y, c=C)
+
+    def test_label_shape_mismatch(self, split):
+        train_graphs, _, _, _ = split
+        with pytest.raises(ValidationError):
+            train_bundle(WeisfeilerLehmanKernel(2), train_graphs, [0, 1], c=C)
+
+    def test_gram_cached_in_store(self, split, tmp_path):
+        """Retraining over the same collection hits the Gram artifact."""
+        train_graphs, train_y, _, _ = split
+        store = ArtifactStore(str(tmp_path / "store"))
+        first = _CountingQJSK()
+        train_bundle(first, train_graphs, train_y, c=C, store=store, engine="serial")
+        assert first.pair_calls > 0
+
+        second = _CountingQJSK()
+        train_bundle(second, train_graphs, train_y, c=C, store=store, engine="serial")
+        assert second.pair_calls == 0  # same content key: Gram from store
