@@ -50,9 +50,11 @@ def reference_graphs():
 
 @pytest.fixture(scope="module")
 def newcomer_graphs():
-    # A different seed yields genuinely unseen arrivals.
+    # A different seed yields genuinely unseen arrivals; the stratified
+    # subsample keeps both classes represented instead of whichever
+    # happens to be stored first.
     dataset = load_dataset("MUTAG", scale=0.08, seed=7)
-    return dataset.graphs[:DELTA]
+    return dataset.subsample(DELTA, seed=7).graphs
 
 
 def _kernels(reference):

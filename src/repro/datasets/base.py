@@ -127,6 +127,48 @@ class GraphDataset:
             description=self.description,
         )
 
+    def subsample(self, n: int, *, seed=None) -> "GraphDataset":
+        """A stratified, deterministic subsample of exactly ``min(n, len)``
+        graphs.
+
+        Per-class quotas are proportional to class frequency (largest-
+        remainder rounding, remainder ties broken by class label), so the
+        subsample preserves the class balance as closely as ``n`` allows;
+        members are then drawn without replacement with the seeded RNG.
+        Deterministic for a fixed ``(n, seed)`` — the benchmark harness
+        uses this instead of ad-hoc ``graphs[:n]`` slicing, which skews
+        toward whatever class happens to be stored first.
+        """
+        if n < 1:
+            raise DatasetError(f"subsample size must be >= 1, got {n}")
+        n = min(int(n), len(self))
+        rng = as_rng(seed)
+        classes, counts = np.unique(self.targets, return_counts=True)
+        exact = counts * (n / len(self))
+        quotas = np.floor(exact).astype(int)
+        remainders = exact - quotas
+        # Largest remainder first; np.argsort is stable, so equal
+        # remainders resolve by class order — no RNG in the allocation.
+        for cls_index in np.argsort(-remainders, kind="stable"):
+            if quotas.sum() >= n:
+                break
+            if quotas[cls_index] < counts[cls_index]:
+                quotas[cls_index] += 1
+        # Rounding can still undershoot when some classes saturated;
+        # top up from classes with spare members, largest first.
+        while quotas.sum() < n:
+            spare = np.flatnonzero(quotas < counts)
+            quotas[spare[np.argmax(counts[spare] - quotas[spare])]] += 1
+        chosen: list = []
+        for cls, quota in zip(classes, quotas):
+            if quota < 1:
+                continue
+            members = np.flatnonzero(self.targets == cls)
+            chosen.extend(
+                rng.choice(members, size=quota, replace=False).tolist()
+            )
+        return self.subset(sorted(chosen))
+
     def stratified_subsample(self, n_per_class: int, *, seed=None) -> "GraphDataset":
         """Up to ``n_per_class`` graphs per class, drawn without replacement.
 

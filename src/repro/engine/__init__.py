@@ -40,6 +40,21 @@ environment variable (else ``"batched"``); the experiment harness records
 the active backend in every saved report. All three backends agree to
 ``1e-10`` on every pairwise kernel in the zoo — enforced by
 ``tests/engine/test_backends.py``.
+
+Tile streams and sinks
+----------------------
+Every backend runs the *same* tile schedule (the base-class scheduler);
+what differs is only how one tile is computed. Finished tiles stream into
+a pluggable :class:`GramSink` — :class:`DenseSink` (in-memory, the
+default), :class:`MemmapSink` (out-of-core ``np.memmap``, Grams larger
+than RAM), or the store layer's
+:class:`~repro.store.tiles.CheckpointSink` (persists tiles through an
+artifact store so killed runs resume at tile granularity)::
+
+    kernel.gram(graphs, sink=MemmapSink("big_gram.npy"))
+
+Tile sizes resolve explicit ``tile_size=`` > ``REPRO_GRAM_TILE`` >
+per-backend default (batched 64, process 32, serial 128).
 """
 
 from repro.engine.base import (
@@ -54,16 +69,30 @@ from repro.engine.base import (
 from repro.engine.batched import BatchedEngine
 from repro.engine.process import ProcessEngine
 from repro.engine.serial import SerialEngine
+from repro.engine.tiles import (
+    TILE_ENV_VAR,
+    DenseSink,
+    GramSink,
+    MemmapSink,
+    TilePlan,
+    default_tile_size,
+)
 
 __all__ = [
     "ENGINE_ENV_VAR",
     "ENGINES",
+    "TILE_ENV_VAR",
     "BatchedEngine",
+    "DenseSink",
     "GramEngine",
+    "GramSink",
+    "MemmapSink",
     "ProcessEngine",
     "SerialEngine",
+    "TilePlan",
     "available_engines",
     "default_engine_name",
+    "default_tile_size",
     "register_engine",
     "resolve_engine",
 ]

@@ -1,11 +1,15 @@
 """Engine abstraction: how a pairwise Gram matrix gets scheduled.
 
-A :class:`GramEngine` turns a :class:`~repro.kernels.base.PairwiseKernel`
-plus its prepared per-graph states into a (square or rectangular) Gram
-matrix. The engine owns *scheduling* — loop order, tiling, parallel
-fan-out — while the kernel owns the *mathematics* via ``pair_value`` /
-``block_values``. Engines therefore never import concrete kernels; they
-only rely on the small protocol below:
+A :class:`GramEngine` executes a :class:`~repro.engine.tiles.TilePlan`
+over a :class:`~repro.kernels.base.PairwiseKernel`'s prepared per-graph
+states, streaming finished ``(rows, cols, block)`` tiles into a
+:class:`~repro.engine.tiles.GramSink`. The *scheduler* — plan
+construction, resume filtering through ``sink.has_tile``, placement and
+symmetry mirroring — lives here in the base class; backends differ only
+in **how one tile is computed** (:meth:`GramEngine.compute_tile`) and,
+for the process backend, **where** (:meth:`GramEngine.run_tiles` fans
+tiles out to a worker pool). The kernel owns the *mathematics* via the
+small protocol below; engines never import concrete kernels:
 
 ``kernel.pair_value(state_a, state_b) -> float``
     Scalar kernel value (the serial path).
@@ -18,7 +22,8 @@ only rely on the small protocol below:
 Backends register themselves in :data:`ENGINES` and are resolved by name
 through :func:`resolve_engine`; ``None`` falls back to the process-wide
 default (the ``REPRO_GRAM_ENGINE`` environment variable, else
-``"batched"``).
+``"batched"``). Tile sizes resolve the same way: explicit constructor
+argument > ``REPRO_GRAM_TILE`` > per-backend default.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ import os
 
 import numpy as np
 
+from repro.engine.tiles import DenseSink, GramSink, TilePlan, default_tile_size
 from repro.errors import KernelError
 
 #: Hard floor for tile sizes — degenerate tiling is always a bug.
@@ -35,18 +41,118 @@ _MIN_TILE = 1
 
 
 class GramEngine(abc.ABC):
-    """Strategy object computing Gram matrices from prepared states."""
+    """Strategy object computing Gram matrices from prepared states.
+
+    The concrete :meth:`gram` / :meth:`cross_gram` entry points build a
+    :class:`TilePlan` and delegate to :meth:`execute`, the shared
+    scheduler. Subclasses implement :meth:`compute_tile` (the per-tile
+    mathematics dispatch) and may override :meth:`run_tiles` (where tiles
+    run — in-process by default, a worker pool for the process backend).
+    """
 
     #: Registry key; subclasses set it and appear in :data:`ENGINES`.
     name: str = "engine"
 
-    @abc.abstractmethod
-    def gram(self, kernel, states: list) -> np.ndarray:
-        """Symmetric ``(n, n)`` Gram over one prepared collection."""
+    #: Per-backend tile-size fallback (overridden by ``REPRO_GRAM_TILE``
+    #: and by an explicit ``tile_size=`` constructor argument).
+    default_tile: int = 64
+
+    def __init__(self, *, tile_size: "int | None" = None) -> None:
+        self.tile_size = None if tile_size is None else int(tile_size)
+
+    def resolved_tile_size(self) -> int:
+        """Explicit tile size > ``REPRO_GRAM_TILE`` > backend default."""
+        if self.tile_size is not None:
+            return max(self.tile_size, _MIN_TILE)
+        return default_tile_size(self.default_tile)
+
+    # ------------------------------------------------------------------ #
+    # Entry points (shared by every backend)
+    # ------------------------------------------------------------------ #
+
+    def gram(self, kernel, states: list, *, sink: "GramSink | None" = None):
+        """Symmetric ``(n, n)`` Gram over one prepared collection.
+
+        With a ``sink`` the result is whatever the sink materialises
+        (ndarray, memmap); without one, a fresh in-memory ndarray.
+        """
+        plan = TilePlan.gram(len(states), self.resolved_tile_size())
+        return self.execute(kernel, plan, states, states, sink=sink)
+
+    def cross_gram(
+        self, kernel, states_a: list, states_b: list,
+        *, sink: "GramSink | None" = None,
+    ):
+        """Rectangular ``(len_a, len_b)`` Gram between two state lists."""
+        plan = TilePlan.cross(
+            len(states_a), len(states_b), self.resolved_tile_size()
+        )
+        return self.execute(kernel, plan, states_a, states_b, sink=sink)
+
+    def execute(
+        self,
+        kernel,
+        plan: TilePlan,
+        states_a: list,
+        states_b: list,
+        *,
+        sink: "GramSink | None" = None,
+    ):
+        """The shared scheduler: stream ``plan``'s tiles into ``sink``.
+
+        Tiles the sink already holds (``has_tile`` — the resume hook of
+        the checkpoint layer) are skipped *before* any kernel work runs,
+        so a resumed computation pays only for the unfinished tiles.
+        Symmetric plans enumerate upper-triangle tiles only; the sink
+        mirrors, so results are symmetric by construction on every
+        backend.
+        """
+        sink = DenseSink() if sink is None else sink
+        sink.open(plan)
+
+        def jobs():
+            # Lazy on purpose: at large N the schedule holds O(N²/tile²)
+            # entries, and materialising every state-slice pair up front
+            # would cost O(N²/tile) memory — defeating the out-of-core
+            # sinks this scheduler exists to feed. Backends consume the
+            # stream with bounded look-ahead (the process pool keeps a
+            # fixed submission window in flight).
+            for rows, cols in plan.tiles():
+                if sink.has_tile(rows, cols):
+                    continue
+                diagonal = plan.is_diagonal(rows, cols)
+                slice_a = states_a[rows[0] : rows[1]]
+                slice_b = [] if diagonal else states_b[cols[0] : cols[1]]
+                yield (rows, cols), (kernel, slice_a, slice_b, diagonal)
+
+        def place(key, block):
+            sink.write(key[0], key[1], np.asarray(block, dtype=float))
+
+        self.run_tiles(jobs(), place)
+        return sink.finalize()
+
+    # ------------------------------------------------------------------ #
+    # Backend hooks
+    # ------------------------------------------------------------------ #
 
     @abc.abstractmethod
-    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
-        """Rectangular ``(len_a, len_b)`` Gram between two state lists."""
+    def compute_tile(
+        self, kernel, states_a: list, states_b: list, diagonal: bool
+    ) -> np.ndarray:
+        """One tile's values — the only mathematics a backend chooses.
+
+        ``diagonal`` tiles pass the row slice only (``states_b`` is
+        empty) and must return a symmetric block computed from the upper
+        triangle, so every backend agrees on symmetry exactly.
+        """
+
+    def run_tiles(self, jobs, consume) -> None:
+        """Run ``(key, compute_tile-args)`` jobs, feeding each finished
+        block to ``consume(key, block)``. ``jobs`` may be a lazy iterable
+        (the scheduler streams it); one job is in flight at a time here —
+        the process backend overrides this with worker-pool fan-out."""
+        for key, args in jobs:
+            consume(key, self.compute_tile(*args))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -74,13 +180,8 @@ def symmetric_tile_pairs(n: int, tile_size: int):
             yield rows, cols
 
 
-def assemble_symmetric(matrix: np.ndarray, rows, cols, block: np.ndarray) -> None:
-    """Place ``block`` at ``[rows, cols]`` and mirror it across the diagonal."""
-    r0, r1 = rows
-    c0, c1 = cols
-    matrix[r0:r1, c0:c1] = block
-    if (r0, r1) != (c0, c1):
-        matrix[c0:c1, r0:r1] = block.T
+# Mirroring of symmetric off-diagonal tiles lives in GramSink._place
+# (repro.engine.tiles) — sinks assemble matrices, engines only schedule.
 
 
 # --------------------------------------------------------------------- #

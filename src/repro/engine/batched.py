@@ -1,8 +1,7 @@
-"""Vectorized backend: tile the Gram and evaluate tiles via ``block_values``.
+"""Vectorized backend: evaluate whole tiles via ``kernel.block_values``.
 
-The collection is cut into contiguous index tiles; for every tile pair in
-the upper triangle the engine asks the kernel for the whole rectangular
-block at once. Kernels that override
+For every tile of the shared schedule the engine asks the kernel for the
+whole rectangular block at once. Kernels that override
 :meth:`~repro.kernels.base.PairwiseKernel.block_values` (the QJSD family)
 answer with batched ``eigvalsh`` / array arithmetic over ``(B, m, m)``
 stacks; kernels that don't, fall back to the base-class loop, so this
@@ -12,20 +11,15 @@ with bounded-size blocks.
 Tiling bounds peak memory: a tile pair materialises at most
 ``tile_size**2`` mixed states at a time regardless of collection size
 (vectorized kernels additionally chunk internally, see
-``repro.kernels.haqjsk``).
+``repro.kernels.haqjsk``), and with an out-of-core sink the assembled
+matrix never has to fit in RAM either.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.base import (
-    GramEngine,
-    assemble_symmetric,
-    register_engine,
-    symmetric_tile_pairs,
-    tile_ranges,
-)
+from repro.engine.base import GramEngine, register_engine
 
 #: Default tile edge; 64x64 tiles = at most 4096 pairs per batched call.
 DEFAULT_TILE_SIZE = 64
@@ -33,32 +27,15 @@ DEFAULT_TILE_SIZE = 64
 
 @register_engine
 class BatchedEngine(GramEngine):
-    """Symmetric block-tiled evaluation through ``kernel.block_values``."""
+    """Block-tiled evaluation through ``kernel.block_values``."""
 
     name = "batched"
 
-    def __init__(self, *, tile_size: int = DEFAULT_TILE_SIZE) -> None:
-        self.tile_size = int(tile_size)
+    default_tile = DEFAULT_TILE_SIZE
 
-    def gram(self, kernel, states: list) -> np.ndarray:
-        n = len(states)
-        matrix = np.zeros((n, n))
-        for rows, cols in symmetric_tile_pairs(n, self.tile_size):
-            if rows == cols:
-                block = kernel.symmetric_block_values(states[rows[0] : rows[1]])
-            else:
-                block = kernel.block_values(
-                    states[rows[0] : rows[1]], states[cols[0] : cols[1]]
-                )
-            assemble_symmetric(matrix, rows, cols, np.asarray(block, dtype=float))
-        return matrix
-
-    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
-        matrix = np.zeros((len(states_a), len(states_b)))
-        for r0, r1 in tile_ranges(len(states_a), self.tile_size):
-            for c0, c1 in tile_ranges(len(states_b), self.tile_size):
-                matrix[r0:r1, c0:c1] = np.asarray(
-                    kernel.block_values(states_a[r0:r1], states_b[c0:c1]),
-                    dtype=float,
-                )
-        return matrix
+    def compute_tile(
+        self, kernel, states_a: list, states_b: list, diagonal: bool
+    ) -> np.ndarray:
+        if diagonal:
+            return np.asarray(kernel.symmetric_block_values(states_a), dtype=float)
+        return np.asarray(kernel.block_values(states_a, states_b), dtype=float)

@@ -1,11 +1,11 @@
-"""Parallel backend: symmetric block tiles fanned out over worker processes.
+"""Parallel backend: tiles of the shared schedule fanned out over workers.
 
-The same block-tiled schedule as the batched backend, but tile pairs are
-submitted to a :class:`concurrent.futures.ProcessPoolExecutor` so the
-per-tile ``block_values`` calls (batched ``eigvalsh`` stacks, or the
-pure-Python fallback loop) run on every available core. Each task ships
-only the kernel object and the two state slices it needs, so the pickling
-cost grows with the tile, not the collection.
+The same tile plan as the batched backend, but tile jobs are submitted to
+a :class:`concurrent.futures.ProcessPoolExecutor` so the per-tile
+``block_values`` calls (batched ``eigvalsh`` stacks, or the pure-Python
+fallback loop) run on every available core. Each task ships only the
+kernel object and the two state slices it needs, so the pickling cost
+grows with the tile, not the collection.
 
 The result is identical to the batched backend tile-for-tile — the same
 ``block_values`` code runs, merely in another process — which is what the
@@ -14,13 +14,15 @@ backend-equivalence tests assert. When a pool cannot be created (no
 the engine degrades to in-process execution rather than failing the Gram
 computation, emitting a :class:`RuntimeWarning` so the lost parallelism
 is visible. The pool itself is created and shut down deterministically
-within each ``gram``/``cross_gram`` call, on every exit path.
+within each tile stream, on every exit path.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import warnings
+from collections import deque
 
 import numpy as np
 
@@ -28,16 +30,10 @@ try:
     from concurrent.futures import ProcessPoolExecutor
 except ImportError:  # pragma: no cover - interpreter without _multiprocessing
     # WASM/pyodide-style builds: keep the module importable so the serial
-    # and batched backends still work; _run degrades in-process.
+    # and batched backends still work; run_tiles degrades in-process.
     ProcessPoolExecutor = None
 
-from repro.engine.base import (
-    GramEngine,
-    assemble_symmetric,
-    register_engine,
-    symmetric_tile_pairs,
-    tile_ranges,
-)
+from repro.engine.base import GramEngine, register_engine
 
 #: Smaller default tiles than the batched backend: more tasks to balance.
 DEFAULT_TILE_SIZE = 32
@@ -56,100 +52,103 @@ class ProcessEngine(GramEngine):
 
     name = "process"
 
+    default_tile = DEFAULT_TILE_SIZE
+
     def __init__(
         self,
         *,
-        tile_size: int = DEFAULT_TILE_SIZE,
+        tile_size: "int | None" = None,
         max_workers: "int | None" = None,
     ) -> None:
-        self.tile_size = int(tile_size)
+        super().__init__(tile_size=tile_size)
         self.max_workers = max_workers
 
-    def gram(self, kernel, states: list) -> np.ndarray:
-        n = len(states)
-        matrix = np.zeros((n, n))
-        jobs = []
-        for rows, cols in symmetric_tile_pairs(n, self.tile_size):
-            diagonal = rows == cols
-            states_a = states[rows[0] : rows[1]]
-            states_b = [] if diagonal else states[cols[0] : cols[1]]
-            jobs.append(((rows, cols), (kernel, states_a, states_b, diagonal)))
-
-        def place(key, block):
-            assemble_symmetric(matrix, key[0], key[1], block)
-
-        self._run(jobs, place)
-        return matrix
-
-    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
-        matrix = np.zeros((len(states_a), len(states_b)))
-        jobs = []
-        for rows in tile_ranges(len(states_a), self.tile_size):
-            for cols in tile_ranges(len(states_b), self.tile_size):
-                slice_a = states_a[rows[0] : rows[1]]
-                slice_b = states_b[cols[0] : cols[1]]
-                jobs.append(((rows, cols), (kernel, slice_a, slice_b, False)))
-
-        def place(key, block):
-            (r0, r1), (c0, c1) = key
-            matrix[r0:r1, c0:c1] = block
-
-        self._run(jobs, place)
-        return matrix
+    def compute_tile(
+        self, kernel, states_a: list, states_b: list, diagonal: bool
+    ) -> np.ndarray:
+        # The in-process mathematics (used by the pool-less degradation
+        # path) is exactly what a worker runs remotely.
+        return np.asarray(_gram_block(kernel, states_a, states_b, diagonal))
 
     # ------------------------------------------------------------------ #
-    # Internals
+    # Scheduling override: fan tiles out to a worker pool
     # ------------------------------------------------------------------ #
 
-    def _worker_count(self, n_jobs: int) -> int:
-        limit = self.max_workers or os.cpu_count() or 1
-        return max(1, min(int(limit), n_jobs))
+    #: Submission window per worker: enough look-ahead to keep every core
+    #: busy while bounding in-flight jobs (and their pickled state slices)
+    #: to O(workers), not O(N²/tile²).
+    _WINDOW_PER_WORKER = 4
 
-    def _run(self, jobs, consume) -> None:
+    def run_tiles(self, jobs, consume) -> None:
         """Call ``consume(key, block ndarray)`` for every tile job.
 
-        Results stream into ``consume`` as futures are drained (tiles are
-        never all materialised at once), and the pool is created, drained
-        and shut down entirely inside this frame. Pushing the assembly in
-        — instead of yielding results out of a generator — is what makes
-        the pool lifecycle deterministic: a generator's ``finally`` only
-        runs when the consumer exhausts or closes it, so an exception
-        raised mid-assembly (or an abandoned iteration) used to leave
-        worker processes alive until GC. Here every exit path, including
-        a ``consume`` or worker exception, reaps the pool first.
+        ``jobs`` is consumed lazily with a bounded submission window
+        (``workers × 4`` tasks in flight), so neither the schedule nor
+        the results are ever all materialised at once — at any moment the
+        process holds O(workers) pickled state slices and one finished
+        block, which is what lets an out-of-core sink keep peak memory at
+        one tile. The pool is created, drained and shut down entirely
+        inside this frame. Pushing the assembly in — instead of yielding
+        results out of a generator — is what makes the pool lifecycle
+        deterministic: a generator's ``finally`` only runs when the
+        consumer exhausts or closes it, so an exception raised
+        mid-assembly (or an abandoned iteration) used to leave worker
+        processes alive until GC. Here every exit path, including a
+        ``consume`` or worker exception, reaps the pool first.
 
-        Only pool *setup* (executor creation / task submission) falls back
-        to in-process execution — that is where restricted environments
-        without ``fork``/``spawn`` fail — and the degradation is announced
-        with a :class:`RuntimeWarning` so users notice they lost
-        parallelism. Once tasks are in flight, worker errors (kernel bugs,
-        a broken pool) propagate to the caller instead of being masked by
-        a silent full serial recompute.
+        Only pool *setup* (executor creation / first-window submission)
+        falls back to in-process execution — that is where restricted
+        environments without ``fork``/``spawn`` fail — and the
+        degradation is announced with a :class:`RuntimeWarning` so users
+        notice they lost parallelism. Once tasks are in flight, worker
+        errors (kernel bugs, a broken pool) propagate to the caller
+        instead of being masked by a silent full serial recompute.
         """
-        if not jobs:
+        jobs = iter(jobs)
+        limit = max(1, int(self.max_workers or os.cpu_count() or 1))
+        # Buffer up to `limit` jobs before creating the pool, so tiny
+        # plans don't spawn more workers than they have tiles.
+        head = list(itertools.islice(jobs, limit))
+        if not head:
             return
+        remaining = itertools.chain(head, jobs)
         if ProcessPoolExecutor is None:
             self._run_in_process(
-                jobs, consume, ImportError("concurrent.futures has no process pools")
+                remaining,
+                consume,
+                ImportError("concurrent.futures has no process pools"),
             )
             return
-        workers = self._worker_count(len(jobs))
+        workers = min(limit, len(head))
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except (ImportError, OSError, PermissionError, RuntimeError) as exc:
-            self._run_in_process(jobs, consume, exc)
+            self._run_in_process(remaining, consume, exc)
             return
+        window: deque = deque()
+        depth = workers * self._WINDOW_PER_WORKER
+        first_batch = list(itertools.islice(remaining, depth))
         try:
-            futures = [
-                (key, pool.submit(_gram_block, *args)) for key, args in jobs
-            ]
+            for key, args in first_batch:
+                window.append((key, pool.submit(_gram_block, *args)))
         except (OSError, PermissionError, RuntimeError) as exc:
+            # First-window submission failed: nothing has been consumed
+            # yet, so the whole stream — including the jobs whose futures
+            # were cancelled — degrades in-process; consume() still sees
+            # each tile exactly once.
             pool.shutdown(wait=False, cancel_futures=True)
-            self._run_in_process(jobs, consume, exc)
+            self._run_in_process(
+                itertools.chain(first_batch, remaining), consume, exc
+            )
             return
         try:
-            for key, future in futures:
+            while window:
+                key, future = window.popleft()
                 consume(key, np.asarray(future.result(), dtype=float))
+                for next_key, next_args in itertools.islice(remaining, 1):
+                    window.append(
+                        (next_key, pool.submit(_gram_block, *next_args))
+                    )
         finally:
             # Runs whether the drain completed or a worker raised: pending
             # tiles are cancelled and the workers reaped before the caller

@@ -1,9 +1,12 @@
 """The reference backend: one ``pair_value`` call per pair.
 
-This is byte-for-byte the scheduling the kernel layer used before the
-engine subsystem existed — an upper-triangular double loop mirrored into
-the lower triangle. It never calls ``block_values``, so it stays the
-ground truth the vectorized and parallel backends are tested against.
+This is value-for-value the scheduling the kernel layer used before the
+engine subsystem existed — every cell of a tile comes from its own
+``pair_value`` call, diagonal tiles evaluate the upper triangle and
+mirror. It never calls ``block_values``, so it stays the ground truth the
+vectorized and parallel backends are tested against; the shared base
+scheduler only changes *which order* cells are visited (tile by tile),
+never their values.
 """
 
 from __future__ import annotations
@@ -19,19 +22,24 @@ class SerialEngine(GramEngine):
 
     name = "serial"
 
-    def gram(self, kernel, states: list) -> np.ndarray:
-        n = len(states)
-        matrix = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i, n):
-                value = float(kernel.pair_value(states[i], states[j]))
-                matrix[i, j] = value
-                matrix[j, i] = value
-        return matrix
+    #: Large tiles: serial tiling exists only to bound sink writes, the
+    #: per-pair loop cost is identical at any tile size.
+    default_tile = 128
 
-    def cross_gram(self, kernel, states_a: list, states_b: list) -> np.ndarray:
-        matrix = np.zeros((len(states_a), len(states_b)))
+    def compute_tile(
+        self, kernel, states_a: list, states_b: list, diagonal: bool
+    ) -> np.ndarray:
+        if diagonal:
+            n = len(states_a)
+            block = np.zeros((n, n))
+            for i in range(n):
+                for j in range(i, n):
+                    value = float(kernel.pair_value(states_a[i], states_a[j]))
+                    block[i, j] = value
+                    block[j, i] = value
+            return block
+        block = np.zeros((len(states_a), len(states_b)))
         for i, state_a in enumerate(states_a):
             for j, state_b in enumerate(states_b):
-                matrix[i, j] = float(kernel.pair_value(state_a, state_b))
-        return matrix
+                block[i, j] = float(kernel.pair_value(state_a, state_b))
+        return block

@@ -23,6 +23,7 @@ import time
 
 import numpy as np
 
+from repro.engine import SerialEngine
 from repro.experiments.reporting import format_table
 from repro.graphs.generators import erdos_renyi
 from repro.kernels import HAQJSKKernelA
@@ -43,9 +44,12 @@ def time_gram_stages(
 ) -> dict:
     """Wall-clock seconds of the two Gram stages for HAQJSK(A).
 
-    Uses the kernel's prepare / pair_value split directly, which is how
+    Uses the kernel's prepare / engine split directly, which is how
     ``gram`` itself is computed, so the sum of the stages is the honest
-    total.
+    total. The pairwise stage runs as a tile plan on the serial backend —
+    the same scheduler every production Gram goes through, evaluating
+    exactly the ``N(N+1)/2`` upper-triangle ``pair_value`` calls the
+    paper's ``O(N²)`` term counts.
     """
     graphs = _probe_graphs(n_graphs, n_vertices, seed)
     kernel = HAQJSKKernelA(n_prototypes=16, n_levels=2, max_layers=4, seed=seed)
@@ -55,9 +59,7 @@ def time_gram_stages(
     prepare_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    for i in range(n_graphs):
-        for j in range(i, n_graphs):
-            kernel.pair_value(states[i], states[j])
+    SerialEngine().gram(kernel, states)
     pairwise_seconds = time.perf_counter() - started
     return {
         "prepare": prepare_seconds,

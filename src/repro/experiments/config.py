@@ -31,6 +31,15 @@ def gram_engine() -> str:
     return default_engine_name()
 
 
+def gram_tile() -> str:
+    """The tile size the harness schedules Gram plans with, for the
+    report footer: the ``REPRO_GRAM_TILE`` override when set, else each
+    backend's own default (batched 64, process 32, serial 128)."""
+    from repro.engine import TILE_ENV_VAR
+
+    return os.environ.get(TILE_ENV_VAR, "").strip() or "backend default"
+
+
 #: Environment variable pointing the harness at a persistent artifact store.
 STORE_ENV_VAR = "REPRO_STORE"
 

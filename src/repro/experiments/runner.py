@@ -9,8 +9,10 @@ under ``results/``.
 Checkpoint/resume: point ``REPRO_STORE`` at a directory (or pass
 ``--store`` to experiments that accept it) and every completed Gram
 matrix is persisted in a content-addressed artifact store
-(:mod:`repro.store`). A killed run rerun with the same store restarts
-from its last completed Gram and produces the identical report.
+(:mod:`repro.store`) — with the in-flight Gram additionally
+tile-checkpointed, so a killed run resumes at the first unfinished tile,
+not the cell boundary. Reruns produce the identical report; the footer
+records the engine, tile size and tile-resume counters.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.experiments.config import (
     STORE_ENV_VAR,
     TABLE4_KERNELS,
     gram_engine,
+    gram_tile,
     store_root,
 )
 from repro.experiments.reporting import format_table, save_report
@@ -85,7 +88,7 @@ def main(argv=None) -> int:
     name = argv[0]
     output = _EXPERIMENTS[name](_extract_store_flag(argv[1:]))
     if output:
-        metadata = {"gram_engine": gram_engine()}
+        metadata = {"gram_engine": gram_engine(), "gram_tile": gram_tile()}
         if store_root():
             metadata["artifact_store"] = store_root()
         path = save_report(name, output, metadata=metadata)

@@ -83,10 +83,14 @@ def evaluate_cell(
 
     With a ``store`` (:class:`repro.store.ArtifactStore`), the Gram matrix
     — the cell's dominant cost — is fetched by content key and only
-    computed (then persisted) on a miss. A killed sweep rerun with the
-    same store therefore restarts from its last completed Gram: completed
-    cells reload in milliseconds and produce the identical report (the CV
-    protocol is deterministic given the seed).
+    computed (then persisted) on a miss. The miss computation itself runs
+    as a tile-checkpointed execution plan: every finished tile commits to
+    the store before the next is computed, so a sweep killed *mid-Gram*
+    resumes at the first unfinished tile, not from the cell boundary
+    (PR 2's whole-Gram granularity). Completed cells still reload in
+    milliseconds and produce the identical report (the CV protocol is
+    deterministic given the seed); the per-cell tile counters land in the
+    report footer.
     """
     scale_cfg = dataset_scale(dataset_name)
     dataset = load_dataset(
@@ -99,24 +103,25 @@ def evaluate_cell(
         kernel_name, n_prototypes=scale_cfg.haqjsk_prototypes, seed=seed
     )
     ensure_psd = kernel_name in INDEFINITE_KERNELS
-    key = None
-    gram = None
-    if store is not None:
-        from repro.store import gram_key
+    from repro.store import store_backed_gram
 
-        key = gram_key(
-            kernel, dataset.graphs, normalize=True, ensure_psd=ensure_psd
-        )
-        gram = store.get_array("gram", key)
-    gram_cached = gram is not None
+    # One protocol for hit / tile-checkpointed miss / dead-tile cleanup:
+    # store_backed_gram owns it, the cell just reads the accounting.
+    stats: dict = {}
     started = time.perf_counter()
-    if gram is None:
-        gram = kernel.gram(
-            dataset.graphs, normalize=True, ensure_psd=ensure_psd
-        )
-        if store is not None:
-            store.put_array("gram", key, gram)
+    gram = store_backed_gram(
+        kernel,
+        dataset.graphs,
+        store,
+        normalize=True,
+        ensure_psd=ensure_psd,
+        tile_checkpoint=True,
+        stats=stats,
+    )
     gram_seconds = time.perf_counter() - started
+    gram_cached = stats["cached"]
+    tiles_restored = stats["tiles_restored"]
+    tiles_computed = stats["tiles_computed"]
     # Fit/transform on the full collection Gram: transductive by design
     # (the paper's protocol), but through the same GramConditioner the
     # serving path applies inductively, so a bundle trained on this cell's
@@ -145,6 +150,8 @@ def evaluate_cell(
         "gram_seconds": gram_seconds,
         "gram_engine": str(kernel.engine),
         "gram_cached": gram_cached,
+        "gram_tiles_restored": tiles_restored,
+        "gram_tiles_computed": tiles_computed,
         "n_graphs": len(dataset),
     }
 
@@ -206,11 +213,26 @@ def main(argv=None) -> str:  # pragma: no cover - CLI glue
         "(default: $REPRO_STORE; unset = recompute everything)",
     )
     args = parser.parse_args(argv)
+    store = artifact_store(args.store)
     cells = run_table4(
         kernels=args.kernels, datasets=args.datasets, seed=args.seed,
-        n_repeats=args.repeats, store=artifact_store(args.store),
+        n_repeats=args.repeats, store=store,
     )
     table = format_table(cells_to_rows(cells))
+    if store is not None:
+        # Tile-resume accounting for the report footer (italic line, so
+        # report diffs that strip metadata ignore it): how much of the
+        # sweep's pair work came back from checkpointed tiles.
+        cached = sum(1 for cell in cells if cell["gram_cached"])
+        restored = sum(cell["gram_tiles_restored"] for cell in cells)
+        computed = sum(cell["gram_tiles_computed"] for cell in cells)
+        # Single "\n": the line must start with "_" so report diffs that
+        # strip italic metadata (grep -v '^_') see identical tables with
+        # and without a store.
+        table += (
+            f"\n_tile resume: {cached}/{len(cells)} Grams cached whole, "
+            f"{restored} tiles restored, {computed} tiles computed_"
+        )
     print(table)
     return table
 

@@ -6,7 +6,10 @@ from repro.kernels.base import (
     GraphKernel,
     KernelTraits,
     PairwiseKernel,
+    cosine_scale,
     normalize_gram,
+    normalize_gram_block,
+    normalize_gram_inplace_tiled,
 )
 from repro.kernels.core_variants import (
     CoreVariantKernel,
@@ -64,7 +67,10 @@ __all__ = [
     "attributed_aligner",
     "core_sp_kernel",
     "core_wl_kernel",
+    "cosine_scale",
     "normalize_gram",
+    "normalize_gram_block",
+    "normalize_gram_inplace_tiled",
     "three_graphlet_counts",
     "wl_feature_matrix",
     "wl_label_sequences",

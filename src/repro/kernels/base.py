@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.engine.base import GramEngine, resolve_engine
+from repro.engine.base import GramEngine, resolve_engine, tile_ranges
+from repro.engine.tiles import GramSink, TilePlan, stream_tiles
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
 from repro.store.fingerprints import config_fingerprint
@@ -73,6 +74,7 @@ class GraphKernel(abc.ABC):
         normalize: bool = False,
         ensure_psd: bool = False,
         engine: "GramEngine | str | None" = None,
+        sink: "GramSink | None" = None,
     ) -> np.ndarray:
         """The full ``N x N`` Gram matrix over ``graphs``.
 
@@ -90,25 +92,99 @@ class GraphKernel(abc.ABC):
             name (``"serial"``, ``"batched"``, ``"process"``), a
             :class:`GramEngine` instance, or ``None`` for this kernel's
             sticky default / the process-wide default.
+        sink:
+            Destination for the tile stream (see
+            :mod:`repro.engine.tiles`): ``None`` keeps today's in-memory
+            ndarray; a :class:`~repro.engine.tiles.MemmapSink` assembles
+            the Gram out of core (bounded peak memory at any ``N``); a
+            :class:`~repro.store.tiles.CheckpointSink` additionally
+            persists finished tiles so a killed run resumes at tile
+            granularity. Raw *kernel values* stream into the sink;
+            ``normalize`` is then applied tile-wise in place (works on
+            memmaps without densifying), while ``ensure_psd`` — a global
+            eigendecomposition — is refused for out-of-core sinks.
         """
         self._check_graphs(graphs)
-        matrix = np.asarray(
-            self._compute_gram(list(graphs), engine=engine), dtype=float
-        )
-        n = len(graphs)
-        if matrix.shape != (n, n):
-            raise KernelError(
-                f"{self.name}: _compute_gram returned shape {matrix.shape}, "
-                f"expected ({n}, {n})"
+        if sink is None:
+            matrix = np.asarray(
+                self._compute_gram(list(graphs), engine=engine), dtype=float
             )
-        matrix = (matrix + matrix.T) / 2.0
+            n = len(graphs)
+            if matrix.shape != (n, n):
+                raise KernelError(
+                    f"{self.name}: _compute_gram returned shape {matrix.shape}, "
+                    f"expected ({n}, {n})"
+                )
+            matrix = (matrix + matrix.T) / 2.0
+            if normalize:
+                matrix = normalize_gram(matrix)
+            if ensure_psd:
+                # One eigendecomposition serves both the PSD check and (when
+                # needed) the projection — see clip_to_psd.
+                matrix = clip_to_psd(matrix)
+            return matrix
+        if ensure_psd and not sink.in_memory:
+            raise KernelError(
+                f"{self.name}: ensure_psd needs a global eigendecomposition, "
+                f"which would densify the out-of-core Gram; use an in-memory "
+                f"sink or project the matrix explicitly"
+            )
+        matrix = self._compute_gram_into(list(graphs), sink, engine)
+        n = len(graphs)
+        if getattr(matrix, "shape", None) != (n, n):
+            raise KernelError(
+                f"{self.name}: tiled Gram has shape "
+                f"{getattr(matrix, 'shape', None)}, expected ({n}, {n})"
+            )
+        # Tiles arrive symmetric by construction (diagonal tiles mirror
+        # their upper triangle, off-diagonals are mirrored by the sink),
+        # so the dense path's global (K + Kᵀ)/2 pass has nothing to do.
         if normalize:
-            matrix = normalize_gram(matrix)
+            matrix = normalize_gram_inplace_tiled(
+                matrix, tile_size=self._resolve_engine(engine).resolved_tile_size()
+            )
         if ensure_psd:
-            # One eigendecomposition serves both the PSD check and (when
-            # needed) the projection — see clip_to_psd.
-            matrix = clip_to_psd(matrix)
+            matrix = clip_to_psd(np.asarray(matrix, dtype=float))
+        # Post-processing is done: a staged sink may now publish its
+        # backing file atomically.
+        sink.commit()
         return matrix
+
+    @property
+    def streams_tiles(self) -> bool:
+        """True when this kernel computes genuinely tile-at-a-time.
+
+        Kernels on the generic dense-replay fallback (the core-variant
+        wrappers) accept sinks for API uniformity but recompute the full
+        matrix before any tile streams — wrapping them in a
+        :class:`~repro.store.tiles.CheckpointSink` would commit tiles
+        that can never save recomputation. Checkpointing callers consult
+        this to skip the pointless tile I/O.
+        """
+        return (
+            type(self)._compute_gram_into is not GraphKernel._compute_gram_into
+        )
+
+    def _compute_gram_into(
+        self,
+        graphs: "list[Graph]",
+        sink: GramSink,
+        engine: "GramEngine | str | None",
+    ):
+        """Subclass hook: stream the raw Gram's tiles into ``sink``.
+
+        The generic fallback computes the dense matrix and replays it as
+        tiles — correct for any kernel (the core-variant wrappers override
+        ``_compute_gram`` wholesale), though without the bounded-memory
+        benefit; the pairwise and feature-map families override this with
+        genuinely tile-at-a-time computation.
+        """
+        matrix = np.asarray(self._compute_gram(graphs, engine=engine), dtype=float)
+        matrix = (matrix + matrix.T) / 2.0
+        plan = TilePlan.gram(
+            len(graphs), self._resolve_engine(engine).resolved_tile_size()
+        )
+        return replay_tiles(matrix, plan, sink)
 
     def gram_extend(
         self,
@@ -117,6 +193,7 @@ class GraphKernel(abc.ABC):
         new_graphs: "list[Graph]",
         *,
         engine: "GramEngine | str | None" = None,
+        store=None,
     ) -> np.ndarray:
         """Grow a cached raw Gram by ``ΔN`` new graphs, computing only the
         new ``(N, ΔN)`` cross block and ``(ΔN, ΔN)`` diagonal block.
@@ -130,6 +207,15 @@ class GraphKernel(abc.ABC):
         agreement, at ``O(N·ΔN)`` pair evaluations instead of
         ``O((N+ΔN)²)`` — the serving workload of a growing collection
         against a fixed reference set.
+
+        With a ``store`` (:class:`repro.store.ArtifactStore`), the new
+        blocks are computed through tile-checkpointing sinks: every
+        finished tile commits before the next is computed, so a killed
+        extension resumes at tile granularity, and tiles persisted by a
+        prior checkpointed run over the same graph slices are reused
+        instead of recomputed. (The prior *matrix* is never needed — tile
+        keys address slice content directly; see
+        :mod:`repro.store.tiles`.)
 
         Raises a :class:`~repro.errors.KernelError` when this kernel's
         values depend on the whole collection (HAQJSK's prototype system,
@@ -153,7 +239,7 @@ class GraphKernel(abc.ABC):
                 f"expected ({n_old}, {n_old}) for {n_old} old graphs"
             )
         cross, diagonal = self._extension_blocks(
-            list(old_graphs), list(new_graphs), engine
+            list(old_graphs), list(new_graphs), engine, store=store
         )
         cross = np.asarray(cross, dtype=float)
         diagonal = np.asarray(diagonal, dtype=float)
@@ -175,10 +261,12 @@ class GraphKernel(abc.ABC):
         old_graphs: "list[Graph]",
         new_graphs: "list[Graph]",
         engine: "GramEngine | str | None",
+        store=None,
     ) -> "tuple[np.ndarray, np.ndarray]":
         """Subclass hook: the ``(N, ΔN)`` cross and ``(ΔN, ΔN)`` diagonal
         blocks of the extended Gram. Only called after the
-        collection-independence gate in :meth:`gram_extend` passed."""
+        collection-independence gate in :meth:`gram_extend` passed;
+        ``store`` (when given) requests tile-checkpointed computation."""
         raise KernelError(
             f"{self.name}: no incremental Gram path is implemented for "
             f"{type(self).__name__}"
@@ -253,6 +341,27 @@ class FeatureMapKernel(GraphKernel):
         features = self.feature_matrix(graphs)
         return features @ features.T
 
+    def _compute_gram_into(
+        self,
+        graphs: "list[Graph]",
+        sink: GramSink,
+        engine: "GramEngine | str | None",
+    ):
+        # Feature extraction is linear in N; only the (N, N) *product*
+        # is quadratic, so it is the product that streams: one
+        # ``F[rows] @ F[cols].T`` matmul per tile, diagonal tiles
+        # symmetrised exactly. The engine contributes only its tile size.
+        features = np.asarray(self.feature_matrix(graphs), dtype=float)
+        plan = TilePlan.gram(
+            len(graphs), self._resolve_engine(engine).resolved_tile_size()
+        )
+
+        def block(rows, cols, diagonal):
+            tile = features[rows[0] : rows[1]] @ features[cols[0] : cols[1]].T
+            return (tile + tile.T) / 2.0 if diagonal else tile
+
+        return stream_tiles(plan, sink, block)
+
     @abc.abstractmethod
     def feature_matrix(self, graphs: "list[Graph]") -> np.ndarray:
         """``(N, D)`` feature matrix; columns are substructure counts."""
@@ -263,27 +372,46 @@ class FeatureMapKernel(GraphKernel):
         graphs_b: "list[Graph]",
         *,
         engine: "GramEngine | str | None" = None,
+        sink: "GramSink | None" = None,
     ) -> np.ndarray:
         """Rectangular Gram between two graph lists (shared feature space).
 
         ``engine`` is accepted for signature parity with the pairwise
-        family and ignored — the rectangle is one matmul.
+        family; only its tile size matters — each tile is one matmul.
+        With a ``sink``, the rectangle streams tile-by-tile instead of
+        materialising at once.
         """
         self._check_graphs(graphs_a)
         self._check_graphs(graphs_b)
         features = self.feature_matrix(list(graphs_a) + list(graphs_b))
         fa = features[: len(graphs_a)]
         fb = features[len(graphs_a) :]
-        return fa @ fb.T
+        if sink is None:
+            return fa @ fb.T
+        plan = TilePlan.cross(
+            len(graphs_a),
+            len(graphs_b),
+            self._resolve_engine(engine).resolved_tile_size(),
+        )
+        result = stream_tiles(
+            plan,
+            sink,
+            lambda rows, cols, _: fa[rows[0] : rows[1]] @ fb[cols[0] : cols[1]].T,
+        )
+        sink.commit()
+        return result
 
     def _extension_blocks(
         self,
         old_graphs: "list[Graph]",
         new_graphs: "list[Graph]",
         engine: "GramEngine | str | None",
+        store=None,
     ) -> "tuple[np.ndarray, np.ndarray]":
         # One shared feature space over old + new (vocabulary union); the
         # old block's inner products are untouched by the extra columns.
+        # No tile checkpointing: both blocks are single matmuls, cheaper
+        # than the round trip a checkpoint would add.
         features = self.feature_matrix(old_graphs + new_graphs)
         old_features = features[: len(old_graphs)]
         new_features = features[len(old_graphs) :]
@@ -310,13 +438,29 @@ class PairwiseKernel(GraphKernel):
     def _compute_gram(
         self, graphs: "list[Graph]", *, engine: "GramEngine | str | None" = None
     ) -> np.ndarray:
-        states = self.prepare(graphs)
+        states = self._prepared_states(graphs)
+        return self._resolve_engine(engine).gram(self, states)
+
+    def _compute_gram_into(
+        self,
+        graphs: "list[Graph]",
+        sink: GramSink,
+        engine: "GramEngine | str | None",
+    ):
+        # The genuinely streaming path: preparation is linear, and the
+        # engine's shared scheduler feeds each finished tile straight to
+        # the sink, so an out-of-core Gram never exists in memory.
+        states = self._prepared_states(graphs)
+        return self._resolve_engine(engine).gram(self, states, sink=sink)
+
+    def _prepared_states(self, graphs: "list[Graph]") -> list:
+        states = self.prepare(list(graphs))
         if len(states) != len(graphs):
             raise KernelError(
                 f"{self.name}: prepare() returned {len(states)} states for "
                 f"{len(graphs)} graphs"
             )
-        return self._resolve_engine(engine).gram(self, states)
+        return states
 
     @abc.abstractmethod
     def prepare(self, graphs: "list[Graph]") -> list:
@@ -409,6 +553,7 @@ class PairwiseKernel(GraphKernel):
         graphs_b: "list[Graph]",
         *,
         engine: "GramEngine | str | None" = None,
+        sink: "GramSink | None" = None,
     ) -> np.ndarray:
         """Rectangular Gram between two graph lists.
 
@@ -418,27 +563,36 @@ class PairwiseKernel(GraphKernel):
         here can differ from its value under a different collection,
         exactly as in the paper's protocol. The evaluation itself goes
         through the same engine backends as :meth:`gram`, so Nyström
-        landmark columns get the batched path too.
+        landmark columns get the batched path too; with a ``sink`` the
+        rectangle streams tile-by-tile (out-of-core / checkpointed).
         """
         self._check_graphs(graphs_a)
         self._check_graphs(graphs_b)
         states = self.prepare(list(graphs_a) + list(graphs_b))
         states_a = states[: len(graphs_a)]
         states_b = states[len(graphs_a) :]
-        return self._resolve_engine(engine).cross_gram(self, states_a, states_b)
+        result = self._resolve_engine(engine).cross_gram(
+            self, states_a, states_b, sink=sink
+        )
+        if sink is not None:
+            sink.commit()
+        return result
 
     def _extension_blocks(
         self,
         old_graphs: "list[Graph]",
         new_graphs: "list[Graph]",
         engine: "GramEngine | str | None",
+        store=None,
     ) -> "tuple[np.ndarray, np.ndarray]":
         # Preparation is (re)run over old + new as one collection — it is
         # linear and cheap relative to the pair stage, and for
         # collection-independent kernels (the gram_extend gate) it yields
         # the same pair values as any other collection. Only the N·ΔN
         # cross pairs and the ΔN(ΔN+1)/2 new diagonal pairs are evaluated,
-        # through the same engine backends as a full Gram.
+        # through the same engine backends as a full Gram; a store makes
+        # both blocks tile-checkpointed (kill-resume at tile granularity,
+        # slice-keyed tile reuse across prior checkpointed runs).
         states = self.prepare(old_graphs + new_graphs)
         if len(states) != len(old_graphs) + len(new_graphs):
             raise KernelError(
@@ -448,23 +602,105 @@ class PairwiseKernel(GraphKernel):
         resolved = self._resolve_engine(engine)
         old_states = states[: len(old_graphs)]
         new_states = states[len(old_graphs) :]
-        cross = resolved.cross_gram(self, old_states, new_states)
-        diagonal = resolved.gram(self, new_states)
+        cross_sink = diagonal_sink = None
+        if store is not None:
+            from repro.store.tiles import CheckpointSink, tile_keyer_for
+
+            cross_sink = CheckpointSink(
+                store, tile_keyer_for(self, old_graphs, new_graphs)
+            )
+            diagonal_sink = CheckpointSink(
+                store, tile_keyer_for(self, new_graphs)
+            )
+        cross = resolved.cross_gram(
+            self, old_states, new_states, sink=cross_sink
+        )
+        diagonal = resolved.gram(self, new_states, sink=diagonal_sink)
         return cross, diagonal
 
 
-def normalize_gram(matrix: np.ndarray) -> np.ndarray:
-    """Cosine-normalise a Gram matrix: ``K_ij / sqrt(K_ii K_jj)``.
+def cosine_scale(diagonal: np.ndarray) -> np.ndarray:
+    """Per-graph cosine scale ``1 / sqrt(K_ii)`` from a Gram diagonal.
 
-    Non-positive diagonal entries (possible for indefinite baselines) are
-    treated as 1 to avoid dividing by zero; the properties bench reports
-    them.
+    Non-positive self-similarities (possible for indefinite baselines)
+    are treated as 1 to avoid dividing by zero; the properties bench
+    reports them. This is *the* diagonal-scale policy: whole-matrix
+    normalisation (:func:`normalize_gram`), tile-wise normalisation of
+    out-of-core Grams, and the serving path's ``K(new, train)`` rows all
+    scale through it, so train- and serving-time cosine geometry agree by
+    construction.
     """
-    arr = np.asarray(matrix, dtype=float)
-    diag = np.diag(arr).copy()
+    diag = np.array(diagonal, dtype=float).reshape(-1)
     diag[diag <= 0] = 1.0
-    scale = 1.0 / np.sqrt(diag)
+    return 1.0 / np.sqrt(diag)
+
+
+def normalize_gram_block(
+    block: np.ndarray, row_scale: np.ndarray, col_scale: np.ndarray
+) -> np.ndarray:
+    """One tile (or cross-row block) of cosine normalisation.
+
+    ``row_scale`` / ``col_scale`` are :func:`cosine_scale` outputs for the
+    block's row and column graphs. On a full square Gram with its own
+    diagonal scales this reproduces :func:`normalize_gram` bit-for-bit
+    (same association order); at serving time the *column* scales come
+    from the **training** diagonal stored in the model bundle, never from
+    statistics of the block itself.
+    """
+    return (
+        np.asarray(block, dtype=float)
+        * np.asarray(row_scale, dtype=float)[:, None]
+        * np.asarray(col_scale, dtype=float)[None, :]
+    )
+
+
+def normalize_gram(matrix: np.ndarray) -> np.ndarray:
+    """Cosine-normalise a Gram matrix: ``K_ij / sqrt(K_ii K_jj)``."""
+    arr = np.asarray(matrix, dtype=float)
+    scale = cosine_scale(np.diag(arr))
     return arr * scale[:, None] * scale[None, :]
+
+
+def normalize_gram_inplace_tiled(matrix, *, tile_size: int):
+    """Cosine-normalise a (possibly memmapped) Gram **in place**, one tile
+    at a time.
+
+    Peak extra memory is ``O(N)`` for the diagonal scales plus one tile —
+    never the matrix — so this is the ``normalize=True`` path for
+    out-of-core Grams. Entry-for-entry the arithmetic matches
+    :func:`normalize_gram` (each cell computes ``(K_ij * s_i) * s_j``).
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n):
+        raise KernelError(
+            f"tile-wise normalisation needs a square Gram, got {matrix.shape}"
+        )
+    scale = cosine_scale(np.asarray(matrix.diagonal(), dtype=float))
+    for r0, r1 in tile_ranges(n, tile_size):
+        for c0, c1 in tile_ranges(n, tile_size):
+            matrix[r0:r1, c0:c1] = normalize_gram_block(
+                matrix[r0:r1, c0:c1], scale[r0:r1], scale[c0:c1]
+            )
+    if isinstance(matrix, np.memmap):
+        matrix.flush()
+    return matrix
+
+
+def replay_tiles(matrix: np.ndarray, plan: TilePlan, sink: GramSink):
+    """Feed an already-computed matrix through a sink tile-by-tile.
+
+    The adapter for code paths that still produce dense matrices (the
+    core-variant wrappers' level-summed Grams): downstream sinks see the
+    same tile stream a streaming computation would emit, so memmap
+    assembly works uniformly — only the bounded-memory property is
+    (necessarily) absent (and checkpointing callers skip such kernels,
+    see :attr:`GraphKernel.streams_tiles`).
+    """
+    return stream_tiles(
+        plan,
+        sink,
+        lambda rows, cols, _: matrix[rows[0] : rows[1], cols[0] : cols[1]],
+    )
 
 
 def rbf_from_squared_distances(sq_dists: np.ndarray, gamma: float = 1.0) -> np.ndarray:

@@ -166,6 +166,8 @@ def cross_validate_graph_kernel(
     ensure_psd: bool = False,
     condition: bool = True,
     store=None,
+    tile_checkpoint: bool = True,
+    sink=None,
     **cv_kwargs,
 ) -> CVResult:
     """End-to-end protocol from graphs: Gram -> conditioning -> repeated CV.
@@ -182,21 +184,55 @@ def cross_validate_graph_kernel(
     persistent: the matrix is fetched by content key — kernel
     fingerprint + collection digest + options — and only computed (then
     persisted) on a miss, so repeated protocol runs and interrupted
-    experiment sweeps skip straight past completed Grams.
+    experiment sweeps skip straight past completed Grams. On a miss the
+    computation itself streams through a tile-checkpointing plan
+    (``tile_checkpoint``, default on): a run killed mid-Gram resumes at
+    the first unfinished *tile*, not from scratch.
+
+    ``sink`` (a :class:`repro.engine.tiles.GramSink`, exclusive with
+    ``store``) hands Gram assembly to an explicit sink — pass a
+    :class:`~repro.engine.tiles.MemmapSink` to run the protocol over a
+    Gram that never fits in RAM (the conditioner fits by streaming row
+    stripes; fold sub-matrices densify only at ``train × train`` size).
+    With ``condition=True`` a memmapped Gram is conditioned **in place**:
+    the sink's backing file ends up holding conditioned values, so point
+    it at a scratch path — never at a store artifact other readers expect
+    to contain raw kernel values.
     """
     from repro.store import store_backed_gram
 
-    gram = store_backed_gram(
-        kernel,
-        list(graphs),
-        store,
-        normalize=normalize,
-        ensure_psd=ensure_psd,
-        engine=engine,
-    )
+    if sink is not None:
+        if store is not None:
+            raise ValidationError(
+                "pass either store= (content-addressed persistence) or "
+                "sink= (explicit tile destination), not both"
+            )
+        gram = kernel.gram(
+            list(graphs),
+            normalize=normalize,
+            ensure_psd=ensure_psd,
+            engine=engine,
+            sink=sink,
+        )
+    else:
+        gram = store_backed_gram(
+            kernel,
+            list(graphs),
+            store,
+            normalize=normalize,
+            ensure_psd=ensure_psd,
+            engine=engine,
+            tile_checkpoint=tile_checkpoint,
+        )
     if condition:
         # The same fit/transform object the serving path uses
         # (repro.serve), so protocol runs and bundles condition Grams
-        # through one code path.
-        gram = GramConditioner().fit_transform(gram)
+        # through one code path. Memmapped Grams stay out of core: the
+        # fit streams row stripes and the transform rewrites tiles in
+        # place; only per-fold train × train sub-matrices ever densify.
+        conditioner = GramConditioner().fit(gram)
+        if isinstance(gram, np.memmap):
+            gram = conditioner.transform_inplace_tiled(gram)
+        else:
+            gram = conditioner.transform(gram)
     return cross_validate_kernel(gram, labels, **cv_kwargs)

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.base import tile_ranges
 from repro.errors import NotFittedError, ValidationError
 
 #: Diagonals below this are treated as numerically zero (degenerate Gram).
@@ -153,7 +154,14 @@ class GramConditioner:
         return self.n_train_ is not None
 
     def fit(self, gram: np.ndarray) -> "GramConditioner":
-        """Capture centering means and diagonal scale from ``K_train``."""
+        """Capture centering means and diagonal scale from ``K_train``.
+
+        Memory-mapped training Grams (the out-of-core sink path) are
+        fitted by streaming row stripes — the statistics cost ``O(N)``
+        memory, never a densified copy of the matrix.
+        """
+        if isinstance(gram, np.memmap):
+            return self._fit_streaming(gram)
         arr = _as_square(gram, "gram")
         self.n_train_ = arr.shape[0]
         self.column_means_ = arr.mean(axis=0)
@@ -167,6 +175,45 @@ class GramConditioner:
                 self.scale_ = mean_diagonal
         return self
 
+    def _fit_streaming(
+        self, gram, *, stripe_rows: int = 256
+    ) -> "GramConditioner":
+        """Same statistics as :meth:`fit`, accumulated stripe by stripe.
+
+        Agrees with the dense path to accumulation round-off (~1e-15
+        relative); the centered-diagonal scale uses the closed form
+        ``centered_ii = K_ii - 2·col_mean_i + grand_mean`` (valid because
+        Gram matrices are symmetric: row means equal column means).
+        """
+        n = int(gram.shape[0])
+        if gram.ndim != 2 or gram.shape[1] != n:
+            raise ValidationError(
+                f"gram must be a square matrix, got {gram.shape}"
+            )
+        column_sums = np.zeros(n)
+        diagonal = np.zeros(n)
+        for start, stop in tile_ranges(n, stripe_rows):
+            stripe = np.asarray(gram[start:stop, :], dtype=float)
+            column_sums += stripe.sum(axis=0)
+            diagonal[start:stop] = stripe[
+                np.arange(stop - start), np.arange(start, stop)
+            ]
+        self.n_train_ = n
+        self.column_means_ = column_sums / max(n, 1)
+        self.grand_mean_ = float(self.column_means_.mean()) if n else 0.0
+        self.scale_ = 1.0
+        if self.scale and n:
+            if self.center:
+                centered_diagonal = (
+                    diagonal - 2.0 * self.column_means_ + self.grand_mean_
+                )
+            else:
+                centered_diagonal = diagonal
+            mean_diagonal = float(centered_diagonal.mean())
+            if mean_diagonal > _DEGENERATE_DIAGONAL:
+                self.scale_ = mean_diagonal
+        return self
+
     def transform(self, gram: np.ndarray) -> np.ndarray:
         """Condition a square Gram over the *training* collection."""
         arr = _as_square(gram, "gram")
@@ -175,7 +222,14 @@ class GramConditioner:
 
     def transform_cross(self, rows: np.ndarray) -> np.ndarray:
         """Condition serving-time ``K(new, train)`` rows — the inductive
-        path: training statistics, never the rows' own."""
+        path: training statistics, never the rows' own.
+
+        Because every statistic is frozen at fit time and each output row
+        depends only on its own input row, this applies *per tile*: a
+        ``(ΔN, N)`` block conditioned in row chunks (the streaming
+        serving path, ``PredictionService(max_block_graphs=...)``) equals
+        the one-shot call row for row.
+        """
         arr = np.asarray(rows, dtype=float)
         if arr.ndim != 2:
             raise ValidationError(
@@ -188,6 +242,44 @@ class GramConditioner:
     def fit_transform(self, gram: np.ndarray) -> np.ndarray:
         """``fit`` then ``transform`` — equals :func:`condition_gram`."""
         return self.fit(gram).transform(gram)
+
+    def transform_inplace_tiled(
+        self, gram, *, tile_size: int = 256
+    ):
+        """Condition a (possibly memmapped) *training* Gram in place, one
+        tile at a time — the out-of-core counterpart of :meth:`transform`.
+
+        Valid only for the symmetric training matrix the conditioner was
+        fitted on (``transform``'s per-row means coincide with the frozen
+        column means there, exactly — symmetry makes the two sums
+        element-for-element identical). Peak extra memory is one tile;
+        the input is **mutated** (and flushed, for memmaps), so only hand
+        it matrices you own — never a store artifact another run may
+        reread as raw values.
+        """
+        self._check_columns(np.asarray(gram[:1, :]))
+        n = int(gram.shape[0])
+        if gram.shape != (n, n) or n != self.n_train_:
+            raise ValidationError(
+                f"expected the ({self.n_train_}, {self.n_train_}) training "
+                f"Gram, got shape {gram.shape}"
+            )
+        for r0, r1 in tile_ranges(n, tile_size):
+            for c0, c1 in tile_ranges(n, tile_size):
+                tile = np.asarray(gram[r0:r1, c0:c1], dtype=float)
+                if self.center:
+                    tile = (
+                        tile
+                        - self.column_means_[r0:r1, None]
+                        - self.column_means_[None, c0:c1]
+                        + self.grand_mean_
+                    )
+                if self.scale and self.scale_ != 1.0:
+                    tile = tile / self.scale_
+                gram[r0:r1, c0:c1] = tile
+        if isinstance(gram, np.memmap):
+            gram.flush()
+        return gram
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -193,9 +193,37 @@ class NystromApproximation:
             states = self.kernel.prepare(list(graphs))
             landmark_states = [states[i] for i in landmarks]
             # The N x m rectangle goes through the same engine backends
-            # as a full Gram, so landmark columns get the batched path.
+            # (and tile plans) as a full Gram, so landmark columns get
+            # the batched path. With a store, every finished tile commits
+            # through a CheckpointSink: a killed fit resumes the N·m pair
+            # stage at tile granularity instead of restarting it.
             engine = self.kernel._resolve_engine(self.engine)
-            return engine.cross_gram(self.kernel, states, landmark_states)
+            sink = None
+            if self.store is not None:
+                from repro.store.tiles import CheckpointSink, tile_keyer_for
+
+                sink = CheckpointSink(
+                    self.store,
+                    tile_keyer_for(
+                        self.kernel,
+                        graphs,
+                        [graphs[i] for i in landmarks],
+                        collection=graphs,
+                    ),
+                )
+            cross = np.asarray(
+                engine.cross_gram(
+                    self.kernel, states, landmark_states, sink=sink
+                ),
+                dtype=float,
+            )
+            if sink is not None and not self.kernel.collection_independent:
+                # Collection-dependent tile keys embed the collection
+                # digest: once the rectangle is assembled (and about to be
+                # cached whole under its own key) no other computation can
+                # read them — reclaim instead of leaking per sweep.
+                sink.discard_tiles()
+            return cross
         # Generic fallback: one full-collection Gram, sliced. Exact but not
         # cheaper — feature-map kernels are already linear in N.
         full = self.kernel.gram(list(graphs))

@@ -24,12 +24,13 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
-from repro.kernels.base import FeatureMapKernel, PairwiseKernel
+from repro.kernels.base import (
+    FeatureMapKernel,
+    PairwiseKernel,
+    cosine_scale,
+    normalize_gram_block,
+)
 from repro.serve.bundle import ModelBundle
-
-#: Non-positive self-similarities (possible for indefinite baselines) are
-#: treated as 1 in cosine normalisation, mirroring ``normalize_gram``.
-_MIN_SELF_SIMILARITY = 0.0
 
 
 @dataclass(frozen=True)
@@ -63,9 +64,17 @@ class PredictionService:
         ``"batched"``, ``"process"``, an instance, or ``None`` for the
         kernel's sticky default) — the serving knob for throughput.
     batch_size:
-        When set, :meth:`predict` internally splits larger batches so no
-        single engine call materialises more than ``batch_size × N``
-        kernel values (bounded memory for heavy-traffic loops).
+        When set, :meth:`predict` internally splits larger batches so
+        conditioning and voting never see more than ``batch_size`` rows
+        at a time (bounded memory for heavy-traffic loops).
+    max_block_graphs:
+        When set, :meth:`predict` streams the whole pipeline — cross
+        block, conditioning, voting — in row chunks of at most this many
+        newcomer graphs, so even a single huge arrival batch materialises
+        at most ``max_block_graphs × N`` kernel values at any moment
+        (only the O(ΔN × classes) votes/margins accumulate). Results are
+        identical to the one-shot rectangle, row for row. ``batch_size``
+        composes: the effective chunk is the smaller of the two.
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class PredictionService:
         *,
         engine=None,
         batch_size: "int | None" = None,
+        max_block_graphs: "int | None" = None,
     ) -> None:
         if not isinstance(bundle, ModelBundle):
             raise ValidationError(
@@ -81,9 +91,14 @@ class PredictionService:
             )
         if batch_size is not None and batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+        if max_block_graphs is not None and max_block_graphs < 1:
+            raise ValidationError(
+                f"max_block_graphs must be >= 1, got {max_block_graphs}"
+            )
         self.bundle = bundle.verify()
         self.engine = engine
         self.batch_size = batch_size
+        self.max_block_graphs = max_block_graphs
         # Prepared states of the training collection, computed once per
         # service (legal: the bundle kernel is collection-independent, so
         # states do not depend on which newcomers they are paired with).
@@ -91,7 +106,13 @@ class PredictionService:
 
     @classmethod
     def from_store(
-        cls, store, name: str, *, engine=None, batch_size: "int | None" = None
+        cls,
+        store,
+        name: str,
+        *,
+        engine=None,
+        batch_size: "int | None" = None,
+        max_block_graphs: "int | None" = None,
     ) -> "PredictionService":
         """Load + verify the named bundle and wrap it for serving.
 
@@ -102,6 +123,7 @@ class PredictionService:
             ModelBundle.load(store, name, verify=False),
             engine=engine,
             batch_size=batch_size,
+            max_block_graphs=max_block_graphs,
         )
 
     # ------------------------------------------------------------------ #
@@ -124,7 +146,13 @@ class PredictionService:
             return PredictionResult(
                 labels=classes[:0], votes=empty, margins=empty, classes=classes
             )
-        chunk = self.batch_size or len(graphs)
+        # End-to-end streaming bound: each loop iteration materialises at
+        # most chunk × N kernel values (rows are dropped after voting),
+        # so max_block_graphs caps peak memory even for one huge batch.
+        chunk = min(
+            self.batch_size or len(graphs),
+            self.max_block_graphs or len(graphs),
+        )
         labels, votes, margins = [], [], []
         for start in range(0, len(graphs), chunk):
             rows = self.conditioned_rows(graphs[start : start + chunk])
@@ -149,19 +177,36 @@ class PredictionService:
         """The fully conditioned ``(ΔN, N)`` rows the SVM consumes.
 
         Exposed so the serving-equivalence tests can compare against the
-        transductive full-Gram protocol row by row.
+        transductive full-Gram protocol row by row. Note this returns the
+        *whole* block — ``max_block_graphs`` bounds each internal engine
+        call here, but the end-to-end memory bound lives in
+        :meth:`predict`, which streams chunks through this method and
+        drops each block after voting.
         """
         bundle = self.bundle
         kernel = bundle.kernel
+        if not graphs:
+            # Zero chunks would leave nothing to stack; the empty batch
+            # short-circuits to a conditioned (0, N) block directly.
+            empty = np.zeros((0, len(bundle.training_graphs)))
+            return bundle.conditioner.transform_cross(empty)
+        step = self.max_block_graphs or len(graphs)
         if isinstance(kernel, PairwiseKernel):
             # Amortised pairwise path: the training states are prepared
             # once per service, so a batch pays O(ΔN) preparation plus
-            # exactly the ΔN·N cross pair values through the engine.
+            # exactly the ΔN·N cross pair values through the engine. With
+            # max_block_graphs, the rectangle streams in bounded row
+            # chunks — each engine call sees at most step × N pairs.
             if self._train_states is None:
                 self._train_states = kernel.prepare(list(bundle.training_graphs))
             new_states = kernel.prepare(graphs)
             engine = kernel._resolve_engine(self.engine)
-            rows = engine.cross_gram(kernel, new_states, self._train_states)
+            chunks = [
+                engine.cross_gram(
+                    kernel, new_states[start : start + step], self._train_states
+                )
+                for start in range(0, len(new_states), step)
+            ]
         else:
             # Feature-map kernels re-extract features over train + batch
             # each call: vocabularies are per-call, so rows from separate
@@ -169,10 +214,15 @@ class PredictionService:
             # in N (no quadratic pair stage), so the cross rectangle still
             # dominates; a vocabulary-stable feature cache would shave the
             # O(N) term if feature-map serving ever becomes the hot path.
-            rows = kernel.cross_gram(
-                graphs, bundle.training_graphs, engine=self.engine
-            )
-        rows = np.asarray(rows, dtype=float)
+            chunks = [
+                kernel.cross_gram(
+                    graphs[start : start + step],
+                    bundle.training_graphs,
+                    engine=self.engine,
+                )
+                for start in range(0, len(graphs), step)
+            ]
+        rows = np.vstack([np.asarray(chunk, dtype=float) for chunk in chunks])
         if bundle.normalize:
             rows = self._cosine_normalized(rows, graphs)
         return bundle.conditioner.transform_cross(rows)
@@ -184,13 +234,15 @@ class PredictionService:
     def _cosine_normalized(
         self, rows: np.ndarray, graphs: "list[Graph]"
     ) -> np.ndarray:
-        """``K(t, i) / sqrt(K_tt K_ii)`` with the *stored* training
-        diagonal; newcomer self-similarities cost ΔN extra pair values."""
-        new_diagonal = self._self_similarities(graphs)
-        train_diagonal = np.array(self.bundle.train_diagonal, dtype=float)
-        new_diagonal[new_diagonal <= _MIN_SELF_SIMILARITY] = 1.0
-        train_diagonal[train_diagonal <= _MIN_SELF_SIMILARITY] = 1.0
-        return rows / np.sqrt(np.outer(new_diagonal, train_diagonal))
+        """``K(t, i) / sqrt(K_tt K_ii)`` with the **stored training**
+        diagonal for the columns — the same
+        :func:`~repro.kernels.base.cosine_scale` policy ``normalize_gram``
+        applied to the training Gram, so serving rows land in exactly the
+        cosine geometry the SVM was trained in. Newcomer self-similarities
+        cost ΔN extra pair values."""
+        row_scale = cosine_scale(self._self_similarities(graphs))
+        col_scale = cosine_scale(self.bundle.train_diagonal)
+        return normalize_gram_block(rows, row_scale, col_scale)
 
     def _self_similarities(self, graphs: "list[Graph]") -> np.ndarray:
         """``K(g, g)`` per newcomer — ΔN pair evaluations, no rectangle.
@@ -215,4 +267,5 @@ class PredictionService:
         info = self.bundle.info()
         info["engine"] = str(self.engine) if self.engine is not None else "default"
         info["batch_size"] = self.batch_size
+        info["max_block_graphs"] = self.max_block_graphs
         return info

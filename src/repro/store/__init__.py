@@ -21,6 +21,14 @@ attacks *recomputation*. Three pieces:
   object. Exact for collection-independent kernels; the HAQJSK family
   first freezes its prototype system on a reference collection
   (``kernel.freeze(...)``) — the frozen-prototype serving mode.
+* **Tile granularity** — :mod:`repro.store.tiles` moves the checkpoint
+  unit below the whole Gram: engines stream finished tiles through a
+  :class:`CheckpointSink`, each committed atomically under a
+  slice-content key (:class:`TileKeyer`), so killed runs resume at the
+  first unfinished *tile* and grown collections reuse interior tiles
+  (DESIGN.md, "Tile keying"). :meth:`ArtifactStore.get_memmap` /
+  :meth:`ArtifactStore.memmap_sink` add the out-of-core read/write path
+  for Grams larger than RAM.
 """
 
 from repro.store.artifacts import (
@@ -32,14 +40,24 @@ from repro.store.artifacts import (
     store_backed_gram,
 )
 from repro.store.fingerprints import config_fingerprint, stable_config
+from repro.store.tiles import (
+    TILE_KIND,
+    CheckpointSink,
+    TileKeyer,
+    tile_keyer_for,
+)
 
 __all__ = [
     "ArtifactStore",
+    "CheckpointSink",
     "DEFAULT_MEMORY_ENTRIES",
     "IncrementalGram",
+    "TILE_KIND",
+    "TileKeyer",
     "artifact_key",
     "config_fingerprint",
     "gram_key",
     "stable_config",
     "store_backed_gram",
+    "tile_keyer_for",
 ]

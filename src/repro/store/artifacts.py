@@ -138,6 +138,40 @@ class ArtifactStore:
         self._memory.put((kind, key), arr)
         return arr
 
+    def get_memmap(self, kind: str, key: str, *, mode: str = "r"):
+        """The stored array as a memory map, or ``None`` when absent.
+
+        The out-of-core read path: unlike :meth:`get_array`, nothing is
+        densified and nothing enters the in-memory cache — reading a
+        100 GB Gram artifact costs pages, not RAM. Arrays written by
+        :meth:`put_array` and memmaps grown in place by
+        :meth:`memmap_sink` are both plain ``.npy`` files, so either kind
+        of artifact can be opened this way.
+        """
+        path = self.path_for(kind, key, suffix=".npy")
+        if not os.path.exists(path):
+            return None
+        return np.load(path, mmap_mode=mode, allow_pickle=False)
+
+    def memmap_sink(self, kind: str, key: str, *, dtype="float64"):
+        """A :class:`~repro.engine.tiles.MemmapSink` backed by this store.
+
+        The sink assembles at ``<canonical>.npy.partial`` and publishes
+        with an atomic rename on ``commit()`` (which
+        ``kernel.gram(..., sink=...)`` calls after post-processing), so
+        the canonical path other readers trust — :meth:`get_memmap`,
+        :meth:`get_array` — either holds a complete artifact or nothing,
+        matching :meth:`put_array`'s crash-safety. A run killed
+        mid-assembly leaves only the ``.partial`` file; wrap the sink in
+        a :class:`~repro.store.tiles.CheckpointSink` to make that rerun
+        resume at tile granularity instead of restarting.
+        """
+        from repro.engine.tiles import MemmapSink
+
+        return MemmapSink(
+            self.path_for(kind, key, suffix=".npy"), dtype=dtype, stage=True
+        )
+
     # ------------------------------------------------------------------ #
     # Objects (prepared states, frozen alignment systems)
     # ------------------------------------------------------------------ #
@@ -233,6 +267,8 @@ def store_backed_gram(
     ensure_psd: bool = False,
     engine=None,
     extra: "dict | None" = None,
+    tile_checkpoint: bool = False,
+    stats: "dict | None" = None,
 ) -> np.ndarray:
     """Fetch ``kernel.gram(graphs, ...)`` from the store, computing on miss.
 
@@ -242,22 +278,94 @@ def store_backed_gram(
     Grams are immutable artifacts, and a caller seeing a writable matrix
     on the first run but a read-only one after a warm restart would be a
     trap.
+
+    ``tile_checkpoint=True`` makes the *miss* path itself resumable: the
+    Gram is computed through a :class:`~repro.store.tiles.CheckpointSink`,
+    every finished tile committing to the store before the next is
+    computed. A run killed mid-Gram no longer loses the whole matrix —
+    the rerun restores the finished tiles and computes only the rest
+    (PR 2's whole-Gram checkpointing kicks in once the matrix completes
+    and is persisted under its own key). Tiles hold *raw* kernel values,
+    so they are shared across ``normalize`` / ``ensure_psd`` variants of
+    the same (kernel, graphs) computation. Kernels on the dense-replay
+    fallback (core variants) skip the sink — they recompute the full
+    matrix before any tile streams, so checkpointing their tiles is pure
+    I/O with zero resume value. For collection-*dependent* kernels, whose
+    tile keys embed the collection digest and can never serve another
+    computation, the tiles are reclaimed once the whole Gram is committed
+    (with a cache-hit sweep catching tiles orphaned by a kill inside that
+    commit-then-discard window); collection-independent tiles stay —
+    grown collections and other option variants reuse them.
+
+    ``stats`` (optional dict) is filled with the run's accounting:
+    ``cached`` (whole-Gram hit), ``tiles_restored``, ``tiles_computed``.
+    This is *the* tile-checkpoint protocol — the experiment harness and
+    other callers consume it rather than re-implementing the sequence.
     """
+    graphs = list(graphs)
+    if stats is not None:
+        stats.update(cached=False, tiles_restored=0, tiles_computed=0)
     if store is None:
         return kernel.gram(
-            list(graphs), normalize=normalize, ensure_psd=ensure_psd, engine=engine
+            graphs, normalize=normalize, ensure_psd=ensure_psd, engine=engine
         )
+    streams = tile_checkpoint and getattr(kernel, "streams_tiles", False)
+    dependent = not getattr(kernel, "collection_independent", False)
     key = gram_key(
         kernel, graphs, normalize=normalize, ensure_psd=ensure_psd, extra=extra
     )
     cached = store.get_array("gram", key)
     if cached is not None:
+        if stats is not None:
+            stats["cached"] = True
+        if streams and dependent:
+            _sweep_orphaned_tiles(store, kernel, graphs, engine)
         return cached
+    sink = None
+    if streams:
+        from repro.store.tiles import CheckpointSink, tile_keyer_for
+
+        sink = CheckpointSink(store, tile_keyer_for(kernel, graphs))
     gram = kernel.gram(
-        list(graphs), normalize=normalize, ensure_psd=ensure_psd, engine=engine
+        graphs,
+        normalize=normalize,
+        ensure_psd=ensure_psd,
+        engine=engine,
+        sink=sink,
     )
     store.put_array("gram", key, gram)
+    if sink is not None:
+        if stats is not None:
+            stats["tiles_restored"] = sink.tiles_restored
+            stats["tiles_computed"] = sink.tiles_computed
+        if dependent:
+            sink.discard_tiles()
     return store.get_array("gram", key)
+
+
+def _sweep_orphaned_tiles(store, kernel, graphs, engine) -> None:
+    """Best-effort reclamation of dead collection-dependent tiles.
+
+    Covers the kill window between the whole-Gram ``put_array`` and the
+    post-commit ``discard_tiles``: on the next (cache-hit) run the tiles
+    are unreadable by any other computation, so if the plan's first tile
+    still exists under the *current* tile size, the whole plan is swept.
+    Best-effort on purpose — a rerun under a different tile size derives
+    different keys and leaves the orphans alone.
+    """
+    from repro.engine.tiles import TilePlan
+    from repro.store.tiles import discard_plan_tiles, tile_keyer_for
+
+    if not graphs:
+        return
+    tile = kernel._resolve_engine(engine).resolved_tile_size()
+    plan = TilePlan.gram(len(graphs), tile)
+    keyer = tile_keyer_for(kernel, graphs)
+    first = next(iter(plan.tiles()))
+    if store.has(
+        "gram-tile", keyer.key(first[0], first[1], diagonal=plan.is_diagonal(*first))
+    ):
+        discard_plan_tiles(store, keyer, plan)
 
 
 class IncrementalGram:

@@ -92,3 +92,55 @@ class TestSubset:
         a = ds.stratified_subsample(4, seed=5)
         b = ds.stratified_subsample(4, seed=5)
         assert a.targets.tolist() == b.targets.tolist()
+
+
+class TestSubsample:
+    """GraphDataset.subsample(n, seed): total-count stratified draws."""
+
+    def _skewed(self):
+        graphs = (
+            [gen.cycle_graph(4)] * 12
+            + [gen.path_graph(4)] * 6
+            + [gen.star_graph(4)] * 2
+        )
+        return GraphDataset("skew", graphs, [0] * 12 + [1] * 6 + [2] * 2)
+
+    def test_exact_size_and_proportions(self):
+        sub = self._skewed().subsample(10, seed=0)
+        assert len(sub) == 10
+        # 12:6:2 over 20 -> exact quotas 6:3:1.
+        assert np.sum(sub.targets == 0) == 6
+        assert np.sum(sub.targets == 1) == 3
+        assert np.sum(sub.targets == 2) == 1
+
+    def test_largest_remainder_rounding(self):
+        sub = self._skewed().subsample(7, seed=0)
+        # Exact shares 4.2 / 2.1 / 0.7: the star class has the largest
+        # remainder, so it gets the leftover seat.
+        assert len(sub) == 7
+        assert np.sum(sub.targets == 0) == 4
+        assert np.sum(sub.targets == 1) == 2
+        assert np.sum(sub.targets == 2) == 1
+
+    def test_deterministic_for_fixed_seed(self):
+        ds = self._skewed()
+        a = ds.subsample(9, seed=42)
+        b = ds.subsample(9, seed=42)
+        assert a.targets.tolist() == b.targets.tolist()
+        assert [g.name for g in a.graphs] == [g.name for g in b.graphs]
+
+    def test_n_clamped_to_length(self):
+        ds = self._skewed()
+        assert len(ds.subsample(10**6, seed=0)) == len(ds)
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(DatasetError):
+            self._skewed().subsample(0, seed=0)
+
+    def test_saturated_class_tops_up_elsewhere(self):
+        graphs = [gen.cycle_graph(4)] * 2 + [gen.path_graph(4)] * 18
+        ds = GraphDataset("sat", graphs, [0] * 2 + [1] * 18)
+        sub = ds.subsample(19, seed=1)
+        assert len(sub) == 19
+        assert np.sum(sub.targets == 0) == 2  # the whole small class
+        assert np.sum(sub.targets == 1) == 17

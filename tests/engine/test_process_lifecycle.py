@@ -129,9 +129,11 @@ class TestMaxWorkers:
         (pool,) = recording_pool.instances
         assert pool.max_workers == 1
 
-    def test_worker_count_floor(self):
-        engine = ProcessEngine(max_workers=0)  # falsy -> cpu count, >= 1
-        assert engine._worker_count(3) >= 1
+    def test_worker_count_floor(self, recording_pool):
+        engine = ProcessEngine(tile_size=2, max_workers=0)  # falsy -> cpu count
+        engine.gram(_StubKernel(), _states(4))
+        (pool,) = recording_pool.instances
+        assert pool.max_workers >= 1
 
 
 class TestDegradation:

@@ -1,0 +1,249 @@
+"""Tile plans, Gram sinks, and tile-boundary edge cases.
+
+The tentpole contract: every backend streams the same tile schedule into
+any sink, and the assembled matrix equals the dense reference — at tile
+sizes that do not divide ``n``, tile size 1, tile sizes larger than
+``n``, and for empty batches. Parametrized across all three backends and
+both engine-layer sinks (the store layer's CheckpointSink has its own
+suite under ``tests/store``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    TILE_ENV_VAR,
+    BatchedEngine,
+    DenseSink,
+    MemmapSink,
+    ProcessEngine,
+    SerialEngine,
+    TilePlan,
+    default_tile_size,
+)
+from repro.errors import KernelError
+from repro.graphs import generators as gen
+from repro.kernels import QJSKUnaligned, WeisfeilerLehmanKernel
+
+ATOL = 1e-10
+
+ENGINES = {
+    "serial": SerialEngine,
+    "batched": BatchedEngine,
+    "process": ProcessEngine,
+}
+
+SINKS = {
+    "dense": lambda tmp_path: DenseSink(),
+    "memmap": lambda tmp_path: MemmapSink(str(tmp_path / "gram.npy")),
+}
+
+
+@pytest.fixture(scope="module")
+def probe_graphs():
+    return [
+        gen.cycle_graph(6),
+        gen.path_graph(7),
+        gen.star_graph(7),
+        gen.barabasi_albert(9, 2, seed=0),
+        gen.erdos_renyi(8, 0.4, seed=1).largest_component(),
+        gen.watts_strogatz(8, 4, 0.3, seed=2),
+        gen.random_tree(8, seed=3),
+    ]
+
+
+class TestTilePlan:
+    def test_symmetric_plan_covers_upper_triangle(self):
+        plan = TilePlan.gram(5, 2)
+        tiles = list(plan.tiles())
+        assert ((0, 2), (0, 2)) in tiles
+        assert ((0, 2), (2, 4)) in tiles
+        assert ((2, 4), (0, 2)) not in tiles
+        assert plan.n_tiles() == 6  # 3 ranges -> 3*(3+1)/2 pairs
+
+    def test_cross_plan_covers_rectangle(self):
+        plan = TilePlan.cross(5, 3, 2)
+        assert plan.n_tiles() == 3 * 2
+        assert not plan.symmetric
+
+    def test_is_diagonal(self):
+        plan = TilePlan.gram(4, 2)
+        assert plan.is_diagonal((0, 2), (0, 2))
+        assert not plan.is_diagonal((0, 2), (2, 4))
+        assert not TilePlan.cross(4, 4, 2).is_diagonal((0, 2), (0, 2))
+
+    def test_empty_plan(self):
+        assert TilePlan.gram(0, 4).n_tiles() == 0
+        assert TilePlan.cross(0, 7, 4).n_tiles() == 0
+
+
+class TestTileSizeResolution:
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TILE_ENV_VAR, "17")
+        assert BatchedEngine(tile_size=5).resolved_tile_size() == 5
+
+    def test_env_beats_backend_default(self, monkeypatch):
+        monkeypatch.setenv(TILE_ENV_VAR, "17")
+        for cls in ENGINES.values():
+            assert cls().resolved_tile_size() == 17
+
+    def test_backend_defaults(self, monkeypatch):
+        monkeypatch.delenv(TILE_ENV_VAR, raising=False)
+        assert SerialEngine().resolved_tile_size() == 128
+        assert BatchedEngine().resolved_tile_size() == 64
+        assert ProcessEngine().resolved_tile_size() == 32
+
+    def test_malformed_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(TILE_ENV_VAR, "sixty-four")
+        with pytest.raises(KernelError, match="REPRO_GRAM_TILE"):
+            default_tile_size(64)
+        monkeypatch.setenv(TILE_ENV_VAR, "0")
+        with pytest.raises(KernelError, match=">= 1"):
+            default_tile_size(64)
+
+
+class TestSinkContract:
+    def test_write_before_open_raises(self):
+        with pytest.raises(KernelError, match="before open"):
+            DenseSink().write((0, 1), (0, 1), np.zeros((1, 1)))
+
+    def test_finalize_before_open_raises(self, tmp_path):
+        with pytest.raises(KernelError, match="before open"):
+            DenseSink().finalize()
+        with pytest.raises(KernelError, match="before open"):
+            MemmapSink(str(tmp_path / "g.npy")).finalize()
+
+    def test_misshapen_tile_raises(self):
+        sink = DenseSink()
+        sink.open(TilePlan.gram(4, 2))
+        with pytest.raises(KernelError, match="shape"):
+            sink.write((0, 2), (0, 2), np.zeros((3, 3)))
+
+    def test_memmap_is_npy_readable(self, tmp_path, probe_graphs):
+        kernel = QJSKUnaligned()
+        sink = MemmapSink(str(tmp_path / "gram.npy"))
+        gram = kernel.gram(probe_graphs, sink=sink)
+        loaded = np.load(sink.path)
+        assert np.array_equal(loaded, np.asarray(gram))
+
+    def test_memmap_float32_storage_mode(self, tmp_path, probe_graphs):
+        """The opt-in storage dtype: computation stays float64, only the
+        on-disk store is cast — pinned to the float32 cast tolerance."""
+        kernel = QJSKUnaligned()
+        dense = kernel.gram(probe_graphs)
+        sink = MemmapSink(str(tmp_path / "gram32.npy"), dtype="float32")
+        gram32 = kernel.gram(probe_graphs, sink=sink)
+        assert np.asarray(gram32).dtype == np.float32
+        assert sink.path.endswith(".npy")
+        # float32 has ~7 significant digits; values here are O(1).
+        assert np.allclose(np.asarray(gram32), dense, atol=1e-6, rtol=1e-6)
+        assert not np.allclose(np.asarray(gram32), dense, atol=1e-14, rtol=0.0)
+        assert np.array_equal(
+            np.asarray(gram32), dense.astype(np.float32)
+        )
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+@pytest.mark.parametrize("sink_name", sorted(SINKS))
+class TestTileBoundaryEdgeCases:
+    """n = 7 graphs against tile sizes hitting every boundary case."""
+
+    def _gram(self, kernel, graphs, engine_name, sink_name, tmp_path, tile):
+        engine = ENGINES[engine_name](tile_size=tile)
+        sink = SINKS[sink_name](tmp_path)
+        return np.asarray(
+            kernel.gram(graphs, engine=engine, sink=sink), dtype=float
+        )
+
+    @pytest.mark.parametrize("tile", [1, 2, 3, 7, 64])
+    def test_gram_matches_serial_reference(
+        self, engine_name, sink_name, tile, probe_graphs, tmp_path
+    ):
+        """Tile 1 (degenerate), 2/3 (n=7 not divisible), 7 (exact), 64
+        (tile > n) all agree with the dense serial reference."""
+        kernel = QJSKUnaligned()
+        reference = kernel.gram(probe_graphs, engine="serial")
+        gram = self._gram(
+            kernel, probe_graphs, engine_name, sink_name, tmp_path, tile
+        )
+        assert gram.shape == reference.shape
+        assert np.allclose(gram, reference, atol=ATOL, rtol=0.0)
+        assert np.array_equal(gram, gram.T)
+
+    @pytest.mark.parametrize("tile", [1, 3, 64])
+    def test_cross_gram_matches_reference(
+        self, engine_name, sink_name, tile, probe_graphs, tmp_path
+    ):
+        kernel = QJSKUnaligned()
+        states = kernel.prepare(list(probe_graphs))
+        left, right = states[:4], states[4:]
+        reference = SerialEngine().cross_gram(kernel, left, right)
+        engine = ENGINES[engine_name](tile_size=tile)
+        block = np.asarray(
+            engine.cross_gram(kernel, left, right, sink=SINKS[sink_name](tmp_path))
+        )
+        assert block.shape == (4, 3)
+        assert np.allclose(block, reference, atol=ATOL, rtol=0.0)
+
+    def test_empty_row_batch(
+        self, engine_name, sink_name, probe_graphs, tmp_path
+    ):
+        """An empty new-graph batch yields a (0, N) block, not a crash."""
+        kernel = QJSKUnaligned()
+        states = kernel.prepare(list(probe_graphs))
+        engine = ENGINES[engine_name](tile_size=3)
+        block = np.asarray(
+            engine.cross_gram(kernel, [], states, sink=SINKS[sink_name](tmp_path))
+        )
+        assert block.shape == (0, len(states))
+
+
+@pytest.mark.parametrize("tile", [1, 3, 64])
+def test_feature_map_tiled_path(tile, probe_graphs, tmp_path):
+    """Feature-map kernels stream per-tile matmuls; dense and memmapped
+    results agree with the one-matmul path to strict tolerance."""
+    kernel = WeisfeilerLehmanKernel(3)
+    dense = kernel.gram(probe_graphs, normalize=True)
+    sink = MemmapSink(str(tmp_path / f"wl-{tile}.npy"))
+    tiled = kernel.gram(
+        probe_graphs, normalize=True, engine=BatchedEngine(tile_size=tile),
+        sink=sink,
+    )
+    assert np.allclose(np.asarray(tiled), dense, atol=1e-12, rtol=0.0)
+
+
+def test_normalized_memmap_matches_dense(probe_graphs, tmp_path):
+    """Tile-wise cosine normalisation on the memmap equals the dense
+    normalize path bit-for-bit (same association order per entry)."""
+    kernel = QJSKUnaligned()
+    dense = kernel.gram(probe_graphs, normalize=True)
+    tiled = kernel.gram(
+        probe_graphs,
+        normalize=True,
+        engine=BatchedEngine(tile_size=3),
+        sink=MemmapSink(str(tmp_path / "norm.npy")),
+    )
+    assert np.array_equal(np.asarray(tiled), dense)
+
+
+def test_ensure_psd_refused_out_of_core(probe_graphs, tmp_path):
+    """PSD projection is global; out-of-core sinks must refuse, in-memory
+    sinks may densify."""
+    kernel = QJSKUnaligned()
+    with pytest.raises(KernelError, match="ensure_psd"):
+        kernel.gram(
+            probe_graphs, ensure_psd=True,
+            sink=MemmapSink(str(tmp_path / "psd.npy")),
+        )
+    dense = kernel.gram(probe_graphs, ensure_psd=True)
+    sunk = kernel.gram(probe_graphs, ensure_psd=True, sink=DenseSink())
+    assert np.allclose(sunk, dense, atol=ATOL, rtol=0.0)
+
+
+def test_dense_sink_path_is_byte_identical_to_default(probe_graphs):
+    """sink=DenseSink() is today's behaviour exactly, for both kernel
+    families."""
+    for kernel in (QJSKUnaligned(), WeisfeilerLehmanKernel(3)):
+        default = kernel.gram(probe_graphs, normalize=True)
+        sunk = kernel.gram(probe_graphs, normalize=True, sink=DenseSink())
+        assert np.allclose(sunk, default, atol=1e-12, rtol=0.0), kernel.name
