@@ -1,0 +1,50 @@
+"""The unified public API in one sitting: Session, KernelSpec, context.
+
+Everything the library does — Gram computation, the paper's CV protocol,
+bundle training, inductive serving — through the one documented front
+door, with the execution policy (engine, store, tiles) held in a single
+frozen `ExecutionContext`.
+
+Run:  python examples/session_api.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import repro
+from repro.datasets import load_dataset
+from repro.store import ArtifactStore
+
+
+def main() -> None:
+    dataset = load_dataset("MUTAG", scale=0.15, seed=0)
+    print(f"dataset: {dataset}")
+
+    with tempfile.TemporaryDirectory() as root:
+        # One context drives every call: backend, store, policy.
+        ctx = repro.ExecutionContext(
+            engine="batched", store=ArtifactStore(root), normalize=True
+        )
+        session = repro.Session(ctx)
+
+        # A declarative, JSON-round-trippable kernel description.
+        spec = repro.KernelSpec("HAQJSK(D)", n_prototypes=8, n_levels=2)
+        print(f"spec: {spec.resolved().to_json()}")
+
+        # Gram -> CV -> train -> predict. The store makes the repeated
+        # Gram computations content-addressed disk reads after the first.
+        gram = session.gram(spec, dataset.graphs)
+        result = session.cross_validate(
+            spec, dataset, n_folds=4, n_repeats=1, seed=1
+        )
+        bundle = session.train(spec, dataset, c=10.0, name="demo")
+        served = session.predict("demo", dataset.graphs[:5])
+
+        print(f"gram: {gram.shape}, accuracy: {result}")
+        print(f"bundle spec record: {bundle.kernel_spec}")
+        print(f"served labels: {[int(label) for label in served.labels]}")
+
+
+if __name__ == "__main__":
+    main()

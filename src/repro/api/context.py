@@ -1,0 +1,382 @@
+"""ExecutionContext — one object for every execution-policy knob.
+
+Four PRs grew four execution knobs (``engine=``, ``sink=``, ``store=``,
+``tile_checkpoint=``) that every entry point accepted in its own ad-hoc
+combination. :class:`ExecutionContext` bundles them into a single frozen
+value threaded as one ``ctx=`` parameter through ``gram`` /
+``cross_gram`` / ``gram_extend``, ``cross_validate_graph_kernel``,
+``NystromApproximation``, ``GramConditioner``, ``train_bundle`` /
+``PredictionService`` and the experiment runners:
+
+    ctx = ExecutionContext(engine="process", store=ArtifactStore("arts"))
+    kernel.gram(graphs, ctx=ctx)
+    cross_validate_graph_kernel(kernel, graphs, labels, ctx=ctx)
+
+The legacy keyword arguments keep working through
+:func:`resolve_context`, which builds an equivalent context and emits a
+single :class:`DeprecationWarning` per call; results are bit-identical
+because both forms feed the same machinery.
+
+Cross-knob consistency rules live in :meth:`ExecutionContext.validate`,
+so an invalid combination (``ensure_psd`` against an out-of-core sink,
+``store`` together with an explicit ``sink``) is refused by one named
+:class:`~repro.errors.ValidationError` naming the offending fields — at
+whichever entry point it reaches first.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.engine.base import (
+    ENGINE_ENV_VAR,
+    GramEngine,
+    resolve_engine,
+)
+from repro.engine.tiles import TILE_ENV_VAR, GramSink
+from repro.errors import ValidationError
+
+#: Environment variable pointing the harness at a persistent store
+#: (shared definition with ``repro.experiments.config``).
+STORE_ENV_VAR = "REPRO_STORE"
+
+
+def _engine_name(engine) -> "str | None":
+    if engine is None:
+        return None
+    if isinstance(engine, GramEngine):
+        return engine.name
+    return str(engine)
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Frozen bundle of execution policy for Gram-matrix pipelines.
+
+    Fields
+    ------
+    engine:
+        Gram backend — a name (``"serial"`` / ``"batched"`` /
+        ``"process"``), a configured :class:`GramEngine` instance, or
+        ``None`` for the kernel-sticky / process-wide default.
+    tile_size:
+        Explicit tile-plan edge, overriding the backend default and the
+        ``REPRO_GRAM_TILE`` environment variable.
+    store:
+        An :class:`~repro.store.ArtifactStore` (or ``None``): completed
+        Grams are fetched/persisted by content key, and miss
+        computations tile-checkpoint when ``tile_checkpoint`` is on.
+    sink_factory:
+        Zero-argument callable producing a fresh
+        :class:`~repro.engine.tiles.GramSink` per matrix (sinks are
+        single-use). Mutually exclusive with ``store``.
+    tile_checkpoint:
+        Whether store-backed miss computations commit finished tiles
+        (kill → resume at tile granularity). Ignored without a store.
+    normalize / ensure_psd:
+        Tri-state policy defaults: ``None`` keeps each entry point's
+        historical default (``gram`` raw, the CV protocol normalised),
+        ``True``/``False`` pins the policy for every call through this
+        context unless the call site overrides it explicitly.
+    """
+
+    engine: "GramEngine | str | None" = None
+    tile_size: "int | None" = None
+    store: object = None
+    sink_factory: object = None
+    tile_checkpoint: bool = True
+    normalize: "bool | None" = None
+    ensure_psd: "bool | None" = None
+
+    def __post_init__(self) -> None:
+        if self.tile_size is not None and int(self.tile_size) < 1:
+            raise ValidationError(
+                f"ExecutionContext.tile_size must be >= 1, got {self.tile_size}"
+            )
+        if self.sink_factory is not None and not callable(self.sink_factory):
+            raise ValidationError(
+                "ExecutionContext.sink_factory must be a zero-argument "
+                f"callable producing a GramSink, got "
+                f"{type(self.sink_factory).__name__} (a sink instance is "
+                "single-use — wrap it: sink_factory=lambda: sink)"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ExecutionContext":
+        """The context the ``REPRO_*`` environment describes.
+
+        Reads ``REPRO_GRAM_ENGINE`` (backend name),
+        ``REPRO_GRAM_TILE`` (tile size) and ``REPRO_STORE`` (artifact
+        store root); keyword ``overrides`` replace any field afterwards.
+        This is how the experiment runners and the serve CLI build their
+        default context, so one environment drives every entry point.
+        """
+        values: dict = {}
+        engine = os.environ.get(ENGINE_ENV_VAR, "").strip()
+        if engine:
+            values["engine"] = engine
+        tile = os.environ.get(TILE_ENV_VAR, "").strip()
+        if tile:
+            try:
+                values["tile_size"] = int(tile)
+            except ValueError:
+                raise ValidationError(
+                    f"{TILE_ENV_VAR} must be an integer, got {tile!r}"
+                ) from None
+        root = os.environ.get(STORE_ENV_VAR, "").strip()
+        if root:
+            from repro.store import ArtifactStore
+
+            values["store"] = ArtifactStore(root)
+        values.update(overrides)
+        return cls(**values)
+
+    def replace(self, **changes) -> "ExecutionContext":
+        """A copy with ``changes`` applied (contexts are immutable)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Validation — the one home of cross-knob consistency rules
+    # ------------------------------------------------------------------ #
+
+    def validate(
+        self, *, ensure_psd: "bool | None" = None, sink: "GramSink | None" = None
+    ) -> "ExecutionContext":
+        """Refuse inconsistent knob combinations with one named error.
+
+        ``ensure_psd`` / ``sink`` are the call-site effective values when
+        an entry point has already bound them; without arguments the
+        context's own fields are checked (the pre-flight form
+        ``Session`` runs at construction).
+        """
+        if self.store is not None and self.sink_factory is not None:
+            raise ValidationError(
+                "ExecutionContext: pass either store= (content-addressed "
+                "persistence) or sink= (explicit tile destination), not "
+                "both (offending fields: store, sink_factory)"
+            )
+        effective_psd = self.ensure_psd if ensure_psd is None else ensure_psd
+        if sink is None and self.sink_factory is None:
+            return self
+        out_of_core = sink is not None and not getattr(sink, "in_memory", True)
+        if effective_psd and out_of_core:
+            raise ValidationError(
+                "ExecutionContext: ensure_psd=True needs a global "
+                "eigendecomposition, which would densify the out-of-core "
+                "Gram; use an in-memory sink or project the matrix "
+                "explicitly (offending fields: ensure_psd, sink)"
+            )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Resolution helpers the entry points consume
+    # ------------------------------------------------------------------ #
+
+    def engine_argument(self, kernel=None) -> "GramEngine | str | None":
+        """The ``engine`` value to hand the Gram machinery.
+
+        Without a ``tile_size`` this is just the ``engine`` field —
+        ``None`` preserves the kernel-sticky / process-default fallback.
+        With one, the engine is materialised (honouring the kernel's
+        sticky default) and cloned with the context's tile size, so the
+        tile override survives however deep the engine travels.
+        """
+        engine = self.engine
+        if self.tile_size is None:
+            return engine
+        if engine is None and kernel is not None:
+            engine = getattr(kernel, "engine", None)
+        resolved = resolve_engine(engine)
+        if isinstance(engine, GramEngine):
+            resolved = copy.copy(resolved)
+        resolved.tile_size = int(self.tile_size)
+        return resolved
+
+    def make_sink(self) -> "GramSink | None":
+        """A fresh sink from the factory, or ``None``."""
+        if self.sink_factory is None:
+            return None
+        sink = self.sink_factory()
+        if not isinstance(sink, GramSink):
+            raise ValidationError(
+                f"ExecutionContext.sink_factory produced "
+                f"{type(sink).__name__}, expected a GramSink"
+            )
+        return sink
+
+    def policy(self, value: "bool | None", name: str, default: bool) -> bool:
+        """Resolve a tri-state call-site flag against this context.
+
+        Precedence: explicit call-site value > context policy field >
+        the entry point's historical ``default``.
+        """
+        if value is not None:
+            return bool(value)
+        policy = getattr(self, name)
+        return default if policy is None else bool(policy)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation — the round-trippable record reports/bundles persist
+    # ------------------------------------------------------------------ #
+
+    def to_record(self) -> dict:
+        """JSON-able description of this context.
+
+        Engine *instances* are recorded by backend name only — the
+        context's own ``tile_size`` field round-trips, but
+        instance-level tuning (a ``ProcessEngine``'s worker count, a
+        tile size set on the instance rather than the context) does not;
+        scheduling never changes values, so the record identifies the
+        execution policy, not the exact scheduler object.
+        ``sink_factory`` is code, not data — it is recorded by class
+        name only, and :meth:`from_record` refuses records carrying one
+        (rebuild the factory at the call site instead).
+        """
+        sink_name = None
+        if self.sink_factory is not None:
+            probe = getattr(self.sink_factory, "__name__", None)
+            sink_name = probe or type(self.sink_factory).__name__
+        return {
+            "engine": _engine_name(self.engine),
+            "tile_size": self.tile_size,
+            "store": getattr(self.store, "root", None),
+            "sink": sink_name,
+            "tile_checkpoint": bool(self.tile_checkpoint),
+            "normalize": self.normalize,
+            "ensure_psd": self.ensure_psd,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ExecutionContext":
+        """Rebuild a context from :meth:`to_record` output."""
+        if not isinstance(record, dict):
+            raise ValidationError(
+                f"an ExecutionContext record must be a dict, got "
+                f"{type(record).__name__}"
+            )
+        known = {
+            "engine", "tile_size", "store", "sink",
+            "tile_checkpoint", "normalize", "ensure_psd",
+        }
+        extras = set(record) - known
+        if extras:
+            raise ValidationError(
+                f"unexpected ExecutionContext record keys {sorted(extras)}"
+            )
+        if record.get("sink") is not None:
+            raise ValidationError(
+                "ExecutionContext records cannot carry a sink factory "
+                f"({record['sink']!r}) — sinks are code; rebuild the "
+                "factory at the call site"
+            )
+        store = record.get("store")
+        if store is not None:
+            from repro.store import ArtifactStore
+
+            store = ArtifactStore(store)
+        return cls(
+            engine=record.get("engine"),
+            tile_size=record.get("tile_size"),
+            store=store,
+            tile_checkpoint=bool(record.get("tile_checkpoint", True)),
+            normalize=record.get("normalize"),
+            ensure_psd=record.get("ensure_psd"),
+        )
+
+
+#: Maps a legacy keyword to the context field it populates.
+_LEGACY_FIELDS = {
+    "engine": "engine",
+    "sink": "sink_factory",
+    "store": "store",
+    "tile_checkpoint": "tile_checkpoint",
+}
+
+
+def resolve_context(
+    ctx: "ExecutionContext | None",
+    *,
+    owner: str,
+    stacklevel: int = 3,
+    **legacy,
+) -> "ExecutionContext | None":
+    """The deprecation shim every ``ctx=``-threaded entry point runs.
+
+    ``legacy`` holds the entry point's historical keyword arguments
+    (``engine=``, ``sink=``, ``store=``, ``tile_checkpoint=``); a value
+    of ``None`` means "not passed". Outcomes:
+
+    * nothing passed → ``None`` (historical defaults apply);
+    * only ``ctx`` → that context, unchanged;
+    * only legacy kwargs → an equivalent context, after **exactly one**
+      :class:`DeprecationWarning` naming the kwargs and the replacement;
+    * both → :class:`~repro.errors.ValidationError` — mixing the two
+      forms has no defensible precedence order.
+    """
+    supplied = {
+        key: value for key, value in legacy.items() if value is not None
+    }
+    if ctx is not None:
+        if supplied:
+            raise ValidationError(
+                f"{owner}: pass either ctx= or the legacy keyword(s) "
+                f"{', '.join(sorted(supplied))}, not both"
+            )
+        if not isinstance(ctx, ExecutionContext):
+            raise ValidationError(
+                f"{owner}: ctx must be an ExecutionContext, got "
+                f"{type(ctx).__name__}"
+            )
+        return ctx
+    if not supplied:
+        return None
+    warnings.warn(
+        f"{owner}: the {', '.join(sorted(supplied))} keyword argument(s) "
+        f"are deprecated; pass ctx=ExecutionContext(...) instead "
+        f"(see repro.api.ExecutionContext)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    values: dict = {}
+    for key, value in supplied.items():
+        target = _LEGACY_FIELDS[key]
+        if key == "sink":
+            values[target] = single_use_sink_factory(value)
+        else:
+            values[target] = value
+    return ExecutionContext(**values)
+
+
+def context_for(**fields) -> "ExecutionContext | None":
+    """An :class:`ExecutionContext` from the non-``None`` fields, or
+    ``None`` when every field is unset.
+
+    The internal-migration helper: library code that used to forward a
+    loose ``engine=`` / ``store=`` pair builds a context here without
+    triggering the public deprecation shim (and without allocating one
+    when there is nothing to carry).
+    """
+    supplied = {key: value for key, value in fields.items() if value is not None}
+    return ExecutionContext(**supplied) if supplied else None
+
+
+def single_use_sink_factory(sink: GramSink):
+    """Wrap a pre-built sink instance as a one-shot factory.
+
+    Sinks are single-use (open → write → finalize); a context field
+    holds a *factory* so one context can serve many matrices. This
+    wrapper adapts call sites that already materialised the one sink
+    the context will ever produce."""
+
+    def factory() -> GramSink:
+        return sink
+
+    factory.__name__ = type(sink).__name__
+    return factory

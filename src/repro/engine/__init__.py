@@ -26,13 +26,20 @@ the kernels into three interchangeable backends:
 
 Selecting a backend
 -------------------
-Every entry point takes an ``engine`` argument accepting a backend name,
-a :class:`GramEngine` instance (for custom tile sizes / worker counts),
-or ``None`` for the default::
+The preferred selector is an :class:`~repro.api.ExecutionContext` — one
+frozen object carrying the backend (a name, a configured
+:class:`GramEngine` instance, or ``None`` for the default), the tile
+size, and the rest of the execution policy, threaded as ``ctx=``::
 
-    kernel.gram(graphs, engine="process")
-    kernel.cross_gram(graphs_a, graphs_b, engine=BatchedEngine(tile_size=128))
-    nystrom_gram(kernel, graphs, n_landmarks=32, engine="batched")
+    from repro.api import ExecutionContext
+
+    kernel.gram(graphs, ctx=ExecutionContext(engine="process"))
+    kernel.cross_gram(graphs_a, graphs_b,
+                      ctx=ExecutionContext(engine="batched", tile_size=128))
+    nystrom_gram(kernel, graphs, n_landmarks=32,
+                 ctx=ExecutionContext(engine="batched"))
+
+(The per-call ``engine=`` keyword still works as a deprecated shim.)
 
 A kernel instance can carry a sticky default (``kernel.engine =
 "process"``), and the process-wide default is the ``REPRO_GRAM_ENGINE``
@@ -51,7 +58,8 @@ than RAM), or the store layer's
 :class:`~repro.store.tiles.CheckpointSink` (persists tiles through an
 artifact store so killed runs resume at tile granularity)::
 
-    kernel.gram(graphs, sink=MemmapSink("big_gram.npy"))
+    ctx = ExecutionContext(sink_factory=lambda: MemmapSink("big_gram.npy"))
+    kernel.gram(graphs, ctx=ctx)
 
 Tile sizes resolve explicit ``tile_size=`` > ``REPRO_GRAM_TILE`` >
 per-backend default (batched 64, process 32, serial 128).

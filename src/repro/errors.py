@@ -40,6 +40,11 @@ class KernelError(ReproError):
     """A graph-kernel computation failed or was configured inconsistently."""
 
 
+class KernelSpecError(KernelError, ValueError):
+    """A declarative kernel specification names an unregistered kernel or
+    passes parameters the registered signature does not accept."""
+
+
 class NotFittedError(ReproError):
     """A model or transformer was used before ``fit`` was called."""
 

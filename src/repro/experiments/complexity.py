@@ -24,6 +24,7 @@ import time
 import numpy as np
 
 from repro.engine import SerialEngine
+from repro.engine.base import resolve_engine
 from repro.experiments.reporting import format_table
 from repro.graphs.generators import erdos_renyi
 from repro.kernels import HAQJSKKernelA
@@ -40,26 +41,31 @@ def _probe_graphs(n_graphs: int, n_vertices: int, seed: int) -> list:
 
 
 def time_gram_stages(
-    n_graphs: int, n_vertices: int, *, seed: int = 0
+    n_graphs: int, n_vertices: int, *, seed: int = 0, ctx=None
 ) -> dict:
     """Wall-clock seconds of the two Gram stages for HAQJSK(A).
 
     Uses the kernel's prepare / engine split directly, which is how
     ``gram`` itself is computed, so the sum of the stages is the honest
-    total. The pairwise stage runs as a tile plan on the serial backend —
-    the same scheduler every production Gram goes through, evaluating
-    exactly the ``N(N+1)/2`` upper-triangle ``pair_value`` calls the
-    paper's ``O(N²)`` term counts.
+    total. By default the pairwise stage runs as a tile plan on the
+    serial backend — the same scheduler every production Gram goes
+    through, evaluating exactly the ``N(N+1)/2`` upper-triangle
+    ``pair_value`` calls the paper's ``O(N²)`` term counts; a ``ctx``
+    with an explicit engine re-times the sweep on that backend instead.
     """
     graphs = _probe_graphs(n_graphs, n_vertices, seed)
     kernel = HAQJSKKernelA(n_prototypes=16, n_levels=2, max_layers=4, seed=seed)
+    if ctx is not None and ctx.engine is not None:
+        engine = resolve_engine(ctx.engine_argument(kernel))
+    else:
+        engine = SerialEngine()
 
     started = time.perf_counter()
     states = kernel.prepare(graphs)
     prepare_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    SerialEngine().gram(kernel, states)
+    engine.gram(kernel, states)
     pairwise_seconds = time.perf_counter() - started
     return {
         "prepare": prepare_seconds,
@@ -81,11 +87,12 @@ def run_complexity(
     vertex_sweep=(16, 24, 36, 54),
     graph_sweep=(8, 16, 32, 64, 128),
     seed: int = 0,
+    ctx=None,
 ) -> dict:
     """Measure both sweeps and fit per-stage scaling exponents."""
     vertex_rows = []
     for n in vertex_sweep:
-        stages = time_gram_stages(10, n, seed=seed)
+        stages = time_gram_stages(10, n, seed=seed, ctx=ctx)
         vertex_rows.append(
             {
                 "n (vertices)": n,
@@ -96,7 +103,7 @@ def run_complexity(
         )
     graph_rows = []
     for count in graph_sweep:
-        stages = time_gram_stages(count, 20, seed=seed)
+        stages = time_gram_stages(count, 20, seed=seed, ctx=ctx)
         graph_rows.append(
             {
                 "N (graphs)": count,
@@ -121,7 +128,9 @@ def run_complexity(
 
 
 def main(argv=None) -> str:  # pragma: no cover - CLI glue
-    result = run_complexity()
+    from repro.experiments.config import execution_context
+
+    result = run_complexity(ctx=execution_context())
     output = (
         format_table(result["vertex_rows"])
         + f"\nlog-log total slope vs n: {result['vertex_slope']:.2f} "

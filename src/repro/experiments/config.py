@@ -13,10 +13,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-
-def full_scale() -> bool:
-    """True when the environment requests paper-scale experiments."""
-    return os.environ.get("REPRO_FULL_SCALE", "") == "1"
+# One definition each of the shared switches: the execution context owns
+# the store env var, the kernel registry owns the scale switch (its
+# scale-aware defaults resolve through it); the harness re-exports both.
+from repro.api.context import STORE_ENV_VAR  # noqa: F401
+from repro.kernels.registry import FULL_SCALE_ENV_VAR, full_scale  # noqa: F401
 
 
 def gram_engine() -> str:
@@ -38,10 +39,6 @@ def gram_tile() -> str:
     from repro.engine import TILE_ENV_VAR
 
     return os.environ.get(TILE_ENV_VAR, "").strip() or "backend default"
-
-
-#: Environment variable pointing the harness at a persistent artifact store.
-STORE_ENV_VAR = "REPRO_STORE"
 
 
 def store_root() -> "str | None":
@@ -66,6 +63,24 @@ def artifact_store(root: "str | None" = None):
     from repro.store import ArtifactStore
 
     return ArtifactStore(root)
+
+
+def execution_context(store_root: "str | None" = None):
+    """The harness-wide :class:`~repro.api.ExecutionContext`.
+
+    Resolved from the ``REPRO_*`` environment; ``store_root`` (a
+    ``--store`` CLI flag) overrides the ``REPRO_STORE`` store. This is
+    the one place the experiment runners turn environment into context,
+    so every table/figure records the same execution policy.
+    """
+    from repro.api import ExecutionContext
+
+    ctx = ExecutionContext.from_env()
+    if store_root:
+        from repro.store import ArtifactStore
+
+        ctx = ctx.replace(store=ArtifactStore(store_root))
+    return ctx
 
 
 @dataclass(frozen=True)

@@ -1,30 +1,18 @@
-"""Factory producing every Table IV kernel with scale-appropriate settings.
+"""Legacy alias of the kernel registry (kept for the experiment layer).
 
-One place decides hyperparameters per kernel per mode, so the benchmarks,
-the CLI and the ablations construct identical kernels.
+The string-addressable kernel factory was promoted out of the
+experiments layer into :mod:`repro.kernels.registry` — kernels register
+themselves with ``@register_kernel`` in their own modules, and
+:func:`repro.kernels.make` (or a :class:`~repro.kernels.KernelSpec`)
+builds them. This module remains as a thin delegate so historical
+imports (``from repro.experiments.kernel_zoo import make_kernel``) keep
+working; new code should use the registry directly.
 """
 
 from __future__ import annotations
 
-from repro.errors import KernelError
-from repro.experiments.config import full_scale, gram_engine, haqjsk_levels
-from repro.kernels import (
-    AlignedSubtreeKernel,
-    GraphKernel,
-    GraphletKernel,
-    HAQJSKAttributedA,
-    HAQJSKAttributedD,
-    HAQJSKKernelA,
-    HAQJSKKernelD,
-    JensenTsallisQKernel,
-    PyramidMatchKernel,
-    QJSKUnaligned,
-    RenyiEntropyKernel,
-    ShortestPathKernel,
-    WeisfeilerLehmanKernel,
-    core_sp_kernel,
-    core_wl_kernel,
-)
+from repro.kernels import GraphKernel
+from repro.kernels.registry import lenient_spec
 
 
 def make_kernel(
@@ -34,75 +22,22 @@ def make_kernel(
     seed: int = 0,
     engine: "str | None" = None,
 ) -> GraphKernel:
-    """Build the named Table IV kernel.
+    """Build the named Table IV kernel (legacy registry front).
 
-    ``n_prototypes`` parameterises only the HAQJSK kernels (level-1
-    prototype count; the paper uses 256 at full scale). ``engine``
-    selects the Gram-computation backend (see :mod:`repro.engine`) and is
-    stamped onto the kernel as its sticky default; ``None`` takes the
-    harness-wide :func:`repro.experiments.config.gram_engine` setting so
-    benchmarks, CLI and ablations all run the same backend.
+    Delegates to the kernel registry; parameters the named kernel does
+    not accept are silently dropped (the historical contract — every
+    caller passed ``n_prototypes``/``seed`` regardless of the kernel).
+    ``engine`` is stamped onto the kernel as its sticky default;
+    ``None`` takes the harness-wide
+    :func:`repro.experiments.config.gram_engine` setting. New code
+    should pass an :class:`~repro.api.ExecutionContext` instead of
+    relying on sticky engines.
     """
-    kernel = _build_kernel(name, n_prototypes=n_prototypes, seed=seed)
+    from repro.experiments.config import gram_engine
+
+    kernel = lenient_spec(name, n_prototypes=n_prototypes, seed=seed).make()
     kernel.engine = engine if engine is not None else gram_engine()
     return kernel
-
-
-def _build_kernel(name: str, *, n_prototypes: int, seed: int) -> GraphKernel:
-    full = full_scale()
-    wl_iterations = 10 if full else 4
-    db_layers = 10 if full else 6
-    if name == "HAQJSK(A)":
-        return HAQJSKKernelA(
-            n_prototypes=n_prototypes,
-            n_levels=haqjsk_levels(),
-            max_layers=db_layers,
-            seed=seed,
-        )
-    if name == "HAQJSK(D)":
-        return HAQJSKKernelD(
-            n_prototypes=n_prototypes,
-            n_levels=haqjsk_levels(),
-            max_layers=db_layers,
-            seed=seed,
-        )
-    if name == "HAQJSK-L(A)":
-        return HAQJSKAttributedA(
-            n_prototypes=n_prototypes,
-            n_levels=haqjsk_levels(),
-            max_layers=db_layers,
-            seed=seed,
-        )
-    if name == "HAQJSK-L(D)":
-        return HAQJSKAttributedD(
-            n_prototypes=n_prototypes,
-            n_levels=haqjsk_levels(),
-            max_layers=db_layers,
-            seed=seed,
-        )
-    if name == "QJSK":
-        return QJSKUnaligned()
-    if name == "ASK":
-        return AlignedSubtreeKernel(
-            n_iterations=wl_iterations, max_layers=db_layers
-        )
-    if name == "JTQK":
-        return JensenTsallisQKernel(q=2.0, n_iterations=wl_iterations)
-    if name == "GCGK":
-        return GraphletKernel(4, n_samples=300 if not full else 1000, seed=seed)
-    if name == "WLSK":
-        return WeisfeilerLehmanKernel(wl_iterations)
-    if name == "CORE WL":
-        return core_wl_kernel(wl_iterations)
-    if name == "SPGK":
-        return ShortestPathKernel()
-    if name == "CORE SP":
-        return core_sp_kernel()
-    if name == "PMGK":
-        return PyramidMatchKernel()
-    if name == "SPEGK":
-        return RenyiEntropyKernel(n_layers=db_layers)
-    raise KernelError(f"unknown Table IV kernel {name!r}")
 
 
 #: Kernels whose Gram matrices are not PSD by construction and get the

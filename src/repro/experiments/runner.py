@@ -88,9 +88,19 @@ def main(argv=None) -> int:
     name = argv[0]
     output = _EXPERIMENTS[name](_extract_store_flag(argv[1:]))
     if output:
+        import json
+
+        from repro.experiments.config import execution_context
+
         metadata = {"gram_engine": gram_engine(), "gram_tile": gram_tile()}
         if store_root():
             metadata["artifact_store"] = store_root()
+        # The full execution context, as the round-trippable JSON record
+        # ExecutionContext.from_record accepts — reports carry enough
+        # provenance to rebuild the run's execution policy exactly.
+        metadata["context"] = json.dumps(
+            execution_context().to_record(), sort_keys=True
+        )
         path = save_report(name, output, metadata=metadata)
         print(f"\n[saved to {path}]")
     return 0

@@ -21,7 +21,7 @@ from repro.experiments.config import (
     cv_repeats,
     dataset_scale,
 )
-from repro.experiments.kernel_zoo import INDEFINITE_KERNELS, make_kernel
+from repro.experiments.kernel_zoo import INDEFINITE_KERNELS
 from repro.experiments.reporting import format_table
 from repro.ml import GramConditioner, cross_validate_kernel
 from repro.utils.logging import get_logger
@@ -71,6 +71,21 @@ PAPER_TABLE4 = {
 }
 
 
+def cell_kernel_spec(kernel_name: str, *, seed: int = 0, n_prototypes: int = 32):
+    """The declarative :class:`~repro.kernels.KernelSpec` of one cell.
+
+    Parameters the named kernel does not accept are dropped (the old
+    zoo's leniency), and the spec is *resolved* — scale-aware defaults
+    pinned — so the record persisted in the report rebuilds the
+    identical kernel in any later environment.
+    """
+    from repro.kernels.registry import lenient_spec
+
+    return lenient_spec(
+        kernel_name, n_prototypes=n_prototypes, seed=seed
+    ).resolved()
+
+
 def evaluate_cell(
     kernel_name: str,
     dataset_name: str,
@@ -78,20 +93,29 @@ def evaluate_cell(
     seed: int = 0,
     n_repeats: "int | None" = None,
     store=None,
+    ctx=None,
 ) -> dict:
     """One Table IV cell: accuracy of ``kernel_name`` on ``dataset_name``.
 
-    With a ``store`` (:class:`repro.store.ArtifactStore`), the Gram matrix
-    — the cell's dominant cost — is fetched by content key and only
-    computed (then persisted) on a miss. The miss computation itself runs
-    as a tile-checkpointed execution plan: every finished tile commits to
-    the store before the next is computed, so a sweep killed *mid-Gram*
-    resumes at the first unfinished tile, not from the cell boundary
-    (PR 2's whole-Gram granularity). Completed cells still reload in
-    milliseconds and produce the identical report (the CV protocol is
-    deterministic given the seed); the per-cell tile counters land in the
-    report footer.
+    ``ctx`` (an :class:`~repro.api.ExecutionContext`; ``store=`` is the
+    legacy spelling carrying just the store field) selects the engine
+    and persistence. With a store, the Gram matrix — the cell's dominant
+    cost — is fetched by content key and only computed (then persisted)
+    on a miss. The miss computation itself runs as a tile-checkpointed
+    execution plan: every finished tile commits to the store before the
+    next is computed, so a sweep killed *mid-Gram* resumes at the first
+    unfinished tile, not from the cell boundary (PR 2's whole-Gram
+    granularity). Completed cells still reload in milliseconds and
+    produce the identical report (the CV protocol is deterministic given
+    the seed); the per-cell tile counters land in the report footer,
+    and each cell records its resolved kernel spec + context.
     """
+    from repro.api import ExecutionContext
+
+    if ctx is None:
+        ctx = ExecutionContext(store=store)
+    elif store is not None:
+        ctx = ctx.replace(store=store)
     scale_cfg = dataset_scale(dataset_name)
     dataset = load_dataset(
         dataset_name,
@@ -99,9 +123,10 @@ def evaluate_cell(
         size_scale=scale_cfg.size_scale,
         seed=seed,
     )
-    kernel = make_kernel(
-        kernel_name, n_prototypes=scale_cfg.haqjsk_prototypes, seed=seed
+    spec = cell_kernel_spec(
+        kernel_name, seed=seed, n_prototypes=scale_cfg.haqjsk_prototypes
     )
+    kernel = spec.make()
     ensure_psd = kernel_name in INDEFINITE_KERNELS
     from repro.store import store_backed_gram
 
@@ -112,11 +137,12 @@ def evaluate_cell(
     gram = store_backed_gram(
         kernel,
         dataset.graphs,
-        store,
+        ctx.store,
         normalize=True,
         ensure_psd=ensure_psd,
-        tile_checkpoint=True,
+        tile_checkpoint=ctx.tile_checkpoint,
         stats=stats,
+        ctx=ctx.replace(store=None),
     )
     gram_seconds = time.perf_counter() - started
     gram_cached = stats["cached"]
@@ -141,6 +167,9 @@ def evaluate_cell(
         gram_seconds,
         ", from store" if gram_cached else "",
     )
+    from repro.engine import default_engine_name
+
+    record = ctx.to_record()
     return {
         "kernel": kernel_name,
         "dataset": dataset_name,
@@ -148,11 +177,15 @@ def evaluate_cell(
         "stderr": result.standard_error * 100.0,
         "paper": PAPER_TABLE4.get(kernel_name, {}).get(dataset_name),
         "gram_seconds": gram_seconds,
-        "gram_engine": str(kernel.engine),
+        "gram_engine": record["engine"] or default_engine_name(),
         "gram_cached": gram_cached,
         "gram_tiles_restored": tiles_restored,
         "gram_tiles_computed": tiles_computed,
         "n_graphs": len(dataset),
+        # Round-trippable provenance: KernelSpec.from_dict /
+        # ExecutionContext.from_record reconstruct the cell's inputs.
+        "kernel_spec": spec.to_dict(),
+        "context": record,
     }
 
 
@@ -163,6 +196,7 @@ def run_table4(
     seed: int = 0,
     n_repeats: "int | None" = None,
     store=None,
+    ctx=None,
 ) -> "list[dict]":
     """All requested Table IV cells (defaults: the full paper grid)."""
     cells = []
@@ -175,6 +209,7 @@ def run_table4(
                     seed=seed,
                     n_repeats=n_repeats,
                     store=store,
+                    ctx=ctx,
                 )
             )
     return cells
@@ -199,8 +234,6 @@ def cells_to_rows(cells: "list[dict]") -> "list[dict]":
 def main(argv=None) -> str:  # pragma: no cover - CLI glue
     import argparse
 
-    from repro.experiments.config import artifact_store
-
     parser = argparse.ArgumentParser(description="Regenerate Table IV")
     parser.add_argument("--datasets", nargs="*", default=None)
     parser.add_argument("--kernels", nargs="*", default=None)
@@ -213,13 +246,15 @@ def main(argv=None) -> str:  # pragma: no cover - CLI glue
         "(default: $REPRO_STORE; unset = recompute everything)",
     )
     args = parser.parse_args(argv)
-    store = artifact_store(args.store)
+    from repro.experiments.config import execution_context
+
+    ctx = execution_context(args.store)
     cells = run_table4(
         kernels=args.kernels, datasets=args.datasets, seed=args.seed,
-        n_repeats=args.repeats, store=store,
+        n_repeats=args.repeats, ctx=ctx,
     )
     table = format_table(cells_to_rows(cells))
-    if store is not None:
+    if ctx.store is not None:
         # Tile-resume accounting for the report footer (italic line, so
         # report diffs that strip metadata ignore it): how much of the
         # sweep's pair work came back from checkpointed tiles.

@@ -104,8 +104,14 @@ def evaluate_cell(
     seed: int = 0,
     n_repeats: "int | None" = None,
     n_epochs: int = 40,
+    ctx=None,
 ) -> dict:
-    """One Table V cell."""
+    """One Table V cell.
+
+    ``ctx`` (an :class:`~repro.api.ExecutionContext`) drives the kernel
+    rows' Gram computation; the trained deep models ignore it (no Gram
+    stage).
+    """
     scale_cfg = dataset_scale(dataset_name)
     dataset = load_dataset(
         dataset_name, scale=scale_cfg.scale, size_scale=scale_cfg.size_scale,
@@ -123,7 +129,7 @@ def evaluate_cell(
             kernel = make_kernel(
                 model_name, n_prototypes=scale_cfg.haqjsk_prototypes, seed=seed
             )
-        gram = kernel.gram(dataset.graphs, normalize=True)
+        gram = kernel.gram(dataset.graphs, normalize=True, ctx=ctx)
         result = cross_validate_kernel(
             GramConditioner().fit_transform(gram), dataset.targets, n_folds=10,
             n_repeats=n_repeats or cv_repeats(), seed=seed + 1,
@@ -141,14 +147,18 @@ def evaluate_cell(
 
 
 def run_table5(
-    *, models=None, datasets=None, seed: int = 0, n_repeats: "int | None" = None
+    *, models=None, datasets=None, seed: int = 0,
+    n_repeats: "int | None" = None, ctx=None,
 ) -> "list[dict]":
     """All requested Table V cells (defaults: the paper grid)."""
     cells = []
     for dataset_name in datasets or TABLE5_DATASETS:
         for model_name in models or TABLE5_MODELS:
             cells.append(
-                evaluate_cell(model_name, dataset_name, seed=seed, n_repeats=n_repeats)
+                evaluate_cell(
+                    model_name, dataset_name, seed=seed,
+                    n_repeats=n_repeats, ctx=ctx,
+                )
             )
     return cells
 
@@ -173,9 +183,11 @@ def main(argv=None) -> str:  # pragma: no cover - CLI glue
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
+    from repro.experiments.config import execution_context
+
     cells = run_table5(
         models=args.models, datasets=args.datasets, seed=args.seed,
-        n_repeats=args.repeats,
+        n_repeats=args.repeats, ctx=execution_context(),
     )
     table = format_table(cells_to_rows(cells))
     print(table)

@@ -33,6 +33,14 @@ from repro.kernels.jtqk import JensenTsallisQKernel
 from repro.kernels.pyramid_match import PyramidMatchKernel
 from repro.kernels.qjsk import QJSKAligned, QJSKUnaligned
 from repro.kernels.random_walk import RandomWalkKernel
+from repro.kernels.registry import (
+    KernelSpec,
+    as_spec,
+    make,
+    register_kernel,
+    registered_kernels,
+    supported_params,
+)
 from repro.kernels.renyi import RenyiEntropyKernel
 from repro.kernels.shortest_path import ShortestPathKernel
 from repro.kernels.wl import (
@@ -55,6 +63,7 @@ __all__ = [
     "HierarchicalAligner",
     "JensenShannonKernel",
     "JensenTsallisQKernel",
+    "KernelSpec",
     "KernelTraits",
     "PairwiseKernel",
     "PyramidMatchKernel",
@@ -64,13 +73,18 @@ __all__ = [
     "RenyiEntropyKernel",
     "ShortestPathKernel",
     "WeisfeilerLehmanKernel",
+    "as_spec",
     "attributed_aligner",
     "core_sp_kernel",
     "core_wl_kernel",
     "cosine_scale",
+    "make",
     "normalize_gram",
     "normalize_gram_block",
     "normalize_gram_inplace_tiled",
+    "register_kernel",
+    "registered_kernels",
+    "supported_params",
     "three_graphlet_counts",
     "wl_feature_matrix",
     "wl_label_sequences",

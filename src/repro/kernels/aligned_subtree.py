@@ -20,10 +20,15 @@ from scipy.optimize import linear_sum_assignment
 from repro.alignment.depth_based import DBRepresentationExtractor
 from repro.graphs.graph import Graph
 from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel, scaled
 from repro.kernels.wl import wl_label_sequences
 from repro.utils.validation import check_positive_int
 
 
+@register_kernel(
+    "ASK",
+    defaults={"n_iterations": scaled(4, 10), "max_layers": scaled(6, 10)},
+)
 class AlignedSubtreeKernel(PairwiseKernel):
     """ASK: count WL-subtree agreements between optimally aligned vertices.
 

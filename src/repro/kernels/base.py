@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.context import resolve_context
 from repro.engine.base import GramEngine, resolve_engine, tile_ranges
 from repro.engine.tiles import GramSink, TilePlan, stream_tiles
 from repro.errors import KernelError
@@ -71,10 +72,11 @@ class GraphKernel(abc.ABC):
         self,
         graphs: "list[Graph]",
         *,
-        normalize: bool = False,
-        ensure_psd: bool = False,
+        normalize: "bool | None" = None,
+        ensure_psd: "bool | None" = None,
         engine: "GramEngine | str | None" = None,
         sink: "GramSink | None" = None,
+        ctx=None,
     ) -> np.ndarray:
         """The full ``N x N`` Gram matrix over ``graphs``.
 
@@ -82,21 +84,28 @@ class GraphKernel(abc.ABC):
         ----------
         normalize:
             Apply cosine normalisation ``K_ij / sqrt(K_ii K_jj)``, the
-            standard protocol before C-SVM training.
+            standard protocol before C-SVM training (default off; a
+            context's ``normalize`` policy fills the default in).
         ensure_psd:
             Clip negative Gram eigenvalues to zero. Only needed for the
             indefinite baselines (unaligned/aligned QJSK); the HAQJSK
             kernels are PD by construction.
+        ctx:
+            An :class:`~repro.api.context.ExecutionContext` carrying the
+            execution knobs — backend, tile size, sink factory and the
+            normalisation policy — as one value. The preferred form.
         engine:
-            Gram-computation backend (see :mod:`repro.engine`): a backend
-            name (``"serial"``, ``"batched"``, ``"process"``), a
-            :class:`GramEngine` instance, or ``None`` for this kernel's
-            sticky default / the process-wide default.
+            *Deprecated* (pass ``ctx=``): Gram-computation backend (see
+            :mod:`repro.engine`): a backend name (``"serial"``,
+            ``"batched"``, ``"process"``), a :class:`GramEngine`
+            instance, or ``None`` for this kernel's sticky default / the
+            process-wide default.
         sink:
-            Destination for the tile stream (see
-            :mod:`repro.engine.tiles`): ``None`` keeps today's in-memory
-            ndarray; a :class:`~repro.engine.tiles.MemmapSink` assembles
-            the Gram out of core (bounded peak memory at any ``N``); a
+            *Deprecated* (pass ``ctx=``): destination for the tile
+            stream (see :mod:`repro.engine.tiles`): ``None`` keeps
+            today's in-memory ndarray; a
+            :class:`~repro.engine.tiles.MemmapSink` assembles the Gram
+            out of core (bounded peak memory at any ``N``); a
             :class:`~repro.store.tiles.CheckpointSink` additionally
             persists finished tiles so a killed run resumes at tile
             granularity. Raw *kernel values* stream into the sink;
@@ -104,6 +113,36 @@ class GraphKernel(abc.ABC):
             memmaps without densifying), while ``ensure_psd`` — a global
             eigendecomposition — is refused for out-of-core sinks.
         """
+        ctx = resolve_context(
+            ctx, owner=f"{self.name}.gram", engine=engine, sink=sink
+        )
+        if ctx is not None and ctx.store is not None:
+            # The documented store contract: a context carrying a store
+            # makes every Gram content-addressed. store_backed_gram owns
+            # that protocol (hit / tile-checkpointed miss / reclamation)
+            # and calls back here with the store stripped.
+            from repro.store import store_backed_gram
+
+            self._check_graphs(graphs)
+            ctx.validate()
+            return store_backed_gram(
+                self,
+                list(graphs),
+                ctx.store,
+                normalize=ctx.policy(normalize, "normalize", False),
+                ensure_psd=ctx.policy(ensure_psd, "ensure_psd", False),
+                tile_checkpoint=ctx.tile_checkpoint,
+                ctx=ctx.replace(store=None),
+            )
+        if ctx is not None:
+            engine = ctx.engine_argument(self)
+            sink = ctx.make_sink()
+            normalize = ctx.policy(normalize, "normalize", False)
+            ensure_psd = ctx.policy(ensure_psd, "ensure_psd", False)
+            ctx.validate(ensure_psd=ensure_psd, sink=sink)
+        else:
+            normalize = bool(normalize)
+            ensure_psd = bool(ensure_psd)
         self._check_graphs(graphs)
         if sink is None:
             matrix = np.asarray(
@@ -123,12 +162,8 @@ class GraphKernel(abc.ABC):
                 # needed) the projection — see clip_to_psd.
                 matrix = clip_to_psd(matrix)
             return matrix
-        if ensure_psd and not sink.in_memory:
-            raise KernelError(
-                f"{self.name}: ensure_psd needs a global eigendecomposition, "
-                f"which would densify the out-of-core Gram; use an in-memory "
-                f"sink or project the matrix explicitly"
-            )
+        # The ensure_psd × out-of-core-sink refusal already happened in
+        # ctx.validate() above (every sink arrives through a context).
         matrix = self._compute_gram_into(list(graphs), sink, engine)
         n = len(graphs)
         if getattr(matrix, "shape", None) != (n, n):
@@ -194,9 +229,14 @@ class GraphKernel(abc.ABC):
         *,
         engine: "GramEngine | str | None" = None,
         store=None,
+        ctx=None,
     ) -> np.ndarray:
         """Grow a cached raw Gram by ``ΔN`` new graphs, computing only the
         new ``(N, ΔN)`` cross block and ``(ΔN, ΔN)`` diagonal block.
+
+        ``ctx`` (an :class:`~repro.api.context.ExecutionContext`) is the
+        preferred way to select the backend and store; the loose
+        ``engine=`` / ``store=`` keywords are deprecated shims.
 
         ``cached_gram`` must be the *raw* output of
         ``gram(old_graphs, normalize=False, ensure_psd=False)`` (cosine
@@ -222,6 +262,12 @@ class GraphKernel(abc.ABC):
         shared-decay random walks, ...): extending such a Gram would
         silently invalidate the cached ``N × N`` block.
         """
+        ctx = resolve_context(
+            ctx, owner=f"{self.name}.gram_extend", engine=engine, store=store
+        )
+        if ctx is not None:
+            engine = ctx.engine_argument(self)
+            store = ctx.store
         self._check_graphs(old_graphs)
         self._check_graphs(new_graphs)
         if not self.collection_independent:
@@ -373,14 +419,23 @@ class FeatureMapKernel(GraphKernel):
         *,
         engine: "GramEngine | str | None" = None,
         sink: "GramSink | None" = None,
+        ctx=None,
     ) -> np.ndarray:
         """Rectangular Gram between two graph lists (shared feature space).
 
-        ``engine`` is accepted for signature parity with the pairwise
-        family; only its tile size matters — each tile is one matmul.
-        With a ``sink``, the rectangle streams tile-by-tile instead of
-        materialising at once.
+        The backend (accepted for signature parity with the pairwise
+        family; only its tile size matters — each tile is one matmul)
+        and sink come from ``ctx``; the loose ``engine=`` / ``sink=``
+        keywords are deprecated shims. With a sink, the rectangle
+        streams tile-by-tile instead of materialising at once.
         """
+        ctx = resolve_context(
+            ctx, owner=f"{self.name}.cross_gram", engine=engine, sink=sink
+        )
+        if ctx is not None:
+            engine = ctx.engine_argument(self)
+            sink = ctx.make_sink()
+            ctx.validate(ensure_psd=False, sink=sink)
         self._check_graphs(graphs_a)
         self._check_graphs(graphs_b)
         features = self.feature_matrix(list(graphs_a) + list(graphs_b))
@@ -554,6 +609,7 @@ class PairwiseKernel(GraphKernel):
         *,
         engine: "GramEngine | str | None" = None,
         sink: "GramSink | None" = None,
+        ctx=None,
     ) -> np.ndarray:
         """Rectangular Gram between two graph lists.
 
@@ -563,9 +619,18 @@ class PairwiseKernel(GraphKernel):
         here can differ from its value under a different collection,
         exactly as in the paper's protocol. The evaluation itself goes
         through the same engine backends as :meth:`gram`, so Nyström
-        landmark columns get the batched path too; with a ``sink`` the
-        rectangle streams tile-by-tile (out-of-core / checkpointed).
+        landmark columns get the batched path too; with a sink (from the
+        ``ctx``; the loose ``engine=`` / ``sink=`` keywords are
+        deprecated shims) the rectangle streams tile-by-tile
+        (out-of-core / checkpointed).
         """
+        ctx = resolve_context(
+            ctx, owner=f"{self.name}.cross_gram", engine=engine, sink=sink
+        )
+        if ctx is not None:
+            engine = ctx.engine_argument(self)
+            sink = ctx.make_sink()
+            ctx.validate(ensure_psd=False, sink=sink)
         self._check_graphs(graphs_a)
         self._check_graphs(graphs_b)
         states = self.prepare(list(graphs_a) + list(graphs_b))

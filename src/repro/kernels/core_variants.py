@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.context import context_for
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
 from repro.graphs.ops import degeneracy, k_core_subgraph
 from repro.kernels.base import GraphKernel, KernelTraits
+from repro.kernels.registry import register_kernel, scaled
 from repro.kernels.shortest_path import ShortestPathKernel
 from repro.kernels.wl import WeisfeilerLehmanKernel
 
@@ -65,18 +67,28 @@ class CoreVariantKernel(GraphKernel):
                     alive.append(index)
             if len(alive) < 1:
                 break
-            block = self.base_kernel.gram(cores, engine=engine)
+            block = self.base_kernel.gram(cores, ctx=context_for(engine=engine))
             for a, i in enumerate(alive):
                 for b, j in enumerate(alive):
                     total[i, j] += block[a, b]
         return total
 
 
-def core_wl_kernel(n_iterations: int = 10, **kwargs) -> CoreVariantKernel:
+@register_kernel(
+    "CORE WL",
+    aliases=("core-wl",),
+    defaults={"n_iterations": scaled(4, 10)},
+)
+def core_wl_kernel(
+    n_iterations: int = 10, *, max_core: "int | None" = None
+) -> CoreVariantKernel:
     """CORE WL — the Table IV baseline 6."""
-    return CoreVariantKernel(WeisfeilerLehmanKernel(n_iterations), **kwargs)
+    return CoreVariantKernel(
+        WeisfeilerLehmanKernel(n_iterations), max_core=max_core
+    )
 
 
-def core_sp_kernel(**kwargs) -> CoreVariantKernel:
+@register_kernel("CORE SP", aliases=("core-sp",))
+def core_sp_kernel(*, max_core: "int | None" = None) -> CoreVariantKernel:
     """CORE SP — the Table IV baseline 8."""
-    return CoreVariantKernel(ShortestPathKernel(), **kwargs)
+    return CoreVariantKernel(ShortestPathKernel(), max_core=max_core)

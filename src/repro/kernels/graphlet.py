@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.kernels.base import FeatureMapKernel, KernelTraits
+from repro.kernels.registry import register_kernel, scaled
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive_int
 
@@ -63,6 +64,11 @@ def four_graphlet_type(subgraph_adjacency: np.ndarray) -> int:
     return _FOUR_TYPES[(n_edges, degree_signature)]
 
 
+@register_kernel(
+    "GCGK",
+    aliases=("graphlet",),
+    defaults={"size": 4, "n_samples": scaled(300, 1000), "seed": 0},
+)
 class GraphletKernel(FeatureMapKernel):
     """GCGK over size-3 (exact) and optionally size-4 (sampled) graphlets.
 

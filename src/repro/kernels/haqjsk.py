@@ -46,6 +46,7 @@ from repro.errors import KernelError
 from repro.graphs.graph import Graph
 from repro.graphs.hashing import collection_digest
 from repro.kernels.base import MIXED_CHUNK_ELEMENTS, KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel, scaled
 from repro.quantum.density import ctqw_density_matrix, graph_density_matrix
 from repro.quantum.divergence import QJSD_MAX
 from repro.utils.linalg import safe_xlogx
@@ -586,6 +587,13 @@ class _HAQJSKBase(PairwiseKernel):
         raise NotImplementedError
 
 
+@register_kernel(
+    "HAQJSK(A)",
+    aliases=("haqjsk-a",),
+    defaults={"n_prototypes": 32, "n_levels": 5, "max_layers": scaled(6, 10), "seed": 0},
+    signature_from=HierarchicalAligner,
+    exclude=("extractor",),
+)
 class HAQJSKKernelA(_HAQJSKBase):
     """HAQJSK(A): QJSD between CTQW densities of aligned adjacencies (Eq. 26).
 
@@ -605,6 +613,13 @@ class HAQJSKKernelA(_HAQJSKBase):
         ]
 
 
+@register_kernel(
+    "HAQJSK(D)",
+    aliases=("haqjsk-d",),
+    defaults={"n_prototypes": 32, "n_levels": 5, "max_layers": scaled(6, 10), "seed": 0},
+    signature_from=HierarchicalAligner,
+    exclude=("extractor",),
+)
 class HAQJSKKernelD(_HAQJSKBase):
     """HAQJSK(D): QJSD between aligned density matrices directly (Eq. 29)."""
 

@@ -33,6 +33,7 @@ from repro.kernels.haqjsk import (
     HAQJSKKernelD,
     HierarchicalAligner,
 )
+from repro.kernels.registry import register_kernel, scaled
 
 _ATTRIBUTED_TRAITS = dataclasses.replace(
     _HAQJSK_TRAITS,
@@ -86,6 +87,12 @@ def attributed_aligner(
     )
 
 
+@register_kernel(
+    "HAQJSK-L(A)",
+    aliases=("haqjsk-attributed-a",),
+    defaults={"n_prototypes": 32, "n_levels": 5, "max_layers": scaled(6, 10), "seed": 0},
+    signature_from=attributed_aligner,
+)
 class HAQJSKAttributedA(HAQJSKKernelA):
     """Attributed HAQJSK(A): label-aware alignment, Eq. 26 on top.
 
@@ -102,6 +109,12 @@ class HAQJSKAttributedA(HAQJSKKernelA):
         super().__init__(aligner=attributed_aligner(**kwargs))
 
 
+@register_kernel(
+    "HAQJSK-L(D)",
+    aliases=("haqjsk-attributed-d",),
+    defaults={"n_prototypes": 32, "n_levels": 5, "max_layers": scaled(6, 10), "seed": 0},
+    signature_from=attributed_aligner,
+)
 class HAQJSKAttributedD(HAQJSKKernelD):
     """Attributed HAQJSK(D): label-aware alignment, Eq. 29 on top."""
 

@@ -16,10 +16,12 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.graphs.ops import degree_distribution
 from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel
 from repro.quantum.divergence import classical_jensen_shannon_divergence
 from repro.utils.validation import check_in_range
 
 
+@register_kernel("JSDK", aliases=("jsd",))
 class JensenShannonKernel(PairwiseKernel):
     """Classical JSD kernel over steady-state degree distributions."""
 

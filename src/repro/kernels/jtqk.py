@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
 from repro.kernels.base import MIXED_CHUNK_ELEMENTS, KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel, scaled
 from repro.kernels.wl import wl_label_sequences
 from repro.quantum.density import graph_density_matrix
 from repro.utils.validation import check_in_range, check_positive_int
@@ -48,6 +49,9 @@ def jensen_tsallis_q_difference_classical(
     return float(max(difference, 0.0))
 
 
+@register_kernel(
+    "JTQK", defaults={"q": 2.0, "n_iterations": scaled(4, 10)}
+)
 class JensenTsallisQKernel(PairwiseKernel):
     """JTQK: WL-partitioned CTQW occupation distributions under ``T_q``.
 

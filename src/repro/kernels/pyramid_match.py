@@ -14,10 +14,12 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel
 from repro.utils.linalg import eigh_sorted
 from repro.utils.validation import check_positive_int
 
 
+@register_kernel("PMGK", aliases=("pyramid-match",))
 class PyramidMatchKernel(PairwiseKernel):
     """PMGK with eigenvector embeddings and ``n_levels`` pyramid levels."""
 

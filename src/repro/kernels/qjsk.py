@@ -21,6 +21,7 @@ from scipy.optimize import linear_sum_assignment
 from repro.alignment.umeyama import permute_with, umeyama_correspondence
 from repro.graphs.graph import Graph
 from repro.kernels.base import MIXED_CHUNK_ELEMENTS, KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel
 from repro.quantum.density import graph_density_matrix, pad_density_matrix
 from repro.quantum.divergence import QJSD_MAX, quantum_jensen_shannon_divergence
 from repro.quantum.entropy import von_neumann_entropies, von_neumann_entropy
@@ -73,6 +74,7 @@ _QJSK_TRAITS = KernelTraits(
 )
 
 
+@register_kernel("QJSK", aliases=("qjsk-unaligned",))
 class QJSKUnaligned(PairwiseKernel):
     """``k_QJSU(G_p, G_q) = exp(-mu * D_QJS(rho_p, rho_q))`` (Eq. 9)."""
 
@@ -136,6 +138,7 @@ class QJSKUnaligned(PairwiseKernel):
         return self._symmetric_from_pairs(states, self._values_for_pairs)
 
 
+@register_kernel("QJSK-AL", aliases=("qjsk-aligned",))
 class QJSKAligned(PairwiseKernel):
     """``k_QJSA`` (Eq. 11): Umeyama-align the density matrices first.
 

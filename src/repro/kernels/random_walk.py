@@ -19,9 +19,11 @@ import numpy as np
 from repro.errors import KernelError
 from repro.graphs.graph import Graph
 from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel
 from repro.utils.validation import check_in_range
 
 
+@register_kernel("RWK", aliases=("random-walk",))
 class RandomWalkKernel(PairwiseKernel):
     """Geometric random walk kernel on the (label-matched) product graph.
 

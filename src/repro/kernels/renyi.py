@@ -16,6 +16,7 @@ from scipy.optimize import linear_sum_assignment
 
 from repro.graphs.graph import Graph
 from repro.kernels.base import KernelTraits, PairwiseKernel
+from repro.kernels.registry import register_kernel, scaled
 from repro.utils.validation import check_in_range, check_positive_int
 
 
@@ -51,6 +52,7 @@ def renyi2_db_representations(graph: Graph, n_layers: int) -> np.ndarray:
     return output
 
 
+@register_kernel("SPEGK", defaults={"n_layers": scaled(6, 10)})
 class RenyiEntropyKernel(PairwiseKernel):
     """SPEGK: Gaussian similarity over optimally aligned Rényi DB vectors."""
 

@@ -12,9 +12,11 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.kernels.base import FeatureMapKernel, KernelTraits
+from repro.kernels.registry import register_kernel
 from repro.utils.validation import check_positive_int
 
 
+@register_kernel("SPGK", aliases=("shortest-path",))
 class ShortestPathKernel(FeatureMapKernel):
     """SPGK with the delta kernel on (endpoint labels, hop distance).
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.kernels.base import FeatureMapKernel, KernelTraits
+from repro.kernels.registry import register_kernel, scaled
 from repro.utils.validation import check_positive_int
 
 
@@ -76,6 +77,7 @@ def wl_feature_matrix(graphs: "list[Graph]", n_iterations: int) -> np.ndarray:
     return features
 
 
+@register_kernel("WLSK", aliases=("wl",), defaults={"n_iterations": scaled(4, 10)})
 class WeisfeilerLehmanKernel(FeatureMapKernel):
     """WLSK: counts of matching WL subtree patterns (paper baseline 5).
 

@@ -161,76 +161,98 @@ def cross_validate_graph_kernel(
     graphs,
     labels,
     *,
+    ctx=None,
     engine=None,
-    normalize: bool = True,
-    ensure_psd: bool = False,
+    normalize: "bool | None" = None,
+    ensure_psd: "bool | None" = None,
     condition: bool = True,
     store=None,
-    tile_checkpoint: bool = True,
+    tile_checkpoint: "bool | None" = None,
     sink=None,
     **cv_kwargs,
 ) -> CVResult:
     """End-to-end protocol from graphs: Gram -> conditioning -> repeated CV.
 
     Convenience wrapper tying the kernel layer to the evaluation
-    protocol: the Gram matrix is computed with the selected
-    :mod:`repro.engine` backend (``engine=None`` defers to the kernel's
-    sticky default / the process default), optionally conditioned with a
+    protocol: the Gram matrix is computed under the supplied
+    :class:`~repro.api.context.ExecutionContext` (``ctx=None`` means the
+    historical defaults — sticky/process-default backend, no
+    persistence), optionally conditioned with a
     :class:`repro.ml.kernel_utils.GramConditioner`, and handed to
     :func:`cross_validate_kernel` with any remaining keyword arguments
-    (``n_folds``, ``n_repeats``, ``seed``, ...).
+    (``n_folds``, ``n_repeats``, ``seed``, ...). ``normalize`` defaults
+    to the context policy, else on — the paper's protocol.
 
-    ``store`` (a :class:`repro.store.ArtifactStore`) makes the Gram step
-    persistent: the matrix is fetched by content key — kernel
-    fingerprint + collection digest + options — and only computed (then
-    persisted) on a miss, so repeated protocol runs and interrupted
-    experiment sweeps skip straight past completed Grams. On a miss the
-    computation itself streams through a tile-checkpointing plan
-    (``tile_checkpoint``, default on): a run killed mid-Gram resumes at
-    the first unfinished *tile*, not from scratch.
+    The context's fields select the execution strategy (the loose
+    ``engine=`` / ``store=`` / ``tile_checkpoint=`` / ``sink=`` keywords
+    are deprecated shims building an equivalent context):
 
-    ``sink`` (a :class:`repro.engine.tiles.GramSink`, exclusive with
-    ``store``) hands Gram assembly to an explicit sink — pass a
-    :class:`~repro.engine.tiles.MemmapSink` to run the protocol over a
-    Gram that never fits in RAM (the conditioner fits by streaming row
-    stripes; fold sub-matrices densify only at ``train × train`` size).
-    With ``condition=True`` a memmapped Gram is conditioned **in place**:
-    the sink's backing file ends up holding conditioned values, so point
-    it at a scratch path — never at a store artifact other readers expect
-    to contain raw kernel values.
+    * ``ctx.store`` (a :class:`repro.store.ArtifactStore`) makes the
+      Gram step persistent: the matrix is fetched by content key —
+      kernel fingerprint + collection digest + options — and only
+      computed (then persisted) on a miss, so repeated protocol runs and
+      interrupted experiment sweeps skip straight past completed Grams.
+      On a miss the computation itself streams through a
+      tile-checkpointing plan (``ctx.tile_checkpoint``, default on): a
+      run killed mid-Gram resumes at the first unfinished *tile*, not
+      from scratch.
+    * ``ctx.sink_factory`` (exclusive with the store —
+      :meth:`ExecutionContext.validate` refuses the combination) hands
+      Gram assembly to an explicit sink — a
+      :class:`~repro.engine.tiles.MemmapSink` runs the protocol over a
+      Gram that never fits in RAM (the conditioner fits by streaming row
+      stripes; fold sub-matrices densify only at ``train × train``
+      size). With ``condition=True`` a memmapped Gram is conditioned
+      **in place**: the sink's backing file ends up holding conditioned
+      values, so point it at a scratch path — never at a store artifact
+      other readers expect to contain raw kernel values.
     """
+    from repro.api.context import resolve_context, single_use_sink_factory
     from repro.store import store_backed_gram
 
-    if sink is not None:
-        if store is not None:
-            raise ValidationError(
-                "pass either store= (content-addressed persistence) or "
-                "sink= (explicit tile destination), not both"
-            )
+    ctx = resolve_context(
+        ctx,
+        owner="cross_validate_graph_kernel",
+        engine=engine,
+        store=store,
+        sink=sink,
+        tile_checkpoint=tile_checkpoint,
+    )
+    if ctx is None:
+        normalize = True if normalize is None else bool(normalize)
+        ensure_psd = bool(ensure_psd)
         gram = kernel.gram(
-            list(graphs),
-            normalize=normalize,
-            ensure_psd=ensure_psd,
-            engine=engine,
-            sink=sink,
+            list(graphs), normalize=normalize, ensure_psd=ensure_psd
         )
     else:
-        gram = store_backed_gram(
-            kernel,
-            list(graphs),
-            store,
-            normalize=normalize,
-            ensure_psd=ensure_psd,
-            engine=engine,
-            tile_checkpoint=tile_checkpoint,
-        )
+        normalize = ctx.policy(normalize, "normalize", True)
+        ensure_psd = ctx.policy(ensure_psd, "ensure_psd", False)
+        sink = ctx.make_sink()
+        ctx.validate(ensure_psd=ensure_psd, sink=sink)
+        if sink is not None:
+            gram = kernel.gram(
+                list(graphs),
+                normalize=normalize,
+                ensure_psd=ensure_psd,
+                ctx=ctx.replace(sink_factory=single_use_sink_factory(sink)),
+            )
+        else:
+            gram = store_backed_gram(
+                kernel,
+                list(graphs),
+                ctx.store,
+                normalize=normalize,
+                ensure_psd=ensure_psd,
+                tile_checkpoint=ctx.tile_checkpoint,
+                ctx=ctx,
+            )
     if condition:
         # The same fit/transform object the serving path uses
         # (repro.serve), so protocol runs and bundles condition Grams
         # through one code path. Memmapped Grams stay out of core: the
         # fit streams row stripes and the transform rewrites tiles in
         # place; only per-fold train × train sub-matrices ever densify.
-        conditioner = GramConditioner().fit(gram)
+        conditioner = GramConditioner(ctx=ctx).fit(gram)
         if isinstance(gram, np.memmap):
             gram = conditioner.transform_inplace_tiled(gram)
         else:

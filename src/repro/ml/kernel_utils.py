@@ -139,11 +139,27 @@ class GramConditioner:
     center / scale:
         Disable either step; both default on, matching
         :func:`condition_gram`.
+    ctx:
+        Optional :class:`~repro.api.context.ExecutionContext`; its
+        ``tile_size`` becomes the default tile/stripe width of the
+        streaming paths (:meth:`transform_inplace_tiled`, the memmap
+        ``fit``), so out-of-core conditioning and the Gram computation
+        that produced the matrix agree on granularity.
     """
 
-    def __init__(self, *, center: bool = True, scale: bool = True) -> None:
+    #: Tile/stripe width of the streaming paths when neither the call
+    #: site nor a context picks one.
+    DEFAULT_TILE = 256
+
+    def __init__(
+        self, *, center: bool = True, scale: bool = True, ctx=None
+    ) -> None:
         self.center = bool(center)
         self.scale = bool(scale)
+        self._tile = None
+        if ctx is not None:
+            tile = getattr(ctx, "tile_size", None)
+            self._tile = None if tile is None else int(tile)
         self.n_train_: "int | None" = None
         self.column_means_: "np.ndarray | None" = None
         self.grand_mean_: float = 0.0
@@ -161,7 +177,7 @@ class GramConditioner:
         memory, never a densified copy of the matrix.
         """
         if isinstance(gram, np.memmap):
-            return self._fit_streaming(gram)
+            return self._fit_streaming(gram, stripe_rows=self._resolved_tile())
         arr = _as_square(gram, "gram")
         self.n_train_ = arr.shape[0]
         self.column_means_ = arr.mean(axis=0)
@@ -243,8 +259,14 @@ class GramConditioner:
         """``fit`` then ``transform`` — equals :func:`condition_gram`."""
         return self.fit(gram).transform(gram)
 
+    def _resolved_tile(self) -> int:
+        # getattr: conditioners unpickled from pre-context bundles lack
+        # the attribute.
+        tile = getattr(self, "_tile", None)
+        return tile if tile is not None else self.DEFAULT_TILE
+
     def transform_inplace_tiled(
-        self, gram, *, tile_size: int = 256
+        self, gram, *, tile_size: "int | None" = None
     ):
         """Condition a (possibly memmapped) *training* Gram in place, one
         tile at a time — the out-of-core counterpart of :meth:`transform`.
@@ -257,6 +279,8 @@ class GramConditioner:
         it matrices you own — never a store artifact another run may
         reread as raw values.
         """
+        if tile_size is None:
+            tile_size = self._resolved_tile()
         self._check_columns(np.asarray(gram[:1, :]))
         n = int(gram.shape[0])
         if gram.shape != (n, n) or n != self.n_train_:

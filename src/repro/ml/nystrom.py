@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.context import context_for, resolve_context
 from repro.engine.base import GramEngine
 from repro.errors import KernelError, NotFittedError, ValidationError
 from repro.kernels.base import GraphKernel, PairwiseKernel
@@ -47,16 +48,16 @@ class NystromApproximation:
         Gram matrix (up to the PSD projection inherent in W⁺).
     seed:
         Seeds the uniform landmark sampling.
-    engine:
-        Gram-computation backend for the ``K(X, L)`` evaluation (see
-        :mod:`repro.engine`); ``None`` defers to the kernel's own
-        default. Ignored for feature-map kernels.
-    store:
-        Optional :class:`repro.store.ArtifactStore`: the ``K(X, L)``
-        rectangle — the expensive N·m pair stage — is fetched by content
-        key (kernel fingerprint + collection digest + landmark indices)
-        and persisted on miss, so refitting over the same collection and
-        seed is free.
+    ctx:
+        :class:`~repro.api.ExecutionContext` carrying the backend for
+        the ``K(X, L)`` evaluation (ignored for feature-map kernels) and
+        an optional store: with one, the rectangle — the expensive N·m
+        pair stage — is fetched by content key (kernel fingerprint +
+        collection digest + landmark indices) and persisted on miss, so
+        refitting over the same collection and seed is free.
+    engine / store:
+        *Deprecated* (pass ``ctx=``): the loose spellings of the same
+        two knobs.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -75,11 +76,18 @@ class NystromApproximation:
         seed: "int | None" = 0,
         engine: "GramEngine | str | None" = None,
         store=None,
+        ctx=None,
     ) -> None:
         if not isinstance(kernel, GraphKernel):
             raise ValidationError(
                 f"kernel must be a GraphKernel, got {type(kernel).__name__}"
             )
+        ctx = resolve_context(
+            ctx, owner="NystromApproximation", engine=engine, store=store
+        )
+        if ctx is not None:
+            engine = ctx.engine_argument(kernel)
+            store = ctx.store
         self.kernel = kernel
         self.n_landmarks = check_positive_int(
             n_landmarks, "n_landmarks", minimum=1
@@ -148,7 +156,7 @@ class NystromApproximation:
             return np.zeros((0, self._inv_sqrt.shape[1]))
         if hasattr(self.kernel, "cross_gram"):
             cross = self.kernel.cross_gram(
-                graphs, self.landmark_graphs_, engine=self.engine
+                graphs, self.landmark_graphs_, ctx=context_for(engine=self.engine)
             )
         else:  # pragma: no cover - every shipped kernel has cross_gram
             full = self.kernel.gram(graphs + self.landmark_graphs_)
@@ -238,9 +246,11 @@ def nystrom_gram(
     seed: "int | None" = 0,
     engine: "GramEngine | str | None" = None,
     store=None,
+    ctx=None,
 ) -> np.ndarray:
     """One-shot Nyström approximation of ``kernel.gram(graphs)``."""
     approximation = NystromApproximation(
-        kernel, n_landmarks=n_landmarks, seed=seed, engine=engine, store=store
+        kernel, n_landmarks=n_landmarks, seed=seed, engine=engine, store=store,
+        ctx=ctx,
     ).fit(graphs)
     return approximation.approximate_gram()

@@ -95,6 +95,13 @@ class ModelBundle:
     c: float
     train_accuracy: float
     metadata: dict = field(default_factory=dict)
+    #: Serialized, resolved :class:`~repro.kernels.KernelSpec` record
+    #: (``{"name": ..., "params": {...}}``) when the bundle was trained
+    #: declaratively (Session / CLI); ``None`` for hand-built kernels.
+    kernel_spec: "dict | None" = None
+    #: :meth:`ExecutionContext.to_record` of the training context —
+    #: round-trippable via :meth:`ExecutionContext.from_record`.
+    context_record: "dict | None" = None
 
     @property
     def classes(self) -> np.ndarray:
@@ -157,6 +164,8 @@ class ModelBundle:
             "conditioner_scale_value": self.conditioner.scale_,
             "c": self.c,
             "train_accuracy": self.train_accuracy,
+            "kernel_spec": getattr(self, "kernel_spec", None),
+            "context": getattr(self, "context_record", None),
             "metadata": dict(self.metadata),
         }
 
@@ -205,8 +214,10 @@ def train_bundle(
     condition: bool = True,
     engine=None,
     store=None,
+    ctx=None,
     seed: "int | None" = 0,
     metadata: "dict | None" = None,
+    spec=None,
 ) -> ModelBundle:
     """Fit the full serving pipeline on a training collection.
 
@@ -224,7 +235,21 @@ def train_bundle(
 
     ``condition=False`` keeps the conditioner as a fitted no-op, so the
     serving path stays uniform.
+
+    ``ctx`` (an :class:`~repro.api.ExecutionContext`) selects the engine
+    and store — the loose ``engine=`` / ``store=`` keywords are
+    deprecated shims — and is recorded on the bundle
+    (``context_record``) together with the resolved ``spec``
+    (a :class:`~repro.kernels.KernelSpec`, when the kernel was built
+    declaratively), so a later process can reconstruct what was trained
+    (the record names the engine backend; it does not capture
+    instance-level tuning such as worker counts — see
+    :meth:`~repro.api.ExecutionContext.to_record`).
     """
+    from repro.api.context import resolve_context
+
+    explicit_ctx = ctx is not None
+    ctx = resolve_context(ctx, owner="train_bundle", engine=engine, store=store)
     graphs = list(graphs)
     y = np.asarray(labels)
     if y.ndim != 1 or y.size != len(graphs):
@@ -243,7 +268,21 @@ def train_bundle(
             f"{kernel.name}: serving needs a cross_gram path "
             f"(pairwise or feature-map kernel)"
         )
-    raw = store_backed_gram(kernel, graphs, store, engine=engine)
+    spec_record = None
+    if spec is not None:
+        from repro.kernels.registry import as_spec
+
+        spec_record = as_spec(spec).resolved().to_dict()
+    raw = store_backed_gram(
+        kernel,
+        graphs,
+        ctx.store if ctx is not None else None,
+        # Only an explicit context opts training Grams into per-tile
+        # checkpointing; the legacy store= shim keeps the historical
+        # whole-Gram-only behaviour (equivalence promise of the shim).
+        tile_checkpoint=ctx.tile_checkpoint if explicit_ctx else False,
+        ctx=ctx.replace(store=None) if ctx is not None else None,
+    )
     train_diagonal = np.array(np.diag(raw), dtype=float)
     gram = normalize_gram(raw) if normalize else np.asarray(raw, dtype=float)
     conditioner = GramConditioner(center=condition, scale=condition)
@@ -266,4 +305,6 @@ def train_bundle(
         c=float(c),
         train_accuracy=float(train_accuracy),
         metadata=dict(metadata or {}),
+        kernel_spec=spec_record,
+        context_record=ctx.to_record() if ctx is not None else None,
     )

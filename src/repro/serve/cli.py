@@ -64,6 +64,16 @@ def _resolve_store(root: "str | None"):
     return store
 
 
+def _session(args):
+    """The CLI's :class:`repro.Session`: REPRO_* env + the flags."""
+    from repro.api import ExecutionContext, Session
+
+    ctx = ExecutionContext.from_env(store=_resolve_store(args.store))
+    if getattr(args, "engine", None):
+        ctx = ctx.replace(engine=args.engine)
+    return Session(ctx)
+
+
 def _load_graphs(args) -> tuple:
     """``(graphs, targets)`` from the registry or a TU directory."""
     if args.tu_dir:
@@ -80,30 +90,30 @@ def _load_graphs(args) -> tuple:
     return graphs, targets
 
 
-def _command_train(args) -> int:
-    from repro.experiments.kernel_zoo import make_kernel
-    from repro.serve.bundle import train_bundle
+def _kernel_spec(args):
+    """The declarative spec the CLI flags describe.
 
-    store = _resolve_store(args.store)
-    graphs, targets = _load_graphs(args)
-    kernel = make_kernel(
-        args.kernel, n_prototypes=args.prototypes, seed=args.kernel_seed,
-        engine=args.engine,
+    Flags that the named kernel does not accept (``--prototypes`` on a
+    feature-map kernel) are dropped, matching the old zoo's leniency.
+    """
+    from repro.kernels.registry import lenient_spec
+
+    return lenient_spec(
+        args.kernel, n_prototypes=args.prototypes, seed=args.kernel_seed
     )
-    if not kernel.collection_independent and hasattr(kernel, "freeze"):
-        # HAQJSK serving mode: anchor the prototype system to the
-        # training collection so newcomer rows cannot move it.
-        _LOGGER.info("freezing %s prototypes on %d training graphs",
-                     kernel.name, len(graphs))
-        kernel.freeze(graphs)
-    bundle = train_bundle(
-        kernel,
+
+
+def _command_train(args) -> int:
+    session = _session(args)
+    graphs, targets = _load_graphs(args)
+    spec = _kernel_spec(args)
+    _LOGGER.info("training %s on %d graphs", spec, len(graphs))
+    bundle = session.train(
+        spec,
         graphs,
         targets,
         c=args.c,
         normalize=args.normalize,
-        engine=args.engine,
-        store=store,
         seed=args.kernel_seed,
         metadata={
             "dataset": args.dataset,
@@ -113,10 +123,12 @@ def _command_train(args) -> int:
             "kernel": args.kernel,
         },
     )
-    path = bundle.save(store, args.name)
+    # bundle.save owns the store layout; the CLI just reports its path.
+    path = bundle.save(session.ctx.store, args.name)
     print(f"bundle: {args.name}")
     print(f"path: {path}")
     print(f"kernel: {bundle.kernel.name} ({bundle.kernel_fingerprint[:12]}…)")
+    print(f"spec: {bundle.kernel_spec}")
     print(f"training graphs: {bundle.n_training_graphs}")
     print(f"classes: {bundle.info()['classes']}")
     print(f"c: {bundle.c}")
@@ -130,14 +142,9 @@ def _scalar(value):
 
 
 def _command_predict(args) -> int:
-    from repro.serve.service import PredictionService
-
-    store = _resolve_store(args.store)
-    service = PredictionService.from_store(
-        store, args.name, engine=args.engine, batch_size=args.batch_size
-    )
+    session = _session(args)
     graphs, _ = _load_graphs(args)
-    result = service.predict(graphs)
+    result = session.predict(args.name, graphs, batch_size=args.batch_size)
     if args.json:
         payload = {
             "bundle": args.name,

@@ -59,10 +59,14 @@ class PredictionService:
     bundle:
         A (verified) :class:`ModelBundle`; :meth:`from_store` loads and
         verifies one by name.
+    ctx:
+        :class:`~repro.api.ExecutionContext` selecting the Gram backend
+        (and tile size) for the cross-block evaluation — the serving
+        knob for throughput.
     engine:
-        Gram-engine backend for the cross-block evaluation (``"serial"``,
-        ``"batched"``, ``"process"``, an instance, or ``None`` for the
-        kernel's sticky default) — the serving knob for throughput.
+        *Deprecated* (pass ``ctx=``): the loose backend spelling
+        (``"serial"``, ``"batched"``, ``"process"``, an instance, or
+        ``None`` for the kernel's sticky default).
     batch_size:
         When set, :meth:`predict` internally splits larger batches so
         conditioning and voting never see more than ``batch_size`` rows
@@ -84,11 +88,17 @@ class PredictionService:
         engine=None,
         batch_size: "int | None" = None,
         max_block_graphs: "int | None" = None,
+        ctx=None,
     ) -> None:
+        from repro.api.context import resolve_context
+
         if not isinstance(bundle, ModelBundle):
             raise ValidationError(
                 f"bundle must be a ModelBundle, got {type(bundle).__name__}"
             )
+        ctx = resolve_context(ctx, owner="PredictionService", engine=engine)
+        if ctx is not None:
+            engine = ctx.engine_argument(bundle.kernel)
         if batch_size is not None and batch_size < 1:
             raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
         if max_block_graphs is not None and max_block_graphs < 1:
@@ -113,6 +123,7 @@ class PredictionService:
         engine=None,
         batch_size: "int | None" = None,
         max_block_graphs: "int | None" = None,
+        ctx=None,
     ) -> "PredictionService":
         """Load + verify the named bundle and wrap it for serving.
 
@@ -124,6 +135,7 @@ class PredictionService:
             engine=engine,
             batch_size=batch_size,
             max_block_graphs=max_block_graphs,
+            ctx=ctx,
         )
 
     # ------------------------------------------------------------------ #
@@ -214,11 +226,14 @@ class PredictionService:
             # in N (no quadratic pair stage), so the cross rectangle still
             # dominates; a vocabulary-stable feature cache would shave the
             # O(N) term if feature-map serving ever becomes the hot path.
+            from repro.api.context import context_for
+
+            cross_ctx = context_for(engine=self.engine)
             chunks = [
                 kernel.cross_gram(
                     graphs[start : start + step],
                     bundle.training_graphs,
-                    engine=self.engine,
+                    ctx=cross_ctx,
                 )
                 for start in range(0, len(graphs), step)
             ]

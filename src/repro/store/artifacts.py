@@ -269,6 +269,7 @@ def store_backed_gram(
     extra: "dict | None" = None,
     tile_checkpoint: bool = False,
     stats: "dict | None" = None,
+    ctx=None,
 ) -> np.ndarray:
     """Fetch ``kernel.gram(graphs, ...)`` from the store, computing on miss.
 
@@ -302,12 +303,23 @@ def store_backed_gram(
     This is *the* tile-checkpoint protocol — the experiment harness and
     other callers consume it rather than re-implementing the sequence.
     """
+    from repro.api.context import context_for
+
     graphs = list(graphs)
+    if ctx is not None:
+        # A caller-supplied context carries the engine/tile selection and
+        # (for the store=None fallthrough) any sink factory; the store
+        # and checkpoint decisions stay with the explicit arguments so
+        # this function keeps exactly one persistence protocol.
+        engine = ctx.engine_argument(kernel)
+        gram_ctx = ctx.replace(store=None)
+    else:
+        gram_ctx = context_for(engine=engine)
     if stats is not None:
         stats.update(cached=False, tiles_restored=0, tiles_computed=0)
     if store is None:
         return kernel.gram(
-            graphs, normalize=normalize, ensure_psd=ensure_psd, engine=engine
+            graphs, normalize=normalize, ensure_psd=ensure_psd, ctx=gram_ctx
         )
     streams = tile_checkpoint and getattr(kernel, "streams_tiles", False)
     dependent = not getattr(kernel, "collection_independent", False)
@@ -326,12 +338,20 @@ def store_backed_gram(
         from repro.store.tiles import CheckpointSink, tile_keyer_for
 
         sink = CheckpointSink(store, tile_keyer_for(kernel, graphs))
+    miss_ctx = gram_ctx
+    if sink is not None:
+        checkpoint_sink = sink
+        factory = lambda: checkpoint_sink  # noqa: E731 - one-shot wrapper
+        miss_ctx = (
+            gram_ctx.replace(sink_factory=factory)
+            if gram_ctx is not None
+            else context_for(sink_factory=factory)
+        )
     gram = kernel.gram(
         graphs,
         normalize=normalize,
         ensure_psd=ensure_psd,
-        engine=engine,
-        sink=sink,
+        ctx=miss_ctx,
     )
     store.put_array("gram", key, gram)
     if sink is not None:
@@ -400,7 +420,16 @@ class IncrementalGram:
         *,
         engine=None,
         store: "ArtifactStore | None" = None,
+        ctx=None,
     ) -> None:
+        from repro.api.context import context_for, resolve_context
+
+        ctx = resolve_context(
+            ctx, owner="IncrementalGram", engine=engine, store=store
+        )
+        if ctx is not None:
+            engine = ctx.engine_argument(kernel)
+            store = ctx.store
         self.kernel = kernel
         self.engine = engine
         self.store = store
@@ -411,7 +440,7 @@ class IncrementalGram:
             self.gram = np.zeros((0, 0))
         else:
             self.gram = store_backed_gram(
-                kernel, self.graphs, store, engine=engine
+                kernel, self.graphs, store, ctx=context_for(engine=engine)
             )
             if store is not None:
                 self._initial_key = gram_key(kernel, self.graphs)
@@ -427,15 +456,21 @@ class IncrementalGram:
             return self.gram
         if not self.graphs:
             self.graphs = new_graphs
+            from repro.api.context import context_for
+
             self.gram = store_backed_gram(
-                self.kernel, self.graphs, self.store, engine=self.engine
+                self.kernel, self.graphs, self.store,
+                ctx=context_for(engine=self.engine),
             )
             if self.store is not None:
                 self._initial_key = gram_key(self.kernel, self.graphs)
                 self._latest_key = self._initial_key
             return self.gram
+        from repro.api.context import context_for
+
         grown = self.kernel.gram_extend(
-            self.gram, self.graphs, new_graphs, engine=self.engine
+            self.gram, self.graphs, new_graphs,
+            ctx=context_for(engine=self.engine),
         )
         # Freshly assembled and owned by this object: freeze it so the
         # serving Gram is uniformly immutable whether it was computed,

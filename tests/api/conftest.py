@@ -1,0 +1,30 @@
+"""Shared fixtures for the public-API tests: a small labelled collection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def api_collection():
+    """16 deterministic graphs in two structural classes.
+
+    Cycles/paths (class 0) against stars/completes (class 1) — separable
+    enough that CV accuracies are stable, small enough that HAQJSK Grams
+    stay fast.
+    """
+    graphs = []
+    labels = []
+    for n in (5, 6, 7, 8):
+        graphs.append(gen.cycle_graph(n))
+        labels.append(0)
+        graphs.append(gen.path_graph(n))
+        labels.append(0)
+        graphs.append(gen.star_graph(n))
+        labels.append(1)
+        graphs.append(gen.complete_graph(n))
+        labels.append(1)
+    return graphs, np.asarray(labels)

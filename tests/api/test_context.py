@@ -1,0 +1,201 @@
+"""ExecutionContext: env resolution, validation, records, the shim."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionContext
+from repro.api.context import context_for, resolve_context
+from repro.engine import BatchedEngine, MemmapSink, TILE_ENV_VAR
+from repro.engine.base import ENGINE_ENV_VAR
+from repro.errors import ValidationError
+from repro.kernels import QJSKUnaligned
+from repro.store import ArtifactStore
+
+
+class TestConstruction:
+    def test_defaults(self):
+        ctx = ExecutionContext()
+        assert ctx.engine is None
+        assert ctx.store is None
+        assert ctx.sink_factory is None
+        assert ctx.tile_checkpoint is True
+        assert ctx.normalize is None and ctx.ensure_psd is None
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutionContext().engine = "serial"
+
+    def test_replace_returns_new(self):
+        ctx = ExecutionContext()
+        other = ctx.replace(engine="serial")
+        assert ctx.engine is None and other.engine == "serial"
+
+    def test_bad_tile_size(self):
+        with pytest.raises(ValidationError, match="tile_size"):
+            ExecutionContext(tile_size=0)
+
+    def test_sink_instance_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="sink_factory"):
+            ExecutionContext(sink_factory=MemmapSink(str(tmp_path / "x.npy")))
+
+    def test_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "serial")
+        monkeypatch.setenv(TILE_ENV_VAR, "7")
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        ctx = ExecutionContext.from_env()
+        assert ctx.engine == "serial"
+        assert ctx.tile_size == 7
+        assert isinstance(ctx.store, ArtifactStore)
+        # Overrides win over the environment.
+        assert ExecutionContext.from_env(engine="batched").engine == "batched"
+
+    def test_from_env_empty(self, monkeypatch):
+        for var in (ENGINE_ENV_VAR, TILE_ENV_VAR, "REPRO_STORE"):
+            monkeypatch.delenv(var, raising=False)
+        assert ExecutionContext.from_env() == ExecutionContext()
+
+    def test_from_env_bad_tile(self, monkeypatch):
+        monkeypatch.setenv(TILE_ENV_VAR, "many")
+        with pytest.raises(ValidationError, match=TILE_ENV_VAR):
+            ExecutionContext.from_env()
+
+
+class TestValidate:
+    def test_store_and_sink_conflict(self, tmp_path):
+        ctx = ExecutionContext(
+            store=ArtifactStore(str(tmp_path / "s")),
+            sink_factory=lambda: None,
+        )
+        with pytest.raises(ValidationError, match="not.*both"):
+            ctx.validate()
+
+    def test_ensure_psd_out_of_core(self, tmp_path):
+        sink = MemmapSink(str(tmp_path / "g.npy"))
+        with pytest.raises(ValidationError, match="ensure_psd.*sink"):
+            ExecutionContext().validate(ensure_psd=True, sink=sink)
+
+    def test_ensure_psd_policy_field(self, tmp_path):
+        sink = MemmapSink(str(tmp_path / "g.npy"))
+        ctx = ExecutionContext(ensure_psd=True)
+        with pytest.raises(ValidationError, match="offending fields"):
+            ctx.validate(sink=sink)
+
+    def test_in_memory_sink_allowed(self):
+        from repro.engine import DenseSink
+
+        ctx = ExecutionContext()
+        assert ctx.validate(ensure_psd=True, sink=DenseSink()) is ctx
+
+    def test_clean_context_passes(self):
+        ctx = ExecutionContext(engine="batched", tile_size=16)
+        assert ctx.validate() is ctx
+
+
+class TestPolicy:
+    def test_explicit_wins(self):
+        ctx = ExecutionContext(normalize=True)
+        assert ctx.policy(False, "normalize", True) is False
+
+    def test_context_fills_none(self):
+        ctx = ExecutionContext(normalize=True)
+        assert ctx.policy(None, "normalize", False) is True
+
+    def test_default_when_unset(self):
+        ctx = ExecutionContext()
+        assert ctx.policy(None, "normalize", True) is True
+        assert ctx.policy(None, "ensure_psd", False) is False
+
+
+class TestEngineArgument:
+    def test_passthrough_without_tile(self):
+        assert ExecutionContext(engine="serial").engine_argument() == "serial"
+        assert ExecutionContext().engine_argument() is None
+
+    def test_tile_override_materialises(self):
+        engine = ExecutionContext(engine="batched", tile_size=9).engine_argument()
+        assert isinstance(engine, BatchedEngine)
+        assert engine.resolved_tile_size() == 9
+
+    def test_tile_override_preserves_instance_config(self):
+        base = BatchedEngine(tile_size=64)
+        ctx = ExecutionContext(engine=base, tile_size=5)
+        resolved = ctx.engine_argument()
+        assert resolved is not base
+        assert resolved.resolved_tile_size() == 5
+        assert base.resolved_tile_size() == 64  # the original is untouched
+
+    def test_tile_override_respects_kernel_sticky_engine(self):
+        kernel = QJSKUnaligned()
+        kernel.engine = "serial"
+        resolved = ExecutionContext(tile_size=3).engine_argument(kernel)
+        assert resolved.name == "serial"
+        assert resolved.resolved_tile_size() == 3
+
+
+class TestRecord:
+    def test_round_trip(self, tmp_path):
+        ctx = ExecutionContext(
+            engine="process",
+            tile_size=32,
+            store=ArtifactStore(str(tmp_path / "arts")),
+            normalize=True,
+        )
+        record = ctx.to_record()
+        rebuilt = ExecutionContext.from_record(record)
+        assert rebuilt.to_record() == record
+        assert rebuilt.engine == "process"
+        assert rebuilt.tile_size == 32
+        assert rebuilt.store.root == ctx.store.root
+        assert rebuilt.normalize is True
+
+    def test_record_is_json_able(self):
+        import json
+
+        record = ExecutionContext(engine="serial").to_record()
+        assert json.loads(json.dumps(record)) == record
+
+    def test_engine_instance_recorded_by_name(self):
+        record = ExecutionContext(engine=BatchedEngine()).to_record()
+        assert record["engine"] == "batched"
+
+    def test_sink_factory_refused_in_record(self):
+        record = ExecutionContext(sink_factory=lambda: None).to_record()
+        assert record["sink"] is not None
+        with pytest.raises(ValidationError, match="sink"):
+            ExecutionContext.from_record(record)
+
+    def test_unknown_keys_refused(self):
+        with pytest.raises(ValidationError, match="unexpected"):
+            ExecutionContext.from_record({"engine": None, "bogus": 1})
+
+
+class TestResolveContext:
+    def test_nothing_supplied(self):
+        assert resolve_context(None, owner="x") is None
+
+    def test_ctx_passthrough(self):
+        ctx = ExecutionContext(engine="serial")
+        assert resolve_context(ctx, owner="x") is ctx
+
+    def test_mixing_refused(self):
+        with pytest.raises(ValidationError, match="not both"):
+            resolve_context(ExecutionContext(), owner="x", engine="serial")
+
+    def test_legacy_builds_context_with_one_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ctx = resolve_context(None, owner="x", engine="serial")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "engine" in str(deprecations[0].message)
+        assert ctx.engine == "serial"
+
+    def test_context_for(self):
+        assert context_for(engine=None, store=None) is None
+        assert context_for(engine="serial").engine == "serial"

@@ -1,0 +1,238 @@
+"""Legacy execution kwargs: identical results + exactly one warning.
+
+Every historical kwarg combination (``engine=``, ``store=``, ``sink=``,
+``tile_checkpoint=``) on ``gram`` / ``cross_validate_graph_kernel`` /
+``NystromApproximation`` must produce results identical to the ``ctx=``
+form and emit exactly one ``DeprecationWarning`` per call.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionContext
+from repro.engine import DenseSink, MemmapSink
+from repro.errors import ValidationError
+from repro.kernels import KernelSpec, QJSKUnaligned, make
+from repro.ml.cross_validation import cross_validate_graph_kernel
+from repro.ml.nystrom import NystromApproximation
+from repro.store import ArtifactStore
+
+
+def one_deprecation(caught) -> str:
+    """Assert exactly one DeprecationWarning was raised; return its text."""
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, [str(w.message) for w in caught]
+    return str(deprecations[0].message)
+
+
+@pytest.fixture()
+def graphs(api_collection):
+    return api_collection[0]
+
+
+@pytest.fixture()
+def labels(api_collection):
+    return api_collection[1]
+
+
+class TestGramShims:
+    def test_engine_kwarg(self, graphs):
+        kernel = QJSKUnaligned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = kernel.gram(graphs, engine="serial")
+        message = one_deprecation(caught)
+        assert "engine" in message and "ExecutionContext" in message
+        modern = kernel.gram(graphs, ctx=ExecutionContext(engine="serial"))
+        assert np.array_equal(legacy, modern)
+
+    def test_sink_kwarg(self, graphs, tmp_path):
+        kernel = QJSKUnaligned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = kernel.gram(
+                graphs, sink=MemmapSink(str(tmp_path / "legacy.npy"))
+            )
+        assert "sink" in one_deprecation(caught)
+        modern = kernel.gram(
+            graphs,
+            ctx=ExecutionContext(
+                sink_factory=lambda: MemmapSink(str(tmp_path / "ctx.npy"))
+            ),
+        )
+        assert np.array_equal(np.asarray(legacy), np.asarray(modern))
+
+    def test_engine_and_sink_warn_once(self, graphs):
+        kernel = QJSKUnaligned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kernel.gram(graphs, engine="serial", sink=DenseSink())
+        message = one_deprecation(caught)
+        assert "engine" in message and "sink" in message
+
+    def test_ctx_plus_legacy_refused(self, graphs):
+        kernel = QJSKUnaligned()
+        with pytest.raises(ValidationError, match="not both"):
+            kernel.gram(graphs, engine="serial", ctx=ExecutionContext())
+
+    def test_cross_gram_engine_kwarg(self, graphs):
+        kernel = QJSKUnaligned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = kernel.cross_gram(graphs[:4], graphs[4:], engine="serial")
+        one_deprecation(caught)
+        modern = kernel.cross_gram(
+            graphs[:4], graphs[4:], ctx=ExecutionContext(engine="serial")
+        )
+        assert np.array_equal(legacy, modern)
+
+    def test_gram_extend_engine_kwarg(self, graphs):
+        kernel = QJSKUnaligned()
+        cached = kernel.gram(graphs[:6])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = kernel.gram_extend(
+                cached, graphs[:6], graphs[6:10], engine="serial"
+            )
+        one_deprecation(caught)
+        modern = kernel.gram_extend(
+            cached, graphs[:6], graphs[6:10],
+            ctx=ExecutionContext(engine="serial"),
+        )
+        assert np.array_equal(legacy, modern)
+
+    def test_no_kwargs_no_warning(self, graphs):
+        kernel = QJSKUnaligned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kernel.gram(graphs)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestCrossValidateShims:
+    CV = dict(n_folds=4, n_repeats=1, seed=5)
+
+    def test_engine_kwarg(self, graphs, labels):
+        kernel = make("WLSK")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = cross_validate_graph_kernel(
+                kernel, graphs, labels, engine="serial", **self.CV
+            )
+        one_deprecation(caught)
+        modern = cross_validate_graph_kernel(
+            kernel, graphs, labels, ctx=ExecutionContext(engine="serial"),
+            **self.CV,
+        )
+        assert legacy.mean_accuracy == modern.mean_accuracy
+        assert legacy.per_repeat == modern.per_repeat
+
+    def test_store_and_tile_checkpoint_kwargs(self, graphs, labels, tmp_path):
+        kernel = make("WLSK")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = cross_validate_graph_kernel(
+                kernel, graphs, labels,
+                store=ArtifactStore(str(tmp_path / "legacy")),
+                tile_checkpoint=True,
+                **self.CV,
+            )
+        message = one_deprecation(caught)
+        assert "store" in message and "tile_checkpoint" in message
+        modern = cross_validate_graph_kernel(
+            kernel, graphs, labels,
+            ctx=ExecutionContext(store=ArtifactStore(str(tmp_path / "ctx"))),
+            **self.CV,
+        )
+        assert legacy.mean_accuracy == modern.mean_accuracy
+
+    def test_sink_kwarg(self, graphs, labels, tmp_path):
+        kernel = make("WLSK")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = cross_validate_graph_kernel(
+                kernel, graphs, labels,
+                sink=MemmapSink(str(tmp_path / "cv.npy")),
+                **self.CV,
+            )
+        assert "sink" in one_deprecation(caught)
+        modern = cross_validate_graph_kernel(
+            kernel, graphs, labels,
+            ctx=ExecutionContext(
+                sink_factory=lambda: MemmapSink(str(tmp_path / "cv2.npy"))
+            ),
+            **self.CV,
+        )
+        assert legacy.mean_accuracy == modern.mean_accuracy
+
+    def test_store_plus_sink_unified_refusal(self, graphs, labels, tmp_path):
+        kernel = make("WLSK")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValidationError, match="not.*both"):
+                cross_validate_graph_kernel(
+                    kernel, graphs, labels,
+                    store=ArtifactStore(str(tmp_path / "s")),
+                    sink=MemmapSink(str(tmp_path / "g.npy")),
+                    **self.CV,
+                )
+
+    def test_ensure_psd_out_of_core_unified_refusal(
+        self, graphs, labels, tmp_path
+    ):
+        """Satellite: the CV wrapper and gram refuse through the *same*
+        ExecutionContext.validate error, naming the offending fields."""
+        kernel = QJSKUnaligned()
+        ctx = ExecutionContext(
+            sink_factory=lambda: MemmapSink(str(tmp_path / "psd.npy"))
+        )
+        with pytest.raises(ValidationError, match="offending fields"):
+            cross_validate_graph_kernel(
+                kernel, graphs, labels, ctx=ctx, ensure_psd=True, **self.CV
+            )
+        with pytest.raises(ValidationError, match="offending fields"):
+            kernel.gram(graphs, ensure_psd=True, ctx=ctx)
+
+
+class TestNystromShims:
+    def test_engine_and_store_kwargs(self, graphs, tmp_path):
+        kernel = QJSKUnaligned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = NystromApproximation(
+                kernel, n_landmarks=4, seed=0, engine="serial",
+                store=ArtifactStore(str(tmp_path / "legacy")),
+            ).fit(graphs)
+        message = one_deprecation(caught)
+        assert "engine" in message and "store" in message
+        modern = NystromApproximation(
+            kernel, n_landmarks=4, seed=0,
+            ctx=ExecutionContext(
+                engine="serial", store=ArtifactStore(str(tmp_path / "ctx"))
+            ),
+        ).fit(graphs)
+        assert np.array_equal(legacy.embedding_, modern.embedding_)
+        assert np.array_equal(
+            legacy.approximate_gram(), modern.approximate_gram()
+        )
+
+    def test_fit_and_transform_emit_no_further_warnings(self, graphs):
+        approximation = NystromApproximation(
+            kernel=QJSKUnaligned(), n_landmarks=4, seed=0,
+            ctx=ExecutionContext(engine="serial"),
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            approximation.fit(graphs)
+            approximation.transform(graphs[:3])
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

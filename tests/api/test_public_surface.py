@@ -1,0 +1,67 @@
+"""API-stability smoke: the exported surface + the README quickstart.
+
+Two guarantees CI pins on every push:
+
+* ``repro.__all__`` matches the committed ``expected_exports.txt`` —
+  removing or renaming a top-level export is a reviewed decision, not an
+  accident;
+* the README "Public API" quickstart runs *verbatim* — the documented
+  fifteen lines are executed from the markdown itself, so the docs
+  cannot rot.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+HERE = os.path.dirname(__file__)
+README = os.path.join(HERE, os.pardir, os.pardir, "README.md")
+
+
+def test_exported_surface_matches_committed_list():
+    import repro
+
+    with open(os.path.join(HERE, "expected_exports.txt")) as f:
+        expected = [line.strip() for line in f if line.strip()]
+    assert sorted(repro.__all__) == sorted(expected)
+    for name in expected:
+        assert getattr(repro, name) is not None
+
+
+def test_top_level_objects_are_the_canonical_ones():
+    import repro
+    from repro.api.context import ExecutionContext
+    from repro.api.session import Session
+    from repro.kernels.registry import KernelSpec, make
+
+    assert repro.ExecutionContext is ExecutionContext
+    assert repro.Session is Session
+    assert repro.KernelSpec is KernelSpec
+    assert repro.make is make
+
+
+def _quickstart_source() -> str:
+    """The first python block of the README's "Public API" section."""
+    with open(README) as f:
+        text = f.read()
+    section = text.split("## Public API", 1)
+    assert len(section) == 2, "README lost its Public API section"
+    match = re.search(r"```python\n(.*?)```", section[1], flags=re.DOTALL)
+    assert match, "Public API section lost its quickstart block"
+    return match.group(1)
+
+
+def test_readme_quickstart_runs_verbatim(capsys):
+    source = _quickstart_source()
+    # Executed exactly as documented — a doctest over the whole block.
+    namespace: dict = {}
+    exec(compile(source, "README.md::public-api-quickstart", "exec"), namespace)
+    printed = capsys.readouterr().out
+    # The quickstart prints the CV result ("xx.xx ± yy.yy") and labels.
+    assert "±" in printed
+    assert namespace["gram"].shape[0] == len(namespace["dataset"].graphs)
+    assert len(namespace["labels"]) == 4
+    assert namespace["bundle"].kernel_spec is not None

@@ -228,12 +228,25 @@ def test_normalized_memmap_matches_dense(probe_graphs, tmp_path):
 
 def test_ensure_psd_refused_out_of_core(probe_graphs, tmp_path):
     """PSD projection is global; out-of-core sinks must refuse, in-memory
-    sinks may densify."""
+    sinks may densify. The refusal is the unified ExecutionContext
+    validation error naming the offending fields — identical whether the
+    sink arrives via the legacy kwarg or a context."""
+    from repro.api import ExecutionContext
+    from repro.errors import ValidationError
+
     kernel = QJSKUnaligned()
-    with pytest.raises(KernelError, match="ensure_psd"):
+    with pytest.raises(ValidationError, match="ensure_psd.*sink"):
         kernel.gram(
             probe_graphs, ensure_psd=True,
             sink=MemmapSink(str(tmp_path / "psd.npy")),
+        )
+    with pytest.raises(ValidationError, match="ensure_psd.*sink"):
+        kernel.gram(
+            probe_graphs,
+            ensure_psd=True,
+            ctx=ExecutionContext(
+                sink_factory=lambda: MemmapSink(str(tmp_path / "psd2.npy"))
+            ),
         )
     dense = kernel.gram(probe_graphs, ensure_psd=True)
     sunk = kernel.gram(probe_graphs, ensure_psd=True, sink=DenseSink())

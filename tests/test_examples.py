@@ -21,6 +21,7 @@ FAST_EXAMPLES = (
     "hierarchy_visualisation.py",
     "ctqw_vs_ctrw.py",
     "attributed_kernels.py",
+    "session_api.py",
 )
 
 
