@@ -23,7 +23,7 @@ import numpy as np
 from repro.errors import AlignmentError, ValidationError
 from repro.graphs.graph import Graph
 from repro.graphs.ops import max_shortest_path_length
-from repro.quantum.entropy import von_neumann_entropy
+from repro.quantum.entropy import shannon_entropies, von_neumann_entropy
 from repro.utils.linalg import safe_xlogx
 from repro.utils.validation import check_positive_int
 
@@ -38,14 +38,11 @@ def _subgraph_entropy(adjacency: np.ndarray, kind: str) -> float:
         if total <= 0:
             return 0.0
         # Inlined shannon_entropy fast path (this runs once per vertex per
-        # expansion layer): same arithmetic — normalise, re-normalise by
-        # the float mass, -sum x log x — without per-call validation.
-        probabilities = degrees / total
-        mass = float(probabilities.sum())
-        if mass <= 0:
-            return 0.0
-        probabilities = probabilities / mass
-        return float(-np.sum(safe_xlogx(probabilities)))
+        # expansion layer): degrees are exact non-negative counts summing
+        # to `total`, so one normalisation suffices — the historical
+        # renormalise-by-the-float-mass second pass divided by 1.0 (to
+        # round-off) and cost an extra O(n) sweep per subgraph.
+        return float(-np.sum(safe_xlogx(degrees / total)))
     # von Neumann variant: normalised Laplacian spectrum as a pseudo-state.
     n = adjacency.shape[0]
     if n == 0 or total <= 0:
@@ -107,9 +104,10 @@ def _shannon_db_representations(
     is then ``(mask @ A)[v, u]`` (``A`` symmetric), masked back to the
     member set — no per-vertex subgraph extraction. Non-members carry
     exact zeros, which contribute nothing to the entropy (``0 log 0 = 0``),
-    so each row reproduces the per-subgraph computation. Saturated layers
-    (beyond a vertex's eccentricity) reproduce the previous layer's value
-    because their mask stops changing.
+    so each row reproduces the per-subgraph computation through one
+    batched :func:`repro.quantum.entropy.shannon_entropies` call per
+    layer. Saturated layers (beyond a vertex's eccentricity) reproduce
+    the previous layer's value because their mask stops changing.
     """
     n = adjacency.shape[0]
     reachable = distances >= 0
@@ -117,13 +115,7 @@ def _shannon_db_representations(
     for layer in range(1, n_layers + 1):
         mask = (reachable & (distances <= layer)).astype(float)
         degrees = mask * (mask @ adjacency)  # (n, n): member degrees, else 0
-        totals = degrees.sum(axis=1)
-        safe_totals = np.where(totals > 0, totals, 1.0)
-        probabilities = degrees / safe_totals[:, None]
-        masses = probabilities.sum(axis=1)
-        safe_masses = np.where(masses > 0, masses, 1.0)
-        entropies = -safe_xlogx(probabilities / safe_masses[:, None]).sum(axis=1)
-        output[:, layer - 1] = np.where((totals > 0) & (masses > 0), entropies, 0.0)
+        output[:, layer - 1] = shannon_entropies(degrees)
     return output
 
 

@@ -31,6 +31,12 @@ import os
 import warnings
 from dataclasses import dataclass, replace
 
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    ENTROPY_ENV_VAR,
+    PRECISION_ENV_VAR,
+    ComputePolicy,
+)
 from repro.engine.base import (
     ENGINE_ENV_VAR,
     GramEngine,
@@ -81,6 +87,16 @@ class ExecutionContext:
         historical default (``gram`` raw, the CV protocol normalised),
         ``True``/``False`` pins the policy for every call through this
         context unless the call site overrides it explicitly.
+    backend / precision / entropy:
+        Compute-policy knobs (see :class:`repro.backend.ComputePolicy`):
+        the array backend (``"numpy"`` / ``"torch"`` / ``"cupy"``), the
+        device precision (``"float64"`` / ``"float32"``) and the entropy
+        path (``"eig"`` / ``"chebyshev"`` / ``"auto"``). ``None`` falls
+        back to the ``REPRO_BACKEND`` / ``REPRO_PRECISION`` /
+        ``REPRO_ENTROPY`` environment, else the bit-stable
+        numpy/float64/eig reference. Field values are validated at
+        construction; backend *availability* (is torch importable, is a
+        GPU present) is checked by :meth:`validate`.
     """
 
     engine: "GramEngine | str | None" = None
@@ -90,6 +106,9 @@ class ExecutionContext:
     tile_checkpoint: bool = True
     normalize: "bool | None" = None
     ensure_psd: "bool | None" = None
+    backend: "str | None" = None
+    precision: "str | None" = None
+    entropy: "str | None" = None
 
     def __post_init__(self) -> None:
         if self.tile_size is not None and int(self.tile_size) < 1:
@@ -102,6 +121,18 @@ class ExecutionContext:
                 f"callable producing a GramSink, got "
                 f"{type(self.sink_factory).__name__} (a sink instance is "
                 "single-use — wrap it: sink_factory=lambda: sink)"
+            )
+        # Validates names only (a typo'd backend/precision/entropy raises
+        # a named BackendError now); availability waits for validate().
+        if (
+            self.backend is not None
+            or self.precision is not None
+            or self.entropy is not None
+        ):
+            ComputePolicy(
+                backend=self.backend or "numpy",
+                precision=self.precision or "float64",
+                entropy=self.entropy or "eig",
             )
 
     # ------------------------------------------------------------------ #
@@ -135,6 +166,14 @@ class ExecutionContext:
             from repro.store import ArtifactStore
 
             values["store"] = ArtifactStore(root)
+        for env_var, field in (
+            (BACKEND_ENV_VAR, "backend"),
+            (PRECISION_ENV_VAR, "precision"),
+            (ENTROPY_ENV_VAR, "entropy"),
+        ):
+            raw = os.environ.get(env_var, "").strip()
+            if raw:
+                values[field] = raw
         values.update(overrides)
         return cls(**values)
 
@@ -162,6 +201,11 @@ class ExecutionContext:
                 "persistence) or sink= (explicit tile destination), not "
                 "both (offending fields: store, sink_factory)"
             )
+        # Resolving the compute policy's backend instance imports the
+        # underlying library, so a context naming torch/cupy in an
+        # environment without it fails here with the named BackendError
+        # (listing the usable backends) instead of deep inside a tile.
+        self.compute_policy().array_backend
         effective_psd = self.ensure_psd if ensure_psd is None else ensure_psd
         if sink is None and self.sink_factory is None:
             return self
@@ -179,24 +223,56 @@ class ExecutionContext:
     # Resolution helpers the entry points consume
     # ------------------------------------------------------------------ #
 
+    def has_compute_fields(self) -> bool:
+        """Whether any compute-policy knob is explicitly set."""
+        return (
+            self.backend is not None
+            or self.precision is not None
+            or self.entropy is not None
+        )
+
+    def compute_policy(self) -> ComputePolicy:
+        """The :class:`~repro.backend.ComputePolicy` this context selects.
+
+        Explicit fields win; unset fields fall back to the ``REPRO_*``
+        environment (then the reference defaults), so a context created
+        with no compute knobs still reports the policy that actually ran.
+        """
+        overrides = {
+            field: value
+            for field, value in (
+                ("backend", self.backend),
+                ("precision", self.precision),
+                ("entropy", self.entropy),
+            )
+            if value is not None
+        }
+        return ComputePolicy.from_env(**overrides)
+
     def engine_argument(self, kernel=None) -> "GramEngine | str | None":
         """The ``engine`` value to hand the Gram machinery.
 
-        Without a ``tile_size`` this is just the ``engine`` field —
-        ``None`` preserves the kernel-sticky / process-default fallback.
-        With one, the engine is materialised (honouring the kernel's
-        sticky default) and cloned with the context's tile size, so the
-        tile override survives however deep the engine travels.
+        Without a ``tile_size`` or compute-policy field this is just the
+        ``engine`` field — ``None`` preserves the kernel-sticky /
+        process-default fallback. Otherwise the engine is materialised
+        (honouring the kernel's sticky default) and cloned with the
+        context's tile size and compute policy, so both overrides
+        survive however deep the engine travels (the engine installs the
+        policy around its tile stream with
+        :func:`repro.backend.policy_scope`).
         """
         engine = self.engine
-        if self.tile_size is None:
+        if self.tile_size is None and not self.has_compute_fields():
             return engine
         if engine is None and kernel is not None:
             engine = getattr(kernel, "engine", None)
         resolved = resolve_engine(engine)
         if isinstance(engine, GramEngine):
             resolved = copy.copy(resolved)
-        resolved.tile_size = int(self.tile_size)
+        if self.tile_size is not None:
+            resolved.tile_size = int(self.tile_size)
+        if self.has_compute_fields():
+            resolved.policy = self.compute_policy()
         return resolved
 
     def make_sink(self) -> "GramSink | None":
@@ -238,11 +314,16 @@ class ExecutionContext:
         ``sink_factory`` is code, not data — it is recorded by class
         name only, and :meth:`from_record` refuses records carrying one
         (rebuild the factory at the call site instead).
+        ``backend`` / ``precision`` / ``entropy`` are recorded
+        *resolved* (explicit field, else environment, else reference
+        default): the record describes the compute policy that actually
+        ran, and resolution is a fixed point so records round-trip.
         """
         sink_name = None
         if self.sink_factory is not None:
             probe = getattr(self.sink_factory, "__name__", None)
             sink_name = probe or type(self.sink_factory).__name__
+        policy = self.compute_policy()
         return {
             "engine": _engine_name(self.engine),
             "tile_size": self.tile_size,
@@ -251,6 +332,9 @@ class ExecutionContext:
             "tile_checkpoint": bool(self.tile_checkpoint),
             "normalize": self.normalize,
             "ensure_psd": self.ensure_psd,
+            "backend": policy.backend,
+            "precision": policy.precision,
+            "entropy": policy.entropy,
         }
 
     @classmethod
@@ -264,6 +348,7 @@ class ExecutionContext:
         known = {
             "engine", "tile_size", "store", "sink",
             "tile_checkpoint", "normalize", "ensure_psd",
+            "backend", "precision", "entropy",
         }
         extras = set(record) - known
         if extras:
@@ -288,6 +373,9 @@ class ExecutionContext:
             tile_checkpoint=bool(record.get("tile_checkpoint", True)),
             normalize=record.get("normalize"),
             ensure_psd=record.get("ensure_psd"),
+            backend=record.get("backend"),
+            precision=record.get("precision"),
+            entropy=record.get("entropy"),
         )
 
 

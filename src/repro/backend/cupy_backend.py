@@ -1,0 +1,131 @@
+"""Optional cupy backend — registered eagerly, imported lazily.
+
+Mirrors the NumPy reference on a CUDA device; only reductions cross the
+device boundary, returned as host float64. Environments without cupy
+(or without a GPU) get a named :class:`~repro.errors.BackendError` from
+:func:`~repro.backend.resolve_backend`, never an ``ImportError``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, register_backend
+
+_IMPORT_ERROR: "str | None" = None
+
+
+def _cupy():
+    """Import cupy on first use; remember the failure message."""
+    global _IMPORT_ERROR
+    try:
+        import cupy
+    except ImportError as exc:  # pragma: no cover - environment-specific
+        _IMPORT_ERROR = f"{type(exc).__name__}: {exc}"
+        return None
+    try:
+        cupy.cuda.runtime.getDeviceCount()
+    except Exception as exc:  # pragma: no cover - no CUDA device
+        _IMPORT_ERROR = f"cupy imports but no CUDA device is usable ({exc})"
+        return None
+    return cupy
+
+
+@register_backend
+class CupyBackend(ArrayBackend):
+    """cupy.ndarray implementation of the backend protocol."""
+
+    name = "cupy"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _cupy() is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        if _cupy() is not None:
+            return ""
+        return _IMPORT_ERROR or "cupy is not installed"
+
+    def __init__(self) -> None:
+        self._cupy = _cupy()
+        self._dtypes = {"float64": np.float64, "float32": np.float32}
+
+    def asarray(self, array: np.ndarray, dtype: str):
+        return self._cupy.asarray(array, dtype=self._dtypes[dtype])
+
+    def to_numpy(self, array) -> np.ndarray:
+        return self._cupy.asnumpy(array)
+
+    def symmetrize(self, stack):
+        cp = self._cupy
+        return (stack + cp.swapaxes(stack, -1, -2)) / 2.0
+
+    def eigvalsh(self, stack):
+        return self._cupy.linalg.eigvalsh(stack)
+
+    def take(self, stack, indices: np.ndarray):
+        return stack[self._cupy.asarray(indices)]
+
+    def mix(self, a, b):
+        return (a + b) / 2.0
+
+    def matmul(self, a, b):
+        return self._cupy.matmul(a, b)
+
+    def add_scaled_identity(self, stack, coefficients: np.ndarray):
+        cp = self._cupy
+        m = stack.shape[-1]
+        out = stack.copy()
+        flat = out.reshape(*out.shape[:-2], m * m)
+        flat[..., :: m + 1] += cp.asarray(coefficients, dtype=out.dtype)[..., None]
+        return out
+
+    def scale(self, stack, factors: np.ndarray):
+        scale = self._cupy.asarray(factors, dtype=stack.dtype)
+        return stack * scale[..., None, None]
+
+    def subtract(self, a, b):
+        return a - b
+
+    def entropy_reduce(self, values) -> np.ndarray:
+        cp = self._cupy
+        clipped = cp.clip(values.astype(np.float64), 0.0, None)
+        product = cp.where(clipped > 0.0, clipped * cp.log(clipped), 0.0)
+        return self.to_numpy(-product.sum(axis=-1)).astype(np.float64)
+
+    def trace(self, stack) -> np.ndarray:
+        cp = self._cupy
+        trace = cp.trace(stack, axis1=-2, axis2=-1, dtype=np.float64)
+        return self.to_numpy(trace).astype(np.float64)
+
+    def pair_trace(self, a, b) -> np.ndarray:
+        product = (a * b).sum(axis=(-2, -1), dtype=np.float64)
+        return self.to_numpy(product).astype(np.float64)
+
+    def gershgorin(self, stack) -> "tuple[np.ndarray, np.ndarray]":
+        cp = self._cupy
+        m = stack.shape[-1]
+        flat = stack.reshape(*stack.shape[:-2], m * m)
+        diagonal = flat[..., :: m + 1].astype(np.float64)
+        radius = cp.abs(stack).sum(axis=-1, dtype=np.float64) - cp.abs(diagonal)
+        lo = (diagonal - radius).min(axis=-1)
+        hi = (diagonal + radius).max(axis=-1)
+        return (
+            self.to_numpy(lo).astype(np.float64),
+            self.to_numpy(hi).astype(np.float64),
+        )
+
+    def zero_row_counts(self, stack) -> np.ndarray:
+        cp = self._cupy
+        m = stack.shape[-1]
+        flat = stack.reshape(*stack.shape[:-2], m * m)
+        diagonal = flat[..., :: m + 1]
+        radius = cp.abs(stack).sum(axis=-1) - cp.abs(diagonal)
+        zero = (diagonal == 0) & (radius == 0)
+        return self.to_numpy(zero.sum(axis=-1))
+
+    def prefers_eig_free(self, m: int, precision: str) -> bool:
+        # cusolver's batched syevj lags cublas matmul throughput by an
+        # order of magnitude; the eig-free path wins on GPU generally.
+        return True

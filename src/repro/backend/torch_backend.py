@@ -1,0 +1,142 @@
+"""Optional torch backend — registered eagerly, imported lazily.
+
+The registry always lists ``"torch"``; environments without the library
+get a named :class:`~repro.errors.BackendError` from
+:func:`~repro.backend.resolve_backend` instead of an ``ImportError``.
+When torch is present the backend runs on CUDA if available, else CPU —
+the protocol is device-agnostic because only reductions cross back to
+the host (as float64 ndarrays), exactly like the NumPy reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend, register_backend
+
+_IMPORT_ERROR: "str | None" = None
+
+
+def _torch():
+    """Import torch on first use; remember the failure message."""
+    global _IMPORT_ERROR
+    try:
+        import torch
+    except ImportError as exc:  # pragma: no cover - environment-specific
+        _IMPORT_ERROR = f"{type(exc).__name__}: {exc}"
+        return None
+    return torch
+
+
+@register_backend
+class TorchBackend(ArrayBackend):
+    """torch.Tensor implementation of the backend protocol."""
+
+    name = "torch"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _torch() is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        if _torch() is not None:
+            return ""
+        return _IMPORT_ERROR or "torch is not installed"
+
+    def __init__(self) -> None:
+        torch = _torch()
+        self._torch = torch
+        self._device = torch.device(
+            "cuda" if torch.cuda.is_available() else "cpu"
+        )
+        self._dtypes = {
+            "float64": torch.float64,
+            "float32": torch.float32,
+        }
+
+    def asarray(self, array: np.ndarray, dtype: str):
+        return self._torch.as_tensor(
+            np.ascontiguousarray(array),
+            dtype=self._dtypes[dtype],
+            device=self._device,
+        )
+
+    def to_numpy(self, array) -> np.ndarray:
+        return array.detach().cpu().numpy()
+
+    def symmetrize(self, stack):
+        return (stack + stack.transpose(-1, -2)) / 2.0
+
+    def eigvalsh(self, stack):
+        return self._torch.linalg.eigvalsh(stack)
+
+    def take(self, stack, indices: np.ndarray):
+        index = self._torch.as_tensor(
+            np.ascontiguousarray(indices), device=self._device
+        )
+        return stack[index]
+
+    def mix(self, a, b):
+        return (a + b) / 2.0
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def add_scaled_identity(self, stack, coefficients: np.ndarray):
+        out = stack.clone()
+        shift = self._torch.as_tensor(
+            np.asarray(coefficients), dtype=stack.dtype, device=self._device
+        )
+        diag = out.diagonal(dim1=-2, dim2=-1)
+        diag += shift[..., None]
+        return out
+
+    def scale(self, stack, factors: np.ndarray):
+        scale = self._torch.as_tensor(
+            np.asarray(factors), dtype=stack.dtype, device=self._device
+        )
+        return stack * scale[..., None, None]
+
+    def subtract(self, a, b):
+        return a - b
+
+    def entropy_reduce(self, values) -> np.ndarray:
+        torch = self._torch
+        clipped = values.clamp(min=0.0).double()
+        product = torch.where(
+            clipped > 0.0,
+            clipped * torch.log(clipped.clamp(min=1e-300)),
+            torch.zeros((), dtype=torch.float64, device=clipped.device),
+        )
+        return self.to_numpy(-product.sum(dim=-1)).astype(np.float64)
+
+    def trace(self, stack) -> np.ndarray:
+        trace = stack.diagonal(dim1=-2, dim2=-1).sum(dim=-1)
+        return self.to_numpy(trace).astype(np.float64)
+
+    def pair_trace(self, a, b) -> np.ndarray:
+        product = (a * b).sum(dim=(-2, -1))
+        return self.to_numpy(product).astype(np.float64)
+
+    def gershgorin(self, stack) -> "tuple[np.ndarray, np.ndarray]":
+        diagonal = stack.diagonal(dim1=-2, dim2=-1).double()
+        radius = stack.abs().sum(dim=-1).double() - diagonal.abs()
+        lo = (diagonal - radius).min(dim=-1).values
+        hi = (diagonal + radius).max(dim=-1).values
+        return (
+            self.to_numpy(lo).astype(np.float64),
+            self.to_numpy(hi).astype(np.float64),
+        )
+
+    def zero_row_counts(self, stack) -> np.ndarray:
+        diagonal = stack.diagonal(dim1=-2, dim2=-1)
+        radius = stack.abs().sum(dim=-1) - diagonal.abs()
+        zero = (diagonal == 0) & (radius == 0)
+        return self.to_numpy(zero.sum(dim=-1))
+
+    def prefers_eig_free(self, m: int, precision: str) -> bool:
+        # Batched symmetric eigensolvers are the weak spot of GPU linear
+        # algebra; the matmul-only Chebyshev path is the GPU-friendly one
+        # regardless of precision.
+        return self._device.type == "cuda" or precision == "float32"

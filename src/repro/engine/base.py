@@ -33,6 +33,7 @@ import os
 
 import numpy as np
 
+from repro.backend import ComputePolicy, policy_scope
 from repro.engine.tiles import DenseSink, GramSink, TilePlan, default_tile_size
 from repro.errors import KernelError
 
@@ -57,8 +58,16 @@ class GramEngine(abc.ABC):
     #: and by an explicit ``tile_size=`` constructor argument).
     default_tile: int = 64
 
-    def __init__(self, *, tile_size: "int | None" = None) -> None:
+    def __init__(
+        self,
+        *,
+        tile_size: "int | None" = None,
+        policy: "ComputePolicy | None" = None,
+    ) -> None:
         self.tile_size = None if tile_size is None else int(tile_size)
+        #: Compute policy installed around the tile stream (``None`` lets
+        #: the ambient :func:`repro.backend.active_policy` show through).
+        self.policy = policy
 
     def resolved_tile_size(self) -> int:
         """Explicit tile size > ``REPRO_GRAM_TILE`` > backend default."""
@@ -126,9 +135,13 @@ class GramEngine(abc.ABC):
                 yield (rows, cols), (kernel, slice_a, slice_b, diagonal)
 
         def place(key, block):
+            # Accumulation point: blocks land in float64 regardless of the
+            # policy's device precision, so low-precision round-off stays
+            # per-entry and never compounds across tiles.
             sink.write(key[0], key[1], np.asarray(block, dtype=float))
 
-        self.run_tiles(jobs(), place)
+        with policy_scope(self.policy):
+            self.run_tiles(jobs(), place)
         return sink.finalize()
 
     # ------------------------------------------------------------------ #

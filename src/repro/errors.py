@@ -45,6 +45,16 @@ class KernelSpecError(KernelError, ValueError):
     passes parameters the registered signature does not accept."""
 
 
+class BackendError(KernelError):
+    """An array backend is unknown, unavailable, or misconfigured.
+
+    Raised by :func:`repro.backend.resolve_backend` both for typos (the
+    message lists the registered names) and for optional backends whose
+    library is not importable in this environment — callers never see a
+    raw :class:`ImportError` from backend selection.
+    """
+
+
 class NotFittedError(ReproError):
     """A model or transformer was used before ``fit`` was called."""
 

@@ -41,6 +41,19 @@ def gram_tile() -> str:
     return os.environ.get(TILE_ENV_VAR, "").strip() or "backend default"
 
 
+def compute_backend() -> str:
+    """The resolved compute policy, ``backend/precision/entropy`` form.
+
+    Resolved from ``REPRO_BACKEND`` / ``REPRO_PRECISION`` /
+    ``REPRO_ENTROPY`` (reference defaults when unset); every saved report
+    records it so a float32 or Chebyshev run is distinguishable from the
+    bit-stable reference in the footer.
+    """
+    from repro.backend import ComputePolicy
+
+    return ComputePolicy.from_env().describe()
+
+
 def store_root() -> "str | None":
     """The configured artifact-store directory, or ``None`` when unset."""
     root = os.environ.get(STORE_ENV_VAR, "").strip()

@@ -25,6 +25,7 @@ from repro.experiments.kernel_zoo import make_kernel
 from repro.experiments.config import (
     STORE_ENV_VAR,
     TABLE4_KERNELS,
+    compute_backend,
     gram_engine,
     gram_tile,
     store_root,
@@ -92,7 +93,11 @@ def main(argv=None) -> int:
 
         from repro.experiments.config import execution_context
 
-        metadata = {"gram_engine": gram_engine(), "gram_tile": gram_tile()}
+        metadata = {
+            "gram_engine": gram_engine(),
+            "gram_tile": gram_tile(),
+            "compute_backend": compute_backend(),
+        }
         if store_root():
             metadata["artifact_store"] = store_root()
         # The full execution context, as the round-trippable JSON record

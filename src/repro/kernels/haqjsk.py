@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.alignment.correspondence import correspondence_matrices
+from repro.backend import active_policy
 from repro.alignment.depth_based import DBRepresentationExtractor
 from repro.alignment.prototypes import PrototypeHierarchy, fit_prototype_hierarchy
 from repro.alignment.transform import (
@@ -532,12 +533,15 @@ class _HAQJSKBase(PairwiseKernel):
 
         Per hierarchy level the matrices are stacked once into
         ``(n, m_h, m_h)`` arrays, the requested mixed states gathered by
-        fancy indexing, and one batched ``eigvalsh`` per chunk yields all
-        mixed entropies; per-graph entropies come precomputed from
-        ``prepare``. Chunking bounds every intermediate by the memory
-        budget. Taking an explicit pair list lets diagonal Gram tiles
-        batch only the upper triangle — the same ``n(n+1)/2`` solves the
-        serial loop performs.
+        fancy indexing, and one batched entropy reduction per chunk —
+        dispatched through the ambient
+        :class:`~repro.backend.ComputePolicy` for ``m > 2``, while the
+        deepest 1x1/2x2 levels keep the exact closed-form host spectra —
+        yields all mixed entropies; per-graph entropies come precomputed
+        from ``prepare``. Chunking bounds every intermediate by the
+        memory budget. Taking an explicit pair list lets diagonal Gram
+        tiles batch only the upper triangle — the same ``n(n+1)/2``
+        solves the serial loop performs.
         """
         n_levels = self._check_levels(states_a[0], states_b[0])
         for state in list(states_a) + list(states_b):
@@ -546,6 +550,7 @@ class _HAQJSKBase(PairwiseKernel):
         entropies_b = np.asarray([s[0] for s in states_b])
         n_pairs = idx_a.size
         values = np.zeros(n_pairs)
+        policy = active_policy()
         for h in range(n_levels):
             stack_a = np.stack([s[1][h] for s in states_a])  # (n_a, m, m)
             stack_b = np.stack([s[1][h] for s in states_b])
@@ -556,6 +561,28 @@ class _HAQJSKBase(PairwiseKernel):
                     f"states must come from one prepare() over one collection"
                 )
             m = stack_a.shape[-1]
+            if m > 2:
+                # Aligned matrices are symmetric by construction, so the
+                # policy path skips the symmetrise pass (same contract as
+                # the historical _entropies_fast eigvalsh call).
+                mixed_entropies = policy.mixed_entropies(
+                    stack_a,
+                    stack_b,
+                    idx_a,
+                    idx_b,
+                    symmetrize=False,
+                    chunk_elements=MIXED_CHUNK_ELEMENTS,
+                )
+                divergence = (
+                    mixed_entropies
+                    - 0.5 * entropies_a[idx_a, h]
+                    - 0.5 * entropies_b[idx_b, h]
+                )
+                np.clip(divergence, 0.0, QJSD_MAX, out=divergence)
+                values += np.exp(-divergence)
+                continue
+            # 1x1/2x2 spectra are closed-form on the host — cheaper than
+            # any device round-trip and exact to machine epsilon.
             chunk = max(1, MIXED_CHUNK_ELEMENTS // max(1, m * m))
             for start in range(0, n_pairs, chunk):
                 stop = min(start + chunk, n_pairs)

@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.alignment.umeyama import permute_with, umeyama_correspondence
+from repro.backend import active_policy
 from repro.graphs.graph import Graph
 from repro.kernels.base import MIXED_CHUNK_ELEMENTS, KernelTraits, PairwiseKernel
 from repro.kernels.registry import register_kernel
@@ -46,20 +47,20 @@ def _mixed_entropies_for_pairs(
 ) -> np.ndarray:
     """Entropies of the mixed states ``(rho_idx_a[p] + sigma_idx_b[p]) / 2``.
 
-    Gathered by fancy indexing in chunks so the intermediate
-    ``(chunk, s, s)`` stack stays within the memory budget regardless of
-    tile size or pair count.
+    Dispatched through the ambient :class:`~repro.backend.ComputePolicy`:
+    the gather/mix/reduce pipeline runs on the policy's backend at its
+    device precision, chunked (same element budget as the historical
+    loop, so the float64 reference path is bit-stable) to bound the
+    gathered intermediate regardless of tile size or pair count.
     """
-    size = stack_a.shape[-1]
-    n_pairs = idx_a.size
-    out = np.empty(n_pairs)
-    chunk = max(1, MIXED_CHUNK_ELEMENTS // max(1, size * size))
-    for start in range(0, n_pairs, chunk):
-        stop = min(start + chunk, n_pairs)
-        mixed = stack_a[idx_a[start:stop]] + stack_b[idx_b[start:stop]]
-        mixed *= 0.5
-        out[start:stop] = von_neumann_entropies(mixed)
-    return out
+    return active_policy().mixed_entropies(
+        stack_a,
+        stack_b,
+        idx_a,
+        idx_b,
+        symmetrize=True,
+        chunk_elements=MIXED_CHUNK_ELEMENTS,
+    )
 
 _QJSK_TRAITS = KernelTraits(
     framework="Information Theory",

@@ -21,9 +21,11 @@ from repro.quantum.divergence import (
 from repro.quantum.entropy import (
     graph_von_neumann_entropy,
     renyi_entropy,
+    shannon_entropies,
     shannon_entropy,
     tsallis_entropy,
     von_neumann_entropies,
+    von_neumann_entropies_approx,
     von_neumann_entropy,
 )
 from repro.quantum.operators import (
@@ -58,9 +60,11 @@ __all__ = [
     "quantum_jensen_shannon_divergence",
     "renyi_entropy",
     "return_probability_curve",
+    "shannon_entropies",
     "shannon_entropy",
     "tsallis_entropy",
     "uniform_initial_state",
     "von_neumann_entropies",
+    "von_neumann_entropies_approx",
     "von_neumann_entropy",
 ]

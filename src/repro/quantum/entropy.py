@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import DEFAULT_CHEBYSHEV_DEGREE, ComputePolicy, active_policy
 from repro.errors import QuantumError
 from repro.utils.linalg import eigh_sorted, safe_xlogx
 from repro.utils.validation import check_in_range, check_symmetric_matrix
 
 _EIG_CLIP = 0.0
+
+#: Slack on ``sum(p)`` under which a distribution counts as normalised —
+#: the :func:`shannon_entropy` fast path skips the clip-and-divide pass.
+_CLEAN_TOTAL_TOL = 1e-12
 
 
 def density_eigenvalues(matrix: np.ndarray) -> np.ndarray:
@@ -37,7 +42,7 @@ def von_neumann_entropy(matrix: np.ndarray) -> float:
     return float(-np.sum(safe_xlogx(values)))
 
 
-def von_neumann_entropies(stack: np.ndarray) -> np.ndarray:
+def von_neumann_entropies(stack: np.ndarray, *, policy=None) -> np.ndarray:
     """Batched von Neumann entropies over a ``(..., n, n)`` matrix stack.
 
     The hot-path counterpart of :func:`von_neumann_entropy` used by the
@@ -45,15 +50,49 @@ def von_neumann_entropies(stack: np.ndarray) -> np.ndarray:
     ``eigvalsh`` replaces a Python loop of per-matrix decompositions.
     Inputs are symmetrised exactly like :func:`repro.utils.linalg.eigh_sorted`
     so a stacked call agrees with the scalar path to solver round-off.
+
+    ``policy`` selects the array backend, device precision and entropy
+    path (:class:`repro.backend.ComputePolicy`); ``None`` uses the
+    ambient :func:`repro.backend.active_policy`, which defaults to the
+    bit-stable numpy/float64/eig reference.
     """
     arr = np.asarray(stack, dtype=float)
     if arr.ndim < 2 or arr.shape[-1] != arr.shape[-2]:
         raise QuantumError(
             f"expected a (..., n, n) stack of square matrices, got {arr.shape}"
         )
-    sym = (arr + np.swapaxes(arr, -1, -2)) / 2.0
-    values = np.clip(np.linalg.eigvalsh(sym), _EIG_CLIP, None)
-    return -safe_xlogx(values).sum(axis=-1)
+    if policy is None:
+        policy = active_policy()
+    return policy.entropies(arr, symmetrize=True)
+
+
+def von_neumann_entropies_approx(
+    stack: np.ndarray,
+    *,
+    degree: "int | None" = None,
+    backend: str = "numpy",
+    precision: str = "float32",
+) -> np.ndarray:
+    """Eigenvalue-free batched von Neumann entropies (Chebyshev path).
+
+    Forces the :mod:`repro.backend.chebyshev` trace-estimation path
+    regardless of the ambient policy — the explicit entry point for the
+    documented approximate tolerance tier. ``degree`` defaults to
+    :data:`repro.backend.DEFAULT_CHEBYSHEV_DEGREE` (~2e-3 max absolute
+    entropy error); raise it to tighten the approximation.
+    """
+    arr = np.asarray(stack, dtype=float)
+    if arr.ndim < 2 or arr.shape[-1] != arr.shape[-2]:
+        raise QuantumError(
+            f"expected a (..., n, n) stack of square matrices, got {arr.shape}"
+        )
+    policy = ComputePolicy(
+        backend=backend,
+        precision=precision,
+        entropy="chebyshev",
+        chebyshev_degree=DEFAULT_CHEBYSHEV_DEGREE if degree is None else degree,
+    )
+    return policy.entropies(arr, symmetrize=True)
 
 
 def shannon_entropy(probabilities: np.ndarray) -> float:
@@ -68,8 +107,36 @@ def shannon_entropy(probabilities: np.ndarray) -> float:
     total = float(arr.sum())
     if total <= 0:
         return 0.0
+    if arr.min() >= 0.0 and abs(total - 1.0) <= _CLEAN_TOTAL_TOL:
+        # Already a clean distribution: skip the clip-and-renormalise
+        # pass entirely (the common case on the depth-based hot path).
+        return float(-np.sum(safe_xlogx(arr)))
     normalised = np.clip(arr, 0.0, None) / total
     return float(-np.sum(safe_xlogx(normalised)))
+
+
+def shannon_entropies(weights: np.ndarray) -> np.ndarray:
+    """Batched Shannon entropies over the last axis of ``(..., n)`` weights.
+
+    Each row is treated like :func:`shannon_entropy` treats its vector:
+    negatives are clipped at zero, rows are normalised by their mass, and
+    zero-mass rows get entropy 0 — but the whole batch normalises in one
+    vectorised pass (the depth-based representations feed ``(B, levels)``
+    degree-mass rows through this).
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim < 1:
+        raise QuantumError(f"weights must be at least 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        return np.zeros(arr.shape[:-1])
+    if np.any(arr < -1e-9):
+        raise QuantumError("weights must be non-negative")
+    clipped = np.clip(arr, 0.0, None)
+    totals = clipped.sum(axis=-1, keepdims=True)
+    safe_totals = np.where(totals > 0.0, totals, 1.0)
+    normalised = clipped / safe_totals
+    # + 0.0 canonicalises the -0.0 a zero-mass row would otherwise yield.
+    return -safe_xlogx(normalised).sum(axis=-1) + 0.0
 
 
 def renyi_entropy(matrix: np.ndarray, alpha: float = 2.0) -> float:
