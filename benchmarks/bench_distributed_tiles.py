@@ -1,0 +1,148 @@
+"""Distributed tile-worker benchmarks — throughput vs worker count and
+recovery cost after killing workers mid-run.
+
+Two questions the lease/heartbeat design (DESIGN.md, "Distributed tiles")
+leaves quantitative:
+
+* how does tile throughput scale as K subprocess workers share one
+  ``dir:`` store (the claim protocol's contention overhead is the price
+  of coordination-free workers);
+* what does losing half the fleet mid-run cost — survivors must wait out
+  the lease TTL before stealing a dead worker's tiles, so recovery adds
+  at most ``TTL + stolen-tiles/remaining-throughput``.
+
+Every bench emits a machine-readable JSON record in
+``extra_info["distributed_row"]`` (worker count, tiles, wall-clock,
+tiles/s, and for the recovery bench the kill accounting), and asserts
+byte-identity against the single-process reference — a throughput win
+that changed the matrix would be measuring the wrong thing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionContext, Session
+from repro.datasets import load_dataset
+from repro.distributed import DistributedJob
+from repro.distributed.coordinator import spawn_worker
+
+#: Fleet sizes of the throughput sweep.
+WORKER_COUNTS = (1, 2, 4)
+
+#: The benched schedule: small tiles make enough claim events to measure.
+BENCH_CTX = ExecutionContext(engine="batched", tile_size=8)
+
+#: Lease TTL for the benches (short, so the recovery bench's steal wait
+#: is visible but not dominant).
+BENCH_TTL = 2.0
+
+
+@pytest.fixture(scope="module")
+def probe_graphs():
+    return load_dataset("MUTAG", scale=0.25, seed=0).graphs
+
+
+@pytest.fixture(scope="module")
+def reference_gram(probe_graphs):
+    return np.asarray(
+        Session(ctx=BENCH_CTX).gram("HAQJSK(A)", probe_graphs, normalize=True)
+    )
+
+
+def _drive_job(job, n_workers, *, kill_after=None, tile_delay=0.05):
+    """Run ``n_workers`` subprocesses to completion; optionally SIGKILL
+    the first ``kill_after[0]`` of them at ``kill_after[1]`` seconds.
+    Returns the wall-clock seconds to ledger completion."""
+    started = time.perf_counter()
+    procs = [
+        spawn_worker(
+            job.store.address, job.job_id, worker_id=f"bench-{index}",
+            ttl=BENCH_TTL, tile_delay=tile_delay,
+        )
+        for index in range(n_workers)
+    ]
+    try:
+        if kill_after is not None:
+            n_kill, after = kill_after
+            time.sleep(after)
+            for proc in procs[:n_kill]:
+                proc.kill()
+        job.wait(timeout=600)
+        elapsed = time.perf_counter() - started
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=30)
+            except Exception:  # pragma: no cover - stuck child
+                proc.kill()
+    return elapsed
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_bench_tile_throughput_vs_workers(
+    workers, probe_graphs, reference_gram, benchmark, tmp_path_factory
+):
+    timings = {}
+
+    def run():
+        store = tmp_path_factory.mktemp(f"dist-throughput-{workers}")
+        job = DistributedJob.submit(
+            f"dir:{store}", "HAQJSK(A)", probe_graphs,
+            ctx=BENCH_CTX, normalize=True, ttl=BENCH_TTL,
+        )
+        timings["seconds"] = _drive_job(job, workers)
+        timings["tiles"] = job.ledger.total()
+        return job.assemble(persist=False)
+
+    gram = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gram.tobytes() == reference_gram.tobytes()
+    record = {
+        "bench": "throughput",
+        "workers": workers,
+        "tiles": timings["tiles"],
+        "seconds": round(timings["seconds"], 3),
+        "tiles_per_second": round(timings["tiles"] / timings["seconds"], 2),
+    }
+    benchmark.extra_info["distributed_row"] = json.dumps(record, sort_keys=True)
+
+
+def test_bench_recovery_after_killing_half(
+    probe_graphs, reference_gram, benchmark, tmp_path_factory
+):
+    # 4 workers, 2 SIGKILLed one second in: the survivors wait out the
+    # lease TTL, steal the dead workers' tiles, and finish the job.
+    timings = {}
+
+    def run():
+        store = tmp_path_factory.mktemp("dist-recovery")
+        job = DistributedJob.submit(
+            f"dir:{store}", "HAQJSK(A)", probe_graphs,
+            ctx=BENCH_CTX, normalize=True, ttl=BENCH_TTL,
+        )
+        timings["seconds"] = _drive_job(
+            job, 4, kill_after=(2, 1.0), tile_delay=0.1
+        )
+        timings["tiles"] = job.ledger.total()
+        return job.assemble(persist=False)
+
+    gram = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert gram.tobytes() == reference_gram.tobytes()
+    record = {
+        "bench": "recovery",
+        "workers": 4,
+        "killed": 2,
+        "kill_after_seconds": 1.0,
+        "lease_ttl": BENCH_TTL,
+        "tiles": timings["tiles"],
+        "seconds": round(timings["seconds"], 3),
+        "tiles_per_second": round(timings["tiles"] / timings["seconds"], 2),
+    }
+    benchmark.extra_info["distributed_row"] = json.dumps(record, sort_keys=True)

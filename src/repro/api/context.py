@@ -72,9 +72,12 @@ class ExecutionContext:
         Explicit tile-plan edge, overriding the backend default and the
         ``REPRO_GRAM_TILE`` environment variable.
     store:
-        An :class:`~repro.store.ArtifactStore` (or ``None``): completed
-        Grams are fetched/persisted by content key, and miss
-        computations tile-checkpoint when ``tile_checkpoint`` is on.
+        An :class:`~repro.store.ArtifactStore`, a store *address* string
+        (``dir:/path``, a bare directory path, or ``mem:name`` — see
+        :func:`repro.store.backend_for`; strings are coerced to a store
+        at construction), or ``None``: completed Grams are
+        fetched/persisted by content key, and miss computations
+        tile-checkpoint when ``tile_checkpoint`` is on.
     sink_factory:
         Zero-argument callable producing a fresh
         :class:`~repro.engine.tiles.GramSink` per matrix (sinks are
@@ -111,6 +114,14 @@ class ExecutionContext:
     entropy: "str | None" = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.store, str):
+            # Address form: "dir:/path", a bare directory, or "mem:name".
+            # Coerced here so every consumer downstream sees one type,
+            # and a bad address fails at construction with the backend's
+            # named error instead of deep inside a Gram call.
+            from repro.store import ArtifactStore
+
+            object.__setattr__(self, "store", ArtifactStore(self.store))
         if self.tile_size is not None and int(self.tile_size) < 1:
             raise ValidationError(
                 f"ExecutionContext.tile_size must be >= 1, got {self.tile_size}"
@@ -143,11 +154,14 @@ class ExecutionContext:
     def from_env(cls, **overrides) -> "ExecutionContext":
         """The context the ``REPRO_*`` environment describes.
 
-        Reads ``REPRO_GRAM_ENGINE`` (backend name),
-        ``REPRO_GRAM_TILE`` (tile size) and ``REPRO_STORE`` (artifact
-        store root); keyword ``overrides`` replace any field afterwards.
-        This is how the experiment runners and the serve CLI build their
-        default context, so one environment drives every entry point.
+        Reads ``REPRO_GRAM_ENGINE`` (backend name), ``REPRO_GRAM_TILE``
+        (tile size) and ``REPRO_STORE`` (a store address: ``dir:/path``,
+        a bare directory — created if missing, with a named
+        :class:`~repro.errors.ValidationError` citing the path when that
+        fails — or ``mem:name``); keyword ``overrides`` replace any
+        field afterwards. This is how the experiment runners and the
+        serve CLI build their default context, so one environment drives
+        every entry point.
         """
         values: dict = {}
         engine = os.environ.get(ENGINE_ENV_VAR, "").strip()
@@ -327,7 +341,9 @@ class ExecutionContext:
         return {
             "engine": _engine_name(self.engine),
             "tile_size": self.tile_size,
-            "store": getattr(self.store, "root", None),
+            "store": getattr(
+                self.store, "address", getattr(self.store, "root", None)
+            ),
             "sink": sink_name,
             "tile_checkpoint": bool(self.tile_checkpoint),
             "normalize": self.normalize,

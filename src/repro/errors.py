@@ -63,5 +63,9 @@ class ServingError(ReproError):
     """A model bundle is missing, corrupt, or inconsistent with its data."""
 
 
+class DistributedError(ReproError):
+    """A distributed tile job is misconfigured, incomplete, or timed out."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped at its iteration cap before converging."""

@@ -55,7 +55,7 @@ def compute_backend() -> str:
 
 
 def store_root() -> "str | None":
-    """The configured artifact-store directory, or ``None`` when unset."""
+    """The configured artifact-store address, or ``None`` when unset."""
     root = os.environ.get(STORE_ENV_VAR, "").strip()
     return root or None
 
@@ -65,7 +65,9 @@ def artifact_store(root: "str | None" = None):
 
     ``root`` overrides the environment (a ``--store`` CLI flag); with
     neither set, returns ``None`` and the harness recomputes everything —
-    the historical behaviour. Pointing ``REPRO_STORE`` at a directory
+    the historical behaviour. ``REPRO_STORE`` takes a store *address*:
+    a directory path (``dir:/path`` or bare — created if missing), or
+    ``mem:name`` for an in-process store. Pointing it at a directory
     gives every experiment checkpoint/resume for free: each completed
     Gram matrix is persisted under its content key, and a killed run
     restarts from the last completed one.

@@ -6,8 +6,9 @@ Experiments: ``table1`` (properties), ``table2`` (dataset statistics),
 ``complexity`` (Section III-D scaling). Reports are echoed and written
 under ``results/``.
 
-Checkpoint/resume: point ``REPRO_STORE`` at a directory (or pass
-``--store`` to experiments that accept it) and every completed Gram
+Checkpoint/resume: point ``REPRO_STORE`` at a store address — a
+directory, ``dir:/path``, or ``mem:name`` — (or pass ``--store`` to
+experiments that accept it) and every completed Gram
 matrix is persisted in a content-addressed artifact store
 (:mod:`repro.store`) — with the in-flight Gram additionally
 tile-checkpointed, so a killed run resumes at the first unfinished tile,
@@ -63,7 +64,7 @@ _EXPERIMENTS = {
 
 
 def _extract_store_flag(argv: list) -> list:
-    """Route a runner-global ``--store DIR`` through the environment.
+    """Route a runner-global ``--store ADDRESS`` through the environment.
 
     Every experiment (and the report footer) reads the store via
     ``REPRO_STORE``, so resolving the flag here keeps them all in
@@ -73,7 +74,7 @@ def _extract_store_flag(argv: list) -> list:
         return argv
     index = argv.index("--store")
     if index + 1 >= len(argv):
-        raise SystemExit("--store needs a directory argument")
+        raise SystemExit("--store needs a store-address argument")
     os.environ[STORE_ENV_VAR] = argv[index + 1]
     return argv[:index] + argv[index + 2 :]
 
@@ -83,7 +84,7 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in _EXPERIMENTS:
         names = ", ".join(sorted(_EXPERIMENTS))
-        print(f"usage: repro-experiments <experiment> [--store DIR] [options]\n"
+        print(f"usage: repro-experiments <experiment> [--store ADDRESS] [options]\n"
               f"experiments: {names}")
         return 0 if argv and argv[0] in ("-h", "--help") else 2
     name = argv[0]

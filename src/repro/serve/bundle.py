@@ -192,7 +192,7 @@ class ModelBundle:
         bundle = store.get_object(BUNDLE_KIND, bundle_key(name))
         if bundle is None:
             raise ServingError(
-                f"no bundle named {name!r} in store {store.root!r} — "
+                f"no bundle named {name!r} in store {store.address!r} — "
                 "train one first (python -m repro.serve train)"
             )
         if not isinstance(bundle, cls):

@@ -31,7 +31,10 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
         default=None,
-        help="artifact-store directory (default: $REPRO_STORE)",
+        help=(
+            "artifact-store address: a directory path, dir:/path, or "
+            "mem:name (default: $REPRO_STORE)"
+        ),
     )
     parser.add_argument("--name", required=True, help="bundle name in the store")
 
@@ -59,7 +62,8 @@ def _resolve_store(root: "str | None"):
     store = artifact_store(root)
     if store is None:
         raise SystemExit(
-            "no artifact store configured: pass --store DIR or set REPRO_STORE"
+            "no artifact store configured: pass --store ADDRESS or set "
+            "REPRO_STORE"
         )
     return store
 

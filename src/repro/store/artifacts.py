@@ -1,37 +1,40 @@
-"""Content-addressed on-disk artifact store with an in-memory layer.
+"""Content-addressed artifact store with an in-memory layer.
 
 An :class:`ArtifactStore` persists the expensive intermediates of the
 kernel pipeline — Gram matrices and blocks (arrays) and prepared states /
 frozen alignment systems (pickled objects) — under keys derived from
 *content*: the kernel's configuration fingerprint plus the collection
 digest of the graphs involved (:func:`gram_key`). Identical inputs always
-map to the same path, so a killed experiment run restarts from its last
-completed artifact and a serving process warm-restarts from disk instead
-of recomputing a quadratic Gram.
+map to the same key, so a killed experiment run restarts from its last
+completed artifact and a serving process warm-restarts from storage
+instead of recomputing a quadratic Gram.
 
-Layout: ``<root>/<kind>/<key[:2]>/<key>.npy`` (arrays) or ``.pkl``
-(objects); the two-character fan-out keeps directories small at millions
-of artifacts. Writes go through a temporary file and ``os.replace``, so a
-crash mid-write never leaves a torn artifact — the worst case is a
-missing key, which simply recomputes.
-
-A bounded :class:`~repro.utils.caching.KeyedCache` fronts the disk layer
-so a serving loop's hot artifacts (the reference Gram it extends on every
-arrival) stay in memory without the process growing without bound.
+The store itself is a *policy* layer: key layout
+(``<kind>/<key[:2]>/<key>.npy`` — the two-character fan-out keeps
+directories small at millions of artifacts), digest-stable
+serialisation, defensive copies / read-only views, and a bounded
+:class:`~repro.utils.caching.KeyedCache` fronting hot artifacts. The
+*bytes* live in a pluggable :class:`~repro.store.backends.StoreBackend`
+selected by address — ``dir:/path`` (or a bare path, the crash-durable
+reference backend) or ``mem:name`` (in-process, for tests). All writes
+are atomic, and :meth:`ArtifactStore.put_if_absent` exposes the
+backend's compare-and-swap, which the distributed tile workers' lease
+protocol builds on (:mod:`repro.store.claims`).
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import os
 import pickle
-import tempfile
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.graphs.hashing import collection_digest
+from repro.store.backends import StoreBackend, backend_for
 from repro.utils.caching import KeyedCache
 
 #: Default bound on the in-memory layer (entries, FIFO eviction).
@@ -82,7 +85,10 @@ class ArtifactStore:
     Parameters
     ----------
     root:
-        Directory holding the artifacts (created if missing).
+        Backend address — a directory path (created if missing; equal to
+        ``dir:<path>``), ``mem:[name]`` for the in-process test backend,
+        or an already-constructed
+        :class:`~repro.store.backends.StoreBackend`.
     max_memory_entries:
         Bound on the in-memory read cache (FIFO-evicted); ``None`` keeps
         everything read or written this process — only safe for batch
@@ -90,13 +96,32 @@ class ArtifactStore:
     """
 
     def __init__(
-        self, root: str, *, max_memory_entries: "int | None" = DEFAULT_MEMORY_ENTRIES
+        self,
+        root: "str | StoreBackend",
+        *,
+        max_memory_entries: "int | None" = DEFAULT_MEMORY_ENTRIES,
     ) -> None:
-        if not root or not str(root).strip():
+        if not isinstance(root, StoreBackend) and (
+            root is None or not str(root).strip()
+        ):
             raise ValidationError("ArtifactStore needs a non-empty root directory")
-        self.root = str(root)
-        os.makedirs(self.root, exist_ok=True)
+        self.backend = backend_for(root)
         self._memory = KeyedCache(max_entries=max_memory_entries)
+
+    @property
+    def address(self) -> str:
+        """Round-trippable backend address (``ArtifactStore(address)``)."""
+        return self.backend.address
+
+    @property
+    def root(self) -> str:
+        """The backend's directory for directory stores, else its address.
+
+        Kept for the historical directory-store API (``store.root`` was
+        the constructor argument); new code should prefer
+        :attr:`address`, which round-trips for every backend.
+        """
+        return getattr(self.backend, "root", self.backend.address)
 
     # ------------------------------------------------------------------ #
     # Arrays (Gram matrices, blocks, embeddings)
@@ -120,20 +145,40 @@ class ArtifactStore:
         else:
             arr = np.asarray(array)
         arr.setflags(write=False)
-        path = self.path_for(kind, key, suffix=".npy")
-        self._atomic_write(path, lambda f: np.save(f, arr, allow_pickle=False))
+        self.backend.put_atomic(
+            self.name_for(kind, key, suffix=".npy"), _array_bytes(arr)
+        )
         self._memory.put((kind, key), arr)
-        return path
+        return self.path_for(kind, key, suffix=".npy")
+
+    def put_array_if_absent(self, kind: str, key: str, array: np.ndarray) -> bool:
+        """Persist an array only when the key is free; True when stored.
+
+        The compare-and-swap form of :meth:`put_array`, for concurrent
+        writers racing on one content key (distributed tile commits):
+        exactly one writer stores its bytes, everyone else keeps the
+        winner's. With content-addressed keys both outcomes hold the
+        same values, so either answer leaves the store correct — the
+        return value only says whose bytes landed.
+        """
+        arr = np.array(array, copy=True)
+        arr.setflags(write=False)
+        stored = self.backend.put_if_absent(
+            self.name_for(kind, key, suffix=".npy"), _array_bytes(arr)
+        )
+        if stored:
+            self._memory.put((kind, key), arr)
+        return stored
 
     def get_array(self, kind: str, key: str) -> "np.ndarray | None":
         """The stored array (read-only), or ``None`` when absent."""
         cached = self._memory.get((kind, key))
         if cached is not None:
             return cached
-        path = self.path_for(kind, key, suffix=".npy")
-        if not os.path.exists(path):
+        data = self.backend.get(self.name_for(kind, key, suffix=".npy"))
+        if data is None:
             return None
-        arr = np.load(path, allow_pickle=False)
+        arr = np.load(io.BytesIO(data), allow_pickle=False)
         arr.setflags(write=False)
         self._memory.put((kind, key), arr)
         return arr
@@ -147,8 +192,14 @@ class ArtifactStore:
         :meth:`put_array` and memmaps grown in place by
         :meth:`memmap_sink` are both plain ``.npy`` files, so either kind
         of artifact can be opened this way.
+
+        Backends without local files (``mem:``) degrade to the dense
+        :meth:`get_array` read — same values, just not page-backed.
         """
-        path = self.path_for(kind, key, suffix=".npy")
+        name = self.name_for(kind, key, suffix=".npy")
+        path = self.backend.local_path(name)
+        if path is None:
+            return self.get_array(kind, key)
         if not os.path.exists(path):
             return None
         return np.load(path, mmap_mode=mode, allow_pickle=False)
@@ -168,9 +219,14 @@ class ArtifactStore:
         """
         from repro.engine.tiles import MemmapSink
 
-        return MemmapSink(
-            self.path_for(kind, key, suffix=".npy"), dtype=dtype, stage=True
-        )
+        path = self.backend.local_path(self.name_for(kind, key, suffix=".npy"))
+        if path is None:
+            raise ValidationError(
+                f"memmap_sink needs a backend with local files; "
+                f"{self.backend.address!r} has none — use a dir: store for "
+                "out-of-core assembly"
+            )
+        return MemmapSink(path, dtype=dtype, stage=True)
 
     # ------------------------------------------------------------------ #
     # Objects (prepared states, frozen alignment systems)
@@ -178,40 +234,69 @@ class ArtifactStore:
 
     def put_object(self, kind: str, key: str, obj) -> str:
         """Persist an arbitrary picklable object; returns its path."""
-        path = self.path_for(kind, key, suffix=".pkl")
-        self._atomic_write(
-            path, lambda f: pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+        self.backend.put_atomic(
+            self.name_for(kind, key, suffix=".pkl"),
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
         )
         self._memory.put((kind, key), obj)
-        return path
+        return self.path_for(kind, key, suffix=".pkl")
 
     def get_object(self, kind: str, key: str, default=None):
         """The stored object, or ``default`` when absent."""
         cached = self._memory.get((kind, key))
         if cached is not None:
             return cached
-        path = self.path_for(kind, key, suffix=".pkl")
-        if not os.path.exists(path):
+        data = self.backend.get(self.name_for(kind, key, suffix=".pkl"))
+        if data is None:
             return default
-        with open(path, "rb") as f:
-            obj = pickle.load(f)
+        obj = pickle.loads(data)
         self._memory.put((kind, key), obj)
         return obj
+
+    # ------------------------------------------------------------------ #
+    # Raw bytes (coordination records: leases, job specs)
+    # ------------------------------------------------------------------ #
+
+    def put_bytes(self, kind: str, key: str, data: bytes, *, suffix: str = ".bin") -> None:
+        """Store raw bytes (atomic, last writer wins; bypasses the cache).
+
+        Coordination records are *mutable* (a lease's heartbeat
+        timestamp advances), so unlike arrays/objects they must never be
+        served from this process's memory layer — every read goes to the
+        backend.
+        """
+        self.backend.put_atomic(self.name_for(kind, key, suffix=suffix), data)
+
+    def get_bytes(self, kind: str, key: str, *, suffix: str = ".bin") -> "bytes | None":
+        """The stored raw bytes (always a fresh backend read), or ``None``."""
+        return self.backend.get(self.name_for(kind, key, suffix=suffix))
+
+    def put_if_absent(
+        self, kind: str, key: str, data: bytes, *, suffix: str = ".bin"
+    ) -> bool:
+        """Backend compare-and-swap on raw bytes; True when this call won."""
+        return self.backend.put_if_absent(
+            self.name_for(kind, key, suffix=suffix), data
+        )
+
+    def delete_bytes(self, kind: str, key: str, *, suffix: str = ".bin") -> bool:
+        """Remove a raw-bytes record; True when one was removed."""
+        return self.backend.delete(self.name_for(kind, key, suffix=suffix))
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
     def has(self, kind: str, key: str) -> bool:
-        """True when the artifact exists (memory or disk)."""
+        """True when the artifact exists (memory or backend)."""
         if (kind, key) in self._memory:
             return True
-        return os.path.exists(self.path_for(kind, key, suffix=".npy")) or os.path.exists(
-            self.path_for(kind, key, suffix=".pkl")
-        )
+        return self.backend.exists(
+            self.name_for(kind, key, suffix=".npy")
+        ) or self.backend.exists(self.name_for(kind, key, suffix=".pkl"))
 
     def discard(self, kind: str, key: str) -> None:
-        """Drop an artifact from memory and disk (no-op when absent).
+        """Drop an artifact from memory and the backend (no-op when absent).
 
         Content-addressed artifacts are immutable but not eternal:
         callers that supersede an artifact (the incremental serving path
@@ -220,42 +305,51 @@ class ArtifactStore:
         """
         self._memory.pop((kind, key))
         for suffix in (".npy", ".pkl"):
-            path = self.path_for(kind, key, suffix=suffix)
-            if os.path.exists(path):
-                os.unlink(path)
+            self.backend.delete(self.name_for(kind, key, suffix=suffix))
+
+    def list_keys(self, kind: str) -> "list[str]":
+        """Artifact keys stored under ``kind`` (any suffix), sorted."""
+        kind = self._check_token(kind, _KINDS_HINT)
+        keys = set()
+        for name in self.backend.list_keys(f"{kind}/"):
+            filename = name.rsplit("/", 1)[-1]
+            keys.add(filename.rsplit(".", 1)[0])
+        return sorted(keys)
+
+    def name_for(self, kind: str, key: str, *, suffix: str = ".npy") -> str:
+        """The backend-relative name of one artifact (validates tokens)."""
+        kind = self._check_token(kind, _KINDS_HINT)
+        key = self._check_token(key, "key must be a path-safe token")
+        fan_out = key[:2] if len(key) > 2 else "__"
+        return f"{kind}/{fan_out}/{key}{suffix}"
 
     def path_for(self, kind: str, key: str, *, suffix: str = ".npy") -> str:
-        """Deterministic on-disk location of one artifact."""
-        kind = str(kind)
-        key = str(key)
-        if not kind or any(sep in kind for sep in ("/", "\\", "..")):
-            raise ValidationError(f"{_KINDS_HINT}; got {kind!r}")
-        if not key or any(sep in key for sep in ("/", "\\", "..")):
-            raise ValidationError(f"key must be a path-safe token, got {key!r}")
-        fan_out = key[:2] if len(key) > 2 else "__"
-        return os.path.join(self.root, kind, fan_out, key + suffix)
+        """Deterministic storage location of one artifact.
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ArtifactStore(root={self.root!r})"
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
+        A real filesystem path for directory backends; a cosmetic
+        ``<address>/<name>`` join otherwise (the logical location — useful
+        in messages, not openable).
+        """
+        name = self.name_for(kind, key, suffix=suffix)
+        local = self.backend.local_path(name)
+        return local if local is not None else f"{self.backend.address}/{name}"
 
     @staticmethod
-    def _atomic_write(path: str, write) -> None:
-        """Write via a sibling temp file + ``os.replace`` (crash-safe)."""
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as f:
-                write(f)
-            os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+    def _check_token(token: str, hint: str) -> str:
+        token = str(token)
+        if not token or any(sep in token for sep in ("/", "\\", "..")):
+            raise ValidationError(f"{hint}; got {token!r}")
+        return token
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArtifactStore(root={self.address!r})"
+
+
+def _array_bytes(arr: np.ndarray) -> bytes:
+    """``.npy``-format serialisation (what every backend stores)."""
+    buffer = io.BytesIO()
+    np.save(buffer, arr, allow_pickle=False)
+    return buffer.getvalue()
 
 
 def store_backed_gram(

@@ -1,0 +1,348 @@
+"""Pluggable storage backends behind the content-addressed store.
+
+:class:`~repro.store.ArtifactStore` used to *be* a directory; now it is a
+policy layer (digest keys, defensive copies, the bounded memory cache)
+over a :class:`StoreBackend` — a small byte-oriented key/value protocol
+that a local directory, an in-memory dict, or a future object store can
+implement. Backends are selected by URI-style address:
+
+``dir:/path/to/store`` (or a bare path)
+    :class:`DirectoryBackend` — the reference implementation. Writes are
+    crash-durable: the payload is fsynced before the atomic rename and
+    the parent directory is fsynced after it, so a machine losing power
+    mid-commit can never surface a torn artifact on restart.
+``mem:`` / ``mem:name``
+    :class:`MemoryBackend` — a process-global named dict, for tests and
+    ephemeral pipelines. Two ``ArtifactStore("mem:x")`` objects in one
+    process share the same backend (and the same CAS namespace); the
+    contents die with the process.
+
+Every backend provides **compare-and-swap** via :meth:`StoreBackend.put_if_absent`
+— create the key only if nobody else has — which is the primitive the
+distributed tile workers build their lease protocol on
+(:mod:`repro.store.claims`). On a directory backend it is implemented
+with ``os.link``, which is atomic on POSIX filesystems (including NFS),
+so independent worker *processes* pointed at one directory get a correct
+mutual-exclusion primitive without any server.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import tempfile
+import threading
+
+from repro.errors import ValidationError
+
+#: scheme name -> backend factory taking the address remainder.
+STORE_SCHEMES: "dict[str, type]" = {}
+
+
+def register_store_scheme(cls):
+    """Class decorator adding a backend to :data:`STORE_SCHEMES`."""
+    STORE_SCHEMES[cls.scheme] = cls
+    return cls
+
+
+class StoreBackend(abc.ABC):
+    """Byte-oriented key/value storage with atomic and CAS writes.
+
+    Keys (*names*) are relative ``/``-separated tokens produced by the
+    store's key-layout policy (``<kind>/<fan-out>/<key><suffix>``); the
+    backend treats them as opaque except for prefix listing. Values are
+    byte strings. The contract every implementation must honour:
+
+    * :meth:`put_atomic` — readers never observe a partial value: they
+      see the old value (or absence) until the write completes, then the
+      new one. Last writer wins.
+    * :meth:`put_if_absent` — create-if-missing as one atomic step; the
+      return value says whether *this* call created the key. This is the
+      compare-and-swap the lease protocol relies on, so "check then
+      write" implementations are wrong even when they usually work.
+    * :meth:`delete` — absent keys are a no-op, never an error; the
+      return value says whether this call removed a value.
+    """
+
+    #: Address scheme this backend registers under (``dir``, ``mem``).
+    scheme: str = "backend"
+
+    @property
+    @abc.abstractmethod
+    def address(self) -> str:
+        """Round-trippable address: ``backend_for(address)`` rebuilds an
+        equivalent backend (same storage, for shareable backends)."""
+
+    @abc.abstractmethod
+    def put_atomic(self, name: str, data: bytes) -> None:
+        """Store ``data`` under ``name`` atomically (last writer wins)."""
+
+    @abc.abstractmethod
+    def put_if_absent(self, name: str, data: bytes) -> bool:
+        """Store ``data`` only if ``name`` is absent; True when stored."""
+
+    @abc.abstractmethod
+    def get(self, name: str) -> "bytes | None":
+        """The stored bytes, or ``None`` when absent."""
+
+    @abc.abstractmethod
+    def exists(self, name: str) -> bool:
+        """True when ``name`` holds a value."""
+
+    @abc.abstractmethod
+    def delete(self, name: str) -> bool:
+        """Remove ``name``; True when a value was removed (absent: False)."""
+
+    @abc.abstractmethod
+    def list_keys(self, prefix: str = "") -> "list[str]":
+        """All stored names starting with ``prefix``, sorted."""
+
+    def local_path(self, name: str) -> "str | None":
+        """Filesystem path of ``name`` for backends with one, else ``None``.
+
+        The out-of-core hook: memory-mapped reads and staged memmap
+        sinks need a real file. Backends without local paths return
+        ``None`` and the store degrades (dense reads) or refuses
+        (memmap sinks) with a named error.
+        """
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.address!r})"
+
+
+def _fsync_directory(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@register_store_scheme
+class DirectoryBackend(StoreBackend):
+    """The reference backend: one local directory, crash-durable writes.
+
+    Durability: :meth:`put_atomic` writes a sibling temporary file,
+    fsyncs it, renames it over the destination with ``os.replace`` and
+    then fsyncs the parent directory. A crash at any point leaves either
+    the complete old state or the complete new state — the classic
+    write-ahead discipline, applied per artifact.
+    """
+
+    scheme = "dir"
+
+    def __init__(self, root: str) -> None:
+        if not root or not str(root).strip():
+            raise ValidationError(
+                "a directory store backend needs a non-empty root directory"
+            )
+        self.root = str(root)
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:
+            raise ValidationError(
+                f"cannot create store directory {self.root!r}: {exc}"
+            ) from exc
+
+    @property
+    def address(self) -> str:
+        # A bare path round-trips as a directory address, so records
+        # written before backends were pluggable keep resolving.
+        return self.root
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, *name.split("/"))
+
+    def local_path(self, name: str) -> str:
+        return self._path(name)
+
+    def _write_temp(self, directory: str, data: bytes) -> str:
+        """A durable (fsynced) temporary file holding ``data``."""
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return tmp_path
+
+    def put_atomic(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        directory = os.path.dirname(path)
+        tmp_path = self._write_temp(directory, data)
+        try:
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        _fsync_directory(directory)
+
+    def put_if_absent(self, name: str, data: bytes) -> bool:
+        path = self._path(name)
+        if os.path.exists(path):
+            return False
+        directory = os.path.dirname(path)
+        tmp_path = self._write_temp(directory, data)
+        try:
+            # os.link is atomic create-or-fail on POSIX — the CAS step.
+            # (os.replace would silently clobber a concurrent winner.)
+            os.link(tmp_path, path)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp_path)
+        _fsync_directory(directory)
+        return True
+
+    def get(self, name: str) -> "bytes | None":
+        try:
+            with open(self._path(name), "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            return None
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def delete(self, name: str) -> bool:
+        try:
+            os.unlink(self._path(name))
+        except FileNotFoundError:
+            return False
+        return True
+
+    def list_keys(self, prefix: str = "") -> "list[str]":
+        names = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            rel = os.path.relpath(dirpath, self.root)
+            parts = [] if rel == "." else rel.split(os.sep)
+            for filename in filenames:
+                if filename.endswith(".tmp"):
+                    continue  # in-flight writes are not artifacts
+                name = "/".join(parts + [filename])
+                if name.startswith(prefix):
+                    names.append(name)
+        return sorted(names)
+
+
+#: Process-global registry backing ``mem:<name>`` addresses, so every
+#: ArtifactStore opened on the same address shares one namespace (the
+#: in-process analogue of two processes opening one directory).
+_MEMORY_BACKENDS: "dict[str, MemoryBackend]" = {}
+_MEMORY_LOCK = threading.Lock()
+
+
+@register_store_scheme
+class MemoryBackend(StoreBackend):
+    """In-memory backend for tests and ephemeral pipelines.
+
+    Thread-safe: all operations hold one lock, and
+    :meth:`put_if_absent` is a genuine CAS (``dict.setdefault`` under
+    the lock), so multi-threaded contention tests exercise the same
+    protocol the directory backend gives multi-process workers.
+    """
+
+    scheme = "mem"
+
+    def __init__(self, name: str = "") -> None:
+        self.name = str(name)
+        self._data: "dict[str, bytes]" = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def shared(cls, name: str = "") -> "MemoryBackend":
+        """The process-global backend registered under ``name``."""
+        with _MEMORY_LOCK:
+            backend = _MEMORY_BACKENDS.get(name)
+            if backend is None:
+                backend = _MEMORY_BACKENDS[name] = cls(name)
+            return backend
+
+    @property
+    def address(self) -> str:
+        return f"mem:{self.name}"
+
+    def put_atomic(self, name: str, data: bytes) -> None:
+        with self._lock:
+            self._data[name] = bytes(data)
+
+    def put_if_absent(self, name: str, data: bytes) -> bool:
+        payload = bytes(data)
+        with self._lock:
+            return self._data.setdefault(name, payload) is payload
+
+    def get(self, name: str) -> "bytes | None":
+        with self._lock:
+            return self._data.get(name)
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._data
+
+    def delete(self, name: str) -> bool:
+        with self._lock:
+            return self._data.pop(name, None) is not None
+
+    def list_keys(self, prefix: str = "") -> "list[str]":
+        with self._lock:
+            return sorted(name for name in self._data if name.startswith(prefix))
+
+
+def backend_for(address) -> StoreBackend:
+    """Resolve a store address (or pass a backend through).
+
+    ``dir:/path`` and bare paths select :class:`DirectoryBackend`;
+    ``mem:`` / ``mem:name`` select the process-global
+    :class:`MemoryBackend` of that name. Unknown ``scheme:`` prefixes
+    whose scheme looks like a registered token raise a named
+    :class:`~repro.errors.ValidationError` listing the available
+    schemes; anything else is treated as a filesystem path (so relative
+    paths and odd directory names keep working).
+    """
+    if isinstance(address, StoreBackend):
+        return address
+    if address is None or not str(address).strip():
+        raise ValidationError(
+            "a store address must be a non-empty path, 'dir:<path>', or "
+            "'mem:[name]'"
+        )
+    text = str(address)
+    scheme, sep, rest = text.partition(":")
+    if sep and _looks_like_scheme(scheme):
+        if scheme == "dir":
+            return DirectoryBackend(rest)
+        if scheme == "mem":
+            return MemoryBackend.shared(rest)
+        if scheme in STORE_SCHEMES:  # future schemes registered by users
+            return STORE_SCHEMES[scheme](rest)
+        raise ValidationError(
+            f"unknown store scheme {scheme!r} in address {text!r}; "
+            f"available: {', '.join(sorted(STORE_SCHEMES))}"
+        )
+    return DirectoryBackend(text)
+
+
+def _looks_like_scheme(token: str) -> bool:
+    """URI-scheme shape (``s3``, ``gs+cache``), at least two characters.
+
+    A single letter is far more likely a Windows drive (``C:\\store``)
+    than a scheme typo, so it parses as a path; multi-letter unknown
+    schemes fail loudly in :func:`backend_for` instead of silently
+    creating a directory literally named ``s3:``.
+    """
+    return (
+        len(token) > 1
+        and token[0].isalpha()
+        and all(c.isalnum() or c in "+.-" for c in token)
+    )

@@ -1,0 +1,223 @@
+"""Tile claims: lease/heartbeat coordination for work-stealing workers.
+
+K independent worker processes pointed at one store address converge on
+one Gram by racing over the plan's tiles. The protocol has exactly three
+kinds of store record:
+
+* **tiles** (``gram-tile/<key>.npy``) — the committed results, immutable
+  and content-addressed (:mod:`repro.store.tiles`); a tile that exists is
+  *done*, forever.
+* **leases** (``tile-lease/<key>.json``) — one small JSON record per
+  in-flight tile: ``{worker, timestamp, ttl}``. Created with the
+  backend's compare-and-swap (:meth:`~repro.store.ArtifactStore.put_if_absent`),
+  so exactly one worker wins a free tile; refreshed by heartbeat
+  (``put_atomic`` with a fresh timestamp) while the tile computes;
+  deleted after the tile commits.
+* **expiry** — a lease whose timestamp is older than its TTL marks a
+  dead worker; any live worker may *steal* it (delete + re-claim through
+  CAS) and recompute the tile.
+
+Correctness never depends on the leases. Tiles are pure functions of
+their content keys — any worker computing the same tile under the same
+job spec produces byte-identical values, commits are atomic, and a
+duplicate commit overwrites a tile with its own bytes. So the worst a
+lost or stolen lease can cause is *duplicate work*, never a wrong or
+torn matrix; leases exist purely to keep K workers off each other's
+tiles. (That is why the small delete→re-claim race on an expired lease —
+two stealers both deleting, one winning the CAS — is acceptable: the
+loser just moves on.) DESIGN.md, "Distributed tiles: leases and
+heartbeats" documents the invariants.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.store.artifacts import ArtifactStore
+
+#: Store kind holding lease records.
+LEASE_KIND = "tile-lease"
+
+#: Suffix of lease records (JSON payloads).
+LEASE_SUFFIX = ".json"
+
+#: Default lease time-to-live in seconds. Generous relative to one tile's
+#: compute time because expiry only matters after a worker *dies* — a
+#: healthy worker's heartbeat refreshes long before this.
+DEFAULT_LEASE_TTL = 30.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One claim on one tile: who holds it and how fresh they are."""
+
+    key: str
+    worker: str
+    timestamp: float
+    ttl: float
+
+    def expired(self, now: float) -> bool:
+        """True when the holder has missed its heartbeat window.
+
+        A lease dated in the *future* (clock skew between workers on a
+        shared filesystem) is treated as fresh — stealing on skew would
+        just cause duplicate work, but being conservative here is free.
+        """
+        return (now - self.timestamp) > self.ttl
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {"worker": self.worker, "timestamp": self.timestamp, "ttl": self.ttl},
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, key: str, data: bytes) -> "Lease | None":
+        """Parse a lease record; unreadable records decode to ``None``.
+
+        A corrupt lease (schema drift, truncated by a non-atomic future
+        backend) must never wedge the job — callers treat ``None`` like
+        an expired lease and re-claim through CAS.
+        """
+        try:
+            record = json.loads(data.decode())
+            return cls(
+                key=key,
+                worker=str(record["worker"]),
+                timestamp=float(record["timestamp"]),
+                ttl=float(record["ttl"]),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return None
+
+
+class TileClaims:
+    """The lease table of one store: claim, heartbeat, release, steal.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.store.ArtifactStore` (leases ride its
+        backend's CAS; reads always hit the backend, never the store's
+        memory layer — lease records are mutable).
+    ttl:
+        Seconds a lease stays valid without a heartbeat. Must exceed the
+        heartbeat interval with margin; workers default to ``ttl / 4``.
+    clock:
+        Time source (``time.time``); injectable so expiry tests run in
+        virtual time instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        ttl: float = DEFAULT_LEASE_TTL,
+        kind: str = LEASE_KIND,
+        clock=time.time,
+    ) -> None:
+        if not isinstance(store, ArtifactStore):
+            raise ValidationError(
+                f"TileClaims needs an ArtifactStore, got {type(store).__name__}"
+            )
+        if not ttl or float(ttl) <= 0:
+            raise ValidationError(f"lease ttl must be > 0 seconds, got {ttl!r}")
+        self.store = store
+        self.ttl = float(ttl)
+        self.kind = str(kind)
+        self.clock = clock
+
+    # ------------------------------------------------------------------ #
+    # Protocol operations
+    # ------------------------------------------------------------------ #
+
+    def holder(self, key: str) -> "Lease | None":
+        """The current lease on ``key`` (fresh backend read), or ``None``."""
+        data = self.store.get_bytes(self.kind, key, suffix=LEASE_SUFFIX)
+        if data is None:
+            return None
+        return Lease.from_bytes(key, data)
+
+    def claim(self, key: str, worker: str) -> "Lease | None":
+        """Try to acquire ``key`` for ``worker``; ``None`` when it is held
+        by another live worker.
+
+        Resolution order: CAS-create a fresh lease; if that loses, read
+        the holder — re-entrant claims by the same worker refresh in
+        place, expired (or unreadable) leases are stolen (delete, then
+        CAS again so concurrent stealers serialise), and a live foreign
+        lease means *go find another tile*.
+        """
+        lease = self._fresh(key, worker)
+        if self._cas(lease):
+            return lease
+        held = self.holder(key)
+        if held is not None and held.worker == worker:
+            # Re-entrant: already ours (a retry after a crash between
+            # claim and compute). Refresh the timestamp and carry on.
+            self._overwrite(lease)
+            return lease
+        if held is None or held.expired(self.clock()):
+            # Dead holder (or a record we cannot read): steal. The delete
+            # clears the CAS slot; the second CAS decides between
+            # concurrent stealers.
+            self.store.delete_bytes(self.kind, key, suffix=LEASE_SUFFIX)
+            lease = self._fresh(key, worker)
+            if self._cas(lease):
+                return lease
+        return None
+
+    def heartbeat(self, lease: Lease) -> "Lease | None":
+        """Refresh a held lease's timestamp; ``None`` when it was lost.
+
+        A lease can be lost legitimately: the worker stalled past the
+        TTL, a peer stole the tile, and this worker's compute is now a
+        duplicate. The worker keeps computing anyway (the result is
+        byte-identical and the commit idempotent) but stops renewing.
+        """
+        held = self.holder(lease.key)
+        if held is not None and held.worker != lease.worker:
+            return None
+        fresh = self._fresh(lease.key, lease.worker)
+        self._overwrite(fresh)
+        return fresh
+
+    def release(self, lease: Lease) -> None:
+        """Drop a lease after its tile committed (only if still ours)."""
+        held = self.holder(lease.key)
+        if held is None or held.worker == lease.worker:
+            self.store.delete_bytes(self.kind, lease.key, suffix=LEASE_SUFFIX)
+
+    # ------------------------------------------------------------------ #
+    # Introspection (coordinator progress / bench accounting)
+    # ------------------------------------------------------------------ #
+
+    def active(self, keys) -> "dict[str, Lease]":
+        """Current unexpired leases among ``keys`` (one read per key)."""
+        now = self.clock()
+        held = {}
+        for key in keys:
+            lease = self.holder(key)
+            if lease is not None and not lease.expired(now):
+                held[key] = lease
+        return held
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _fresh(self, key: str, worker: str) -> Lease:
+        return Lease(key=key, worker=str(worker), timestamp=self.clock(), ttl=self.ttl)
+
+    def _cas(self, lease: Lease) -> bool:
+        return self.store.put_if_absent(
+            self.kind, lease.key, lease.to_bytes(), suffix=LEASE_SUFFIX
+        )
+
+    def _overwrite(self, lease: Lease) -> None:
+        self.store.put_bytes(
+            self.kind, lease.key, lease.to_bytes(), suffix=LEASE_SUFFIX
+        )

@@ -273,3 +273,107 @@ def discard_plan_tiles(
         store.discard(
             kind, keyer.key(rows, cols, diagonal=plan.is_diagonal(rows, cols))
         )
+
+
+class TileLedger:
+    """One plan's committed tiles in one store — the shared view every
+    cooperating engine reads instead of assuming it owns the plan.
+
+    Before distribution, exactly one process walked ``plan.tiles()`` and
+    computed whatever its own sink lacked. A ledger decouples "the
+    plan's tiles" from "my tiles": any number of workers enumerate
+    :meth:`pending` (uncomputed) tiles against the *store's* state,
+    claim them through :class:`~repro.store.claims.TileClaims`, and
+    commit results under the same content keys a single-process
+    :class:`CheckpointSink` run would use — so a distributed job, a
+    resumed kill, and a plain checkpointed run all converge on
+    interchangeable artifacts.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        keyer: TileKeyer,
+        plan: TilePlan,
+        *,
+        kind: str = TILE_KIND,
+    ) -> None:
+        if not isinstance(store, ArtifactStore):
+            raise ValidationError(
+                f"TileLedger needs an ArtifactStore, got {type(store).__name__}"
+            )
+        self.store = store
+        self.keyer = keyer
+        self.plan = plan
+        self.kind = str(kind)
+
+    def key(self, rows, cols) -> str:
+        """The content key of one plan tile."""
+        return self.keyer.key(
+            rows, cols, diagonal=self.plan.is_diagonal(rows, cols)
+        )
+
+    def entries(self):
+        """Yield ``(rows, cols, key)`` for every tile, in schedule order."""
+        for rows, cols in self.plan.tiles():
+            yield rows, cols, self.key(rows, cols)
+
+    def is_done(self, key: str) -> bool:
+        """True when the tile is committed (immutable once true)."""
+        return self.store.has(self.kind, key)
+
+    def pending(self) -> "list[tuple[tuple, tuple, str]]":
+        """The uncomputed tiles, re-probed against the store each call."""
+        return [entry for entry in self.entries() if not self.is_done(entry[2])]
+
+    def total(self) -> int:
+        return self.plan.n_tiles()
+
+    def done_count(self) -> int:
+        return self.total() - len(self.pending())
+
+    def complete(self) -> bool:
+        return not self.pending()
+
+    def commit(self, rows, cols, block: np.ndarray) -> None:
+        """Commit one finished tile under its content key.
+
+        Stored in float64 — the same cast the engine scheduler applies
+        before any sink write — so a restored tile is byte-identical to
+        a locally computed one. Compare-and-swap on purpose: when two
+        workers race (an expired lease recomputed by a stealer while the
+        original worker limps home), the first commit wins and the
+        duplicate is dropped, so a tile's bytes are written exactly once.
+        """
+        self.store.put_array_if_absent(
+            self.kind, self.key(rows, cols), np.asarray(block, dtype=float)
+        )
+
+    def restore_into(self, sink: "GramSink | None" = None):
+        """Assemble the plan's matrix from committed tiles.
+
+        Every tile must be present (``complete()``); missing tiles raise
+        a named error listing the count, because silently zero-filled
+        rows would poison any downstream SVM fit. The default sink is a
+        fresh :class:`~repro.engine.tiles.DenseSink`; symmetric
+        off-diagonal mirroring happens in the sink exactly as in a live
+        computation, so the assembled matrix is byte-identical to the
+        single-process result.
+        """
+        sink = DenseSink() if sink is None else sink
+        sink.open(self.plan)
+        missing = 0
+        for rows, cols, key in self.entries():
+            tile = self.store.get_array(self.kind, key)
+            if tile is None:
+                missing += 1
+                continue
+            sink.write(rows, cols, np.asarray(tile, dtype=float))
+        if missing:
+            raise ValidationError(
+                f"cannot assemble: {missing} of {self.total()} tiles are "
+                f"not committed yet (store {self.store.address!r})"
+            )
+        matrix = sink.finalize()
+        sink.commit()
+        return matrix

@@ -1,0 +1,235 @@
+"""Tests for the lease/heartbeat claim protocol and the tile ledger."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.tiles import TilePlan
+from repro.errors import ValidationError
+from repro.graphs import generators as gen
+from repro.kernels import WeisfeilerLehmanKernel
+from repro.store import (
+    ArtifactStore,
+    Lease,
+    TileClaims,
+    TileLedger,
+    tile_keyer_for,
+)
+
+
+class FakeClock:
+    """Deterministic time source so expiry tests never sleep."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "arts"))
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def claims(store, clock):
+    return TileClaims(store, ttl=10.0, clock=clock)
+
+
+KEY = "k" * 64
+
+
+class TestLeaseRecord:
+    def test_roundtrip(self):
+        lease = Lease(key=KEY, worker="w1", timestamp=5.0, ttl=10.0)
+        assert Lease.from_bytes(KEY, lease.to_bytes()) == lease
+
+    def test_corrupt_record_decodes_to_none(self):
+        assert Lease.from_bytes(KEY, b"not json") is None
+        assert Lease.from_bytes(KEY, b'{"worker": "w"}') is None
+
+    def test_expiry(self):
+        lease = Lease(key=KEY, worker="w", timestamp=100.0, ttl=10.0)
+        assert not lease.expired(105.0)
+        assert lease.expired(111.0)
+
+    def test_future_dated_lease_is_fresh(self):
+        # Clock skew between workers must not trigger steals.
+        lease = Lease(key=KEY, worker="w", timestamp=200.0, ttl=10.0)
+        assert not lease.expired(100.0)
+
+
+class TestClaimProtocol:
+    def test_first_claim_wins(self, claims):
+        assert claims.claim(KEY, "w1") is not None
+        assert claims.claim(KEY, "w2") is None
+
+    def test_claim_is_reentrant_per_worker(self, claims, clock):
+        first = claims.claim(KEY, "w1")
+        clock.advance(3.0)
+        again = claims.claim(KEY, "w1")
+        assert again is not None
+        assert again.timestamp > first.timestamp
+
+    def test_expired_lease_is_stolen(self, claims, clock):
+        claims.claim(KEY, "w1")
+        clock.advance(11.0)  # past the 10s TTL
+        stolen = claims.claim(KEY, "w2")
+        assert stolen is not None
+        assert claims.holder(KEY).worker == "w2"
+
+    def test_fresh_lease_is_not_stolen(self, claims, clock):
+        claims.claim(KEY, "w1")
+        clock.advance(9.0)
+        assert claims.claim(KEY, "w2") is None
+        assert claims.holder(KEY).worker == "w1"
+
+    def test_corrupt_lease_is_reclaimed(self, claims, store):
+        store.put_bytes(claims.kind, KEY, b"garbage", suffix=".json")
+        assert claims.claim(KEY, "w1") is not None
+
+    def test_heartbeat_refreshes(self, claims, clock):
+        lease = claims.claim(KEY, "w1")
+        clock.advance(9.0)
+        renewed = claims.heartbeat(lease)
+        assert renewed is not None
+        clock.advance(9.0)  # 18s after claim, 9s after renewal
+        assert claims.claim(KEY, "w2") is None
+
+    def test_heartbeat_detects_stolen_lease(self, claims, clock):
+        lease = claims.claim(KEY, "w1")
+        clock.advance(11.0)
+        claims.claim(KEY, "w2")
+        assert claims.heartbeat(lease) is None
+        # And the stealer's lease is untouched.
+        assert claims.holder(KEY).worker == "w2"
+
+    def test_release_drops_own_lease(self, claims):
+        lease = claims.claim(KEY, "w1")
+        claims.release(lease)
+        assert claims.holder(KEY) is None
+        assert claims.claim(KEY, "w2") is not None
+
+    def test_release_spares_a_stealers_lease(self, claims, clock):
+        lease = claims.claim(KEY, "w1")
+        clock.advance(11.0)
+        claims.claim(KEY, "w2")
+        claims.release(lease)  # stale handle must not delete w2's claim
+        assert claims.holder(KEY).worker == "w2"
+
+    def test_release_is_idempotent(self, claims):
+        lease = claims.claim(KEY, "w1")
+        claims.release(lease)
+        claims.release(lease)
+
+    def test_active_filters_expired(self, claims, clock):
+        other = "o" * 64
+        claims.claim(KEY, "w1")
+        clock.advance(6.0)
+        claims.claim(other, "w2")
+        clock.advance(6.0)  # KEY now 12s old (expired), other 6s (fresh)
+        held = claims.active([KEY, other])
+        assert set(held) == {other}
+        assert held[other].worker == "w2"
+
+    def test_validation(self, store):
+        with pytest.raises(ValidationError):
+            TileClaims(store, ttl=0)
+        with pytest.raises(ValidationError):
+            TileClaims("not a store")
+
+    def test_threaded_contention_single_winner(self, store):
+        claims = TileClaims(store, ttl=30.0)
+        barrier = threading.Barrier(6)
+        won = []
+
+        def contend(worker):
+            barrier.wait()
+            if claims.claim(KEY, worker) is not None:
+                won.append(worker)
+
+        threads = [
+            threading.Thread(target=contend, args=(f"w{i}",)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(won) == 1
+        assert claims.holder(KEY).worker == won[0]
+
+
+@pytest.fixture
+def graphs():
+    return [
+        gen.cycle_graph(6),
+        gen.path_graph(7),
+        gen.star_graph(7),
+        gen.random_tree(8, seed=3),
+        gen.complete_graph(5),
+    ]
+
+
+class TestTileLedger:
+    def make_ledger(self, store, graphs, tile_size=2):
+        kernel = WeisfeilerLehmanKernel()
+        plan = TilePlan.gram(len(graphs), tile_size)
+        return kernel, TileLedger(store, tile_keyer_for(kernel, graphs), plan)
+
+    def test_pending_shrinks_as_tiles_commit(self, store, graphs):
+        kernel, ledger = self.make_ledger(store, graphs)
+        total = ledger.total()
+        assert total == 6  # ceil(5/2) = 3 row blocks -> 3+2+1 upper tiles
+        assert len(ledger.pending()) == total
+        rows, cols, _ = ledger.pending()[0]
+        ledger.commit(rows, cols, np.ones((rows[1] - rows[0], cols[1] - cols[0])))
+        assert len(ledger.pending()) == total - 1
+        assert ledger.done_count() == 1
+        assert not ledger.complete()
+
+    def test_commit_is_first_writer_wins(self, store, graphs):
+        _, ledger = self.make_ledger(store, graphs)
+        rows, cols, key = next(iter(ledger.entries()))
+        shape = (rows[1] - rows[0], cols[1] - cols[0])
+        ledger.commit(rows, cols, np.full(shape, 7.0))
+        ledger.commit(rows, cols, np.full(shape, 9.0))  # duplicate loses
+        assert np.array_equal(
+            store.get_array(ledger.kind, key), np.full(shape, 7.0)
+        )
+
+    def test_restore_into_matches_live_gram(self, store, graphs):
+        kernel, ledger = self.make_ledger(store, graphs)
+        reference = kernel.gram(graphs)
+        # The same per-tile block math the kernel's streaming path runs.
+        features = np.asarray(kernel.feature_matrix(graphs), dtype=float)
+        for rows, cols, _ in ledger.entries():
+            diagonal = ledger.plan.is_diagonal(rows, cols)
+            tile = features[rows[0] : rows[1]] @ features[cols[0] : cols[1]].T
+            if diagonal:
+                tile = (tile + tile.T) / 2.0
+            ledger.commit(rows, cols, tile)
+        assert ledger.complete()
+        matrix = ledger.restore_into()
+        assert np.asarray(matrix).tobytes() == np.asarray(reference).tobytes()
+
+    def test_restore_refuses_missing_tiles(self, store, graphs):
+        _, ledger = self.make_ledger(store, graphs)
+        with pytest.raises(ValidationError, match="not committed"):
+            ledger.restore_into()
+
+    def test_two_ledgers_share_state(self, store, graphs):
+        _, a = self.make_ledger(store, graphs)
+        _, b = self.make_ledger(store, graphs)
+        rows, cols, _ = a.pending()[0]
+        a.commit(rows, cols, np.zeros((rows[1] - rows[0], cols[1] - cols[0])))
+        assert b.done_count() == 1

@@ -1,0 +1,272 @@
+"""Tests for the pluggable store backends and address parsing."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.store import (
+    ArtifactStore,
+    DirectoryBackend,
+    MemoryBackend,
+    StoreBackend,
+    backend_for,
+    register_store_scheme,
+)
+from repro.store.backends import STORE_SCHEMES
+
+
+class TestAddressParsing:
+    def test_bare_path_is_directory(self, tmp_path):
+        backend = backend_for(str(tmp_path / "arts"))
+        assert isinstance(backend, DirectoryBackend)
+
+    def test_dir_scheme(self, tmp_path):
+        backend = backend_for(f"dir:{tmp_path / 'arts'}")
+        assert isinstance(backend, DirectoryBackend)
+        assert backend.root == str(tmp_path / "arts")
+
+    def test_mem_scheme(self):
+        backend = backend_for("mem:parse-test")
+        assert isinstance(backend, MemoryBackend)
+        assert backend.address == "mem:parse-test"
+
+    def test_mem_addresses_are_shared_per_name(self):
+        a = backend_for("mem:shared-name")
+        b = backend_for("mem:shared-name")
+        assert a is b
+        assert backend_for("mem:other-name") is not a
+
+    def test_windows_style_path_is_not_a_scheme(self, tmp_path):
+        # Single-letter prefixes ("C:\\...") must parse as paths.
+        backend = backend_for(f"{tmp_path / 'arts'}")
+        assert isinstance(backend, DirectoryBackend)
+
+    def test_unknown_scheme_is_named_error(self):
+        with pytest.raises(ValidationError, match="unknown store scheme"):
+            backend_for("s3://bucket/prefix")
+
+    def test_empty_address_rejected(self):
+        with pytest.raises(ValidationError):
+            backend_for("")
+
+    def test_backend_instance_passes_through(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        assert backend_for(backend) is backend
+
+    def test_dir_address_round_trips(self, tmp_path):
+        backend = backend_for(str(tmp_path / "arts"))
+        again = backend_for(backend.address)
+        assert isinstance(again, DirectoryBackend)
+        assert again.root == backend.root
+
+    def test_register_store_scheme(self, tmp_path):
+        @register_store_scheme
+        class _TestOnlyBackend(MemoryBackend):
+            scheme = "testonly"
+
+        try:
+            backend = backend_for("testonly:whatever")
+            assert isinstance(backend, _TestOnlyBackend)
+        finally:
+            STORE_SCHEMES.pop("testonly", None)
+
+
+class TestDirectoryBackend:
+    def test_roundtrip(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path / "arts"))
+        backend.put_atomic("kind/ab/key.bin", b"payload")
+        assert backend.exists("kind/ab/key.bin")
+        assert backend.get("kind/ab/key.bin") == b"payload"
+
+    def test_get_missing_is_none(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        assert backend.get("nope.bin") is None
+
+    def test_overwrite_replaces(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        backend.put_atomic("k.bin", b"one")
+        backend.put_atomic("k.bin", b"two")
+        assert backend.get("k.bin") == b"two"
+
+    def test_delete(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        backend.put_atomic("k.bin", b"x")
+        assert backend.delete("k.bin") is True
+        assert backend.delete("k.bin") is False
+        assert not backend.exists("k.bin")
+
+    def test_put_if_absent_first_wins(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        assert backend.put_if_absent("k.bin", b"first") is True
+        assert backend.put_if_absent("k.bin", b"second") is False
+        assert backend.get("k.bin") == b"first"
+
+    def test_no_temp_files_linger(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path / "arts"))
+        backend.put_atomic("a/b/c.bin", b"x")
+        backend.put_if_absent("a/b/d.bin", b"y")
+        backend.put_if_absent("a/b/d.bin", b"z")
+        files = [
+            name
+            for _, _, names in os.walk(tmp_path / "arts")
+            for name in names
+        ]
+        assert all(not name.endswith(".tmp") for name in files)
+
+    def test_list_keys_prefix(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        backend.put_atomic("gram/aa/x.npy", b"1")
+        backend.put_atomic("gram/bb/y.npy", b"2")
+        backend.put_atomic("tile/aa/z.npy", b"3")
+        keys = sorted(backend.list_keys("gram/"))
+        assert keys == ["gram/aa/x.npy", "gram/bb/y.npy"]
+
+    def test_creates_missing_root(self, tmp_path):
+        root = tmp_path / "deep" / "nested" / "store"
+        DirectoryBackend(str(root))
+        assert root.is_dir()
+
+    def test_uncreatable_root_is_named_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(ValidationError, match="cannot create store directory"):
+            DirectoryBackend(str(blocker / "store"))
+
+    def test_local_path_points_into_root(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path))
+        path = backend.local_path("kind/key.npy")
+        assert path == os.path.join(str(tmp_path), "kind", "key.npy")
+
+
+class TestMemoryBackend:
+    def test_roundtrip(self):
+        backend = MemoryBackend()
+        backend.put_atomic("k.bin", b"payload")
+        assert backend.get("k.bin") == b"payload"
+        assert backend.exists("k.bin")
+
+    def test_put_if_absent(self):
+        backend = MemoryBackend()
+        assert backend.put_if_absent("k.bin", b"first")
+        assert not backend.put_if_absent("k.bin", b"second")
+        assert backend.get("k.bin") == b"first"
+
+    def test_delete_and_list(self):
+        backend = MemoryBackend()
+        backend.put_atomic("a/x.bin", b"1")
+        backend.put_atomic("b/y.bin", b"2")
+        assert sorted(backend.list_keys("")) == ["a/x.bin", "b/y.bin"]
+        assert backend.list_keys("a/") == ["a/x.bin"]
+        assert backend.delete("a/x.bin")
+        assert backend.list_keys("a/") == []
+
+    def test_no_local_path(self):
+        assert MemoryBackend().local_path("k.npy") is None
+
+    def test_payload_isolated_from_caller(self):
+        backend = MemoryBackend()
+        payload = bytearray(b"abc")
+        backend.put_atomic("k.bin", bytes(payload))
+        payload[0] = ord("x")
+        assert backend.get("k.bin") == b"abc"
+
+
+@pytest.mark.parametrize("make_backend", [
+    lambda tmp_path: DirectoryBackend(str(tmp_path / "contend")),
+    lambda tmp_path: MemoryBackend(),
+])
+def test_put_if_absent_contention_single_winner(tmp_path, make_backend):
+    # N threads race one CAS slot: exactly one wins, and the stored
+    # bytes are the winner's (no interleaving, no torn payloads).
+    backend = make_backend(tmp_path)
+    barrier = threading.Barrier(8)
+    outcomes = [None] * 8
+
+    def contend(index):
+        barrier.wait()
+        outcomes[index] = backend.put_if_absent(
+            "slot.bin", f"writer-{index}".encode()
+        )
+
+    threads = [threading.Thread(target=contend, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sum(outcomes) == 1
+    winner = outcomes.index(True)
+    assert backend.get("slot.bin") == f"writer-{winner}".encode()
+
+
+class TestArtifactStoreOverBackends:
+    def test_store_accepts_address_string(self, tmp_path):
+        store = ArtifactStore(f"dir:{tmp_path / 'arts'}")
+        store.put_array("gram", "k" * 64, np.eye(3))
+        assert np.array_equal(store.get_array("gram", "k" * 64), np.eye(3))
+
+    def test_store_accepts_backend_instance(self):
+        store = ArtifactStore(MemoryBackend())
+        store.put_array("gram", "k" * 64, np.eye(2))
+        assert np.array_equal(store.get_array("gram", "k" * 64), np.eye(2))
+
+    def test_mem_store_has_no_memmap(self):
+        store = ArtifactStore("mem:no-memmap")
+        key = "a" * 64
+        store.put_array("gram", key, np.eye(4))
+        # No local file: get_memmap degrades to an in-memory array.
+        arr = store.get_memmap("gram", key)
+        assert np.array_equal(np.asarray(arr), np.eye(4))
+        with pytest.raises(ValidationError, match="local files"):
+            store.memmap_sink("gram", key)
+
+    def test_dir_store_root_is_plain_path(self, tmp_path):
+        # Back-compat: callers join paths off .root for dir stores.
+        store = ArtifactStore(str(tmp_path / "arts"))
+        assert store.root == str(tmp_path / "arts")
+        assert store.address == str(tmp_path / "arts")
+
+    def test_raw_bytes_roundtrip_and_cas(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.put_if_absent("lease", "k" * 64, b"one", suffix=".json")
+        assert not store.put_if_absent("lease", "k" * 64, b"two", suffix=".json")
+        assert store.get_bytes("lease", "k" * 64, suffix=".json") == b"one"
+        store.put_bytes("lease", "k" * 64, b"three", suffix=".json")
+        assert store.get_bytes("lease", "k" * 64, suffix=".json") == b"three"
+        assert store.delete_bytes("lease", "k" * 64, suffix=".json")
+        assert store.get_bytes("lease", "k" * 64, suffix=".json") is None
+
+    def test_bytes_bypass_memory_cache(self, tmp_path):
+        # Two store handles on one directory must see each other's
+        # mutable records immediately — no stale cache layer.
+        a = ArtifactStore(str(tmp_path))
+        b = ArtifactStore(str(tmp_path))
+        a.put_bytes("lease", "k" * 64, b"from-a", suffix=".json")
+        assert b.get_bytes("lease", "k" * 64, suffix=".json") == b"from-a"
+        b.put_bytes("lease", "k" * 64, b"from-b", suffix=".json")
+        assert a.get_bytes("lease", "k" * 64, suffix=".json") == b"from-b"
+
+    def test_list_keys_by_kind(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.put_array("gram", "a" * 64, np.eye(2))
+        store.put_array("gram-tile", "b" * 64, np.eye(2))
+        assert len(store.list_keys("gram")) == 1
+        assert len(store.list_keys("gram-tile")) == 1
+
+    def test_custom_backend_subclasses_plug_in(self, tmp_path):
+        class Recording(DirectoryBackend):
+            def __init__(self, root):
+                super().__init__(root)
+                self.puts = 0
+
+            def put_atomic(self, name, payload):
+                self.puts += 1
+                super().put_atomic(name, payload)
+
+        backend = Recording(str(tmp_path / "rec"))
+        assert isinstance(backend, StoreBackend)
+        store = ArtifactStore(backend)
+        store.put_array("gram", "c" * 64, np.eye(2))
+        assert backend.puts == 1
