@@ -1,0 +1,6 @@
+"""``python -m repro.campaign`` entry point."""
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

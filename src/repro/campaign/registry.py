@@ -1,0 +1,95 @@
+"""Registries wiring campaign kinds to executors and names to builders.
+
+Two small decorator registries keep :mod:`repro.campaign` free of any
+import on the experiments layer:
+
+* ``@register_executor("table4.cell")`` registers the callable that runs
+  one node of that kind: ``fn(payload, ctx) -> dict`` (JSON-able result).
+* ``@register_campaign("table4")`` registers a *campaign builder*:
+  ``fn(ctx=None, **options) -> CampaignPlan``.
+
+The experiment modules register themselves at import; the CLI imports
+:mod:`repro.experiments` lazily to populate both tables.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import CampaignError
+
+_EXECUTORS: dict = {}
+_BUILDERS: dict = {}
+
+
+def register_executor(kind: str):
+    """Class/function decorator registering the executor for ``kind``."""
+
+    def decorate(fn):
+        _EXECUTORS[str(kind)] = fn
+        return fn
+
+    return decorate
+
+
+def executor_for(kind: str):
+    """The registered executor, or a named error listing the known kinds."""
+    _load_builtin_builders()
+    try:
+        return _EXECUTORS[str(kind)]
+    except KeyError:
+        known = ", ".join(sorted(_EXECUTORS)) or "(none registered)"
+        raise CampaignError(
+            f"no executor registered for node kind {kind!r}; known kinds: "
+            f"{known}"
+        ) from None
+
+
+def register_campaign(name: str):
+    """Decorator registering a campaign builder under ``name``."""
+
+    def decorate(fn):
+        _BUILDERS[str(name)] = fn
+        return fn
+
+    return decorate
+
+
+def campaign_builder(name: str):
+    """The registered builder, or a named error listing known campaigns."""
+    _load_builtin_builders()
+    try:
+        return _BUILDERS[str(name)]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS)) or "(none registered)"
+        raise CampaignError(
+            f"unknown campaign {name!r}; registered campaigns: {known}"
+        ) from None
+
+
+def registered_campaigns() -> "list[str]":
+    _load_builtin_builders()
+    return sorted(_BUILDERS)
+
+
+def build_campaign(name: str, *, ctx=None, **options):
+    """Build a registered campaign, dropping options the builder does not
+    accept (the CLI passes one option namespace to every builder)."""
+    builder = campaign_builder(name)
+    parameters = inspect.signature(builder).parameters
+    lenient = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    accepted = {
+        key: value for key, value in options.items()
+        if lenient or key in parameters
+    }
+    return builder(ctx=ctx, **accepted)
+
+
+def _load_builtin_builders() -> None:
+    """Import the experiment modules that self-register (idempotent)."""
+    import repro.experiments.complexity  # noqa: F401
+    import repro.experiments.figure2  # noqa: F401
+    import repro.experiments.table4  # noqa: F401
+    import repro.experiments.table5  # noqa: F401

@@ -1,0 +1,322 @@
+"""The campaign runner: schedule ready DAG nodes through the job queue.
+
+One :class:`CampaignRunner` drives one campaign to completion:
+
+1. :meth:`~repro.campaign.db.CampaignDB.ensure` upserts the declared
+   nodes (unchanged keys keep their state — the resume path), dead
+   ``running`` rows return to ``pending``, stale queue leases requeue;
+2. every ``pending`` node whose dependencies are all ``done`` is either
+   *skipped* — its content key already has a recorded result
+   (:meth:`~repro.campaign.db.CampaignDB.result_for_key`) — or submitted
+   to the :class:`~repro.jobs.JobQueue`;
+3. the runner claims jobs back off the queue and executes them through
+   the registered executors, recording results / stored exceptions in
+   the campaign DB, until nothing is runnable.
+
+The queue looks redundant while the runner both produces and consumes,
+but it is the point of the design: scheduling state lives in the same
+durable sqlite file as the campaign, a SIGKILL at any instant loses at
+most the node that was mid-execution, and the future serving layer can
+point external workers at the very same queue without changing the DAG
+layer. Failed nodes stay failed (their dependents are *blocked*, not
+cancelled); ``resume`` revives them by resubmitting the same keys.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+import traceback
+from dataclasses import dataclass, field
+
+from repro.campaign.db import CampaignDB, NodeState
+from repro.campaign.nodes import Campaign, CampaignPlan
+from repro.campaign.registry import executor_for
+from repro.errors import CampaignError
+from repro.jobs import JobQueue
+
+#: Queue-kind prefix of campaign node jobs (one kind per campaign, so
+#: several campaigns can share a queue file without claiming each
+#: other's work).
+JOB_KIND_PREFIX = "campaign:"
+
+
+@dataclass
+class CampaignRun:
+    """The outcome of one :meth:`CampaignRunner.run` call."""
+
+    campaign_id: str
+    plan: CampaignPlan
+    counts: "dict[str, int]"
+    results: "dict[str, dict]"
+    failed: "list[NodeState]" = field(default_factory=list)
+    blocked: "list[str]" = field(default_factory=list)
+    executed: int = 0
+    reused: int = 0
+    restored: int = 0
+    stopped: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every node is done (nothing failed/blocked/stopped)."""
+        return not self.failed and not self.blocked and not self.stopped
+
+    def report(self) -> str:
+        """The plan's report, rendered from the done-node results."""
+        return self.plan.report(self.results)
+
+    def summary(self) -> str:
+        """One status line: ``done a/b (executed x, skipped y, ...)``."""
+        total = sum(self.counts.values())
+        parts = [f"executed {self.executed}", f"skipped {self.restored + self.reused}"]
+        if self.failed:
+            parts.append(f"failed {len(self.failed)}")
+        if self.blocked:
+            parts.append(f"blocked {len(self.blocked)}")
+        return (
+            f"campaign {self.campaign_id}: done {self.counts['done']}/{total} "
+            f"({', '.join(parts)})"
+        )
+
+
+class CampaignRunner:
+    """Schedules one campaign's ready nodes through a durable job queue.
+
+    Parameters
+    ----------
+    plan:
+        A :class:`~repro.campaign.nodes.CampaignPlan` (or bare
+        :class:`~repro.campaign.nodes.Campaign`).
+    db:
+        The :class:`~repro.campaign.db.CampaignDB` recording node state.
+    queue:
+        The :class:`~repro.jobs.JobQueue` to schedule through; defaults
+        to one sharing the campaign DB's sqlite file.
+    ctx:
+        The :class:`~repro.api.ExecutionContext` handed to every
+        executor (engine, store, compute policy).
+    """
+
+    def __init__(
+        self,
+        plan: "CampaignPlan | Campaign",
+        db: CampaignDB,
+        queue: "JobQueue | None" = None,
+        *,
+        ctx=None,
+        worker_id: "str | None" = None,
+    ) -> None:
+        if isinstance(plan, Campaign):
+            plan = CampaignPlan(plan)
+        if not isinstance(plan, CampaignPlan):
+            raise CampaignError(
+                f"CampaignRunner needs a CampaignPlan or Campaign, got "
+                f"{type(plan).__name__}"
+            )
+        self.plan = plan
+        self.campaign = plan.campaign
+        self.db = db
+        self.queue = queue if queue is not None else JobQueue(db.path)
+        self.ctx = ctx
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, *, max_nodes: "int | None" = None) -> CampaignRun:
+        """Drive the campaign until nothing is runnable.
+
+        ``max_nodes`` stops after executing that many nodes — the
+        testing hook the kill/resume suites use to leave a campaign
+        half-finished deterministically.
+        """
+        cid = self.db.ensure(self.campaign)
+        self.db.reset_running(cid)
+        self.db.revive(cid)
+        self.queue.requeue_expired()
+        states = self.db.node_states(cid)
+        self._reconcile(cid, states)
+        restored = sum(1 for s in states.values() if s.status == "done")
+        executed = reused = 0
+        stopped = False
+        kind = JOB_KIND_PREFIX + cid
+        while True:
+            states = self.db.node_states(cid)
+            progressed = False
+            for node in self.campaign.toposort():
+                state = states[node.name]
+                if state.status != "pending":
+                    continue
+                if not all(
+                    states[dep].status == "done" for dep in node.deps
+                ):
+                    continue
+                recorded = self.db.result_for_key(
+                    node.key, exclude=(cid, node.name)
+                )
+                if recorded is not None:
+                    # Same content key, already computed (this file, any
+                    # campaign): skip the node, adopt the result.
+                    self.db.mark_done(cid, node.name, recorded, reused=True)
+                    states = self.db.node_states(cid)
+                    reused += 1
+                    progressed = True
+                    continue
+                self.queue.submit(
+                    kind,
+                    {"campaign": cid, "node": node.name},
+                    key=self._job_key(node),
+                    priority=node.priority,
+                )
+            job = self.queue.claim(self.worker_id, kinds=(kind,))
+            if job is None:
+                if progressed:
+                    continue
+                break
+            name = job.payload["node"]
+            node = self.campaign.node(name)
+            if self.db.node_states(cid)[name].status == "done":
+                # Completed by a concurrent runner between submit and claim.
+                self.queue.complete(job.id)
+                continue
+            self.db.mark_running(cid, name)
+            try:
+                result = executor_for(node.kind)(dict(node.payload), self.ctx)
+                if result is None:
+                    result = {}
+                self.db.mark_done(cid, name, result)
+                self.queue.complete(job.id, result if result else None)
+                executed += 1
+            except KeyboardInterrupt:
+                # Leave the node pending so a resume re-runs it cleanly.
+                self.db.reset_running(cid)
+                self.queue.fail(job.id, "interrupted")
+                raise
+            except Exception:
+                error = traceback.format_exc()
+                self.db.mark_failed(cid, name, error)
+                self.queue.fail(job.id, error)
+            if max_nodes is not None and executed >= max_nodes:
+                stopped = self._unfinished(cid)
+                break
+        return self._outcome(
+            cid, executed=executed, reused=reused, restored=restored,
+            stopped=stopped,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _job_key(self, node) -> str:
+        # The node's content key is part of the queue identity, so a
+        # node whose inputs changed gets a fresh job row instead of
+        # colliding with the stale done/failed one.
+        return f"{self.campaign.campaign_id}:{node.name}:{node.key[:16]}"
+
+    def _reconcile(self, cid: str, states: "dict[str, NodeState]") -> None:
+        """Heal queue/DB divergence a crash may have left behind.
+
+        A node ``pending`` in the DB whose queue job is still ``running``
+        is a torn claim from a killed run — the campaign DB is the
+        authority, so the job returns to pending immediately rather than
+        after its lease expires. The inverse tear (node ``done``, job
+        ``running``: killed between the DB commit and the queue ack) is
+        closed by completing the job.
+        """
+        for state in states.values():
+            job = self.queue.by_key(
+                f"{cid}:{state.name}:{state.key[:16]}"
+            )
+            if job is None or job.status != "running":
+                continue
+            if state.status == "done":
+                self.queue.complete(job.id)
+            else:
+                self.queue.requeue(job.id)
+
+    def _unfinished(self, cid: str) -> bool:
+        counts = self.db.counts(cid)
+        return counts["pending"] > 0 or counts["running"] > 0
+
+    def _outcome(self, cid, *, executed, reused, restored, stopped) -> CampaignRun:
+        states = self.db.node_states(cid)
+        failed = [s for s in states.values() if s.status == "failed"]
+        blocked = []
+        for name, state in states.items():
+            if state.status != "pending":
+                continue
+            broken = [
+                dep for dep in state.deps
+                if states[dep].status in ("failed", "cancelled")
+                or dep in blocked
+            ]
+            if broken and not stopped:
+                blocked.append(name)
+        return CampaignRun(
+            campaign_id=cid,
+            plan=self.plan,
+            counts=self.db.counts(cid),
+            results=self.db.results(cid),
+            failed=failed,
+            blocked=blocked,
+            executed=executed,
+            reused=reused,
+            restored=restored,
+            stopped=stopped,
+        )
+
+
+def default_db_path(ctx) -> "str | None":
+    """The campaign database that rides the context's store, if any.
+
+    A directory-backed store hosts ``campaign.db`` next to its
+    artifacts, so one ``--store`` flag gives a sweep both its Gram cache
+    and its durable schedule; address-only backends (``mem:``) have no
+    local file to offer.
+    """
+    store = getattr(ctx, "store", None)
+    if store is None:
+        return None
+    path = store.backend.local_path("campaign.db")
+    return path
+
+
+def run_campaign_plan(
+    plan: CampaignPlan,
+    *,
+    ctx=None,
+    db: "CampaignDB | None" = None,
+    db_path: "str | None" = None,
+    max_nodes: "int | None" = None,
+) -> CampaignRun:
+    """Build the runner plumbing around ``plan`` and run it.
+
+    Database resolution: an explicit ``db`` or ``db_path`` wins, else
+    the context's store hosts ``campaign.db``
+    (:func:`default_db_path`), else the run is ephemeral — scheduled
+    through a throwaway sqlite file that is deleted afterwards (the
+    in-process convenience path ``run_table4`` and friends use).
+    """
+    ephemeral_dir = None
+    close_db = False
+    if db is None:
+        if db_path is None:
+            db_path = default_db_path(ctx)
+        if db_path is None:
+            ephemeral_dir = tempfile.TemporaryDirectory(prefix="repro-campaign-")
+            db_path = os.path.join(ephemeral_dir.name, "campaign.db")
+        db = CampaignDB(db_path)
+        close_db = True
+    queue = JobQueue(db.path)
+    runner = CampaignRunner(plan, db, queue, ctx=ctx)
+    try:
+        return runner.run(max_nodes=max_nodes)
+    finally:
+        queue.close()
+        if close_db:
+            db.close()
+        if ephemeral_dir is not None:
+            ephemeral_dir.cleanup()

@@ -40,6 +40,7 @@ _LAZY = {
     "spawn_worker": "repro.distributed.coordinator",
     "TileWorker": "repro.distributed.worker",
     "default_worker_id": "repro.distributed.worker",
+    "watch_jobs": "repro.distributed.worker",
 }
 
 
@@ -68,4 +69,5 @@ __all__ = [
     "run_distributed_gram",
     "seed_job",
     "spawn_worker",
+    "watch_jobs",
 ]

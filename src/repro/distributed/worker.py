@@ -32,10 +32,13 @@ from repro.store.artifacts import ArtifactStore
 from repro.store.claims import DEFAULT_LEASE_TTL, TileClaims
 from repro.store.tiles import TileLedger, tile_keyer_for
 
-from repro.distributed.jobspec import load_job, tile_computer
+from repro.distributed.jobspec import JOB_KIND, load_job, tile_computer
 
 #: Default seconds a worker sleeps between sweeps that found no free tile.
 DEFAULT_POLL = 0.2
+
+#: Default seconds a watching worker sleeps between job-prefix polls.
+DEFAULT_WATCH_POLL = 1.0
 
 
 def default_worker_id() -> str:
@@ -203,6 +206,76 @@ class TileWorker:
         return landed
 
 
+def watch_jobs(
+    store: "ArtifactStore | str",
+    *,
+    worker_id: "str | None" = None,
+    ttl: float = DEFAULT_LEASE_TTL,
+    poll: float = DEFAULT_POLL,
+    watch_poll: float = DEFAULT_WATCH_POLL,
+    tile_delay: float = 0.0,
+    idle_timeout: "float | None" = None,
+    max_jobs: "int | None" = None,
+) -> dict:
+    """Daemon mode: poll the store's job prefix and work every job found.
+
+    Instead of exiting after one ``--job`` id, the worker sweeps
+    ``store.list_keys("job")``, participates in each job it has not
+    finished yet (newest submissions included — a coordinator can keep
+    seeding work at a pool of long-lived watchers), and sleeps
+    ``watch_poll`` seconds between sweeps that found nothing new.
+    Completed job ids are remembered in-process, so a finished job costs
+    one ledger probe per sweep at most once.
+
+    ``idle_timeout`` bounds how long the watcher idles (seconds with no
+    job worked) before returning — ``None`` watches forever;
+    ``max_jobs`` returns after that many jobs completed (testing hook).
+    Returns the watcher's accounting: per-job stats plus totals.
+    """
+    store = store if isinstance(store, ArtifactStore) else ArtifactStore(store)
+    worker_id = worker_id or default_worker_id()
+    finished: set = set()
+    totals = {
+        "worker": worker_id,
+        "jobs": 0,
+        "computed": 0,
+        "sweeps": 0,
+        "per_job": [],
+    }
+    idle_since = time.monotonic()
+    while True:
+        totals["sweeps"] += 1
+        worked = False
+        for job_id in store.list_keys(JOB_KIND):
+            if job_id in finished:
+                continue
+            worker = TileWorker(
+                store,
+                job_id,
+                worker_id=worker_id,
+                ttl=ttl,
+                poll=poll,
+                tile_delay=tile_delay,
+            )
+            stats = worker.run()
+            finished.add(job_id)
+            totals["jobs"] += 1
+            totals["computed"] += stats["computed"]
+            totals["per_job"].append(stats)
+            worked = True
+            if max_jobs is not None and totals["jobs"] >= max_jobs:
+                return totals
+        if worked:
+            idle_since = time.monotonic()
+        elif (
+            idle_timeout is not None
+            and time.monotonic() - idle_since >= idle_timeout
+        ):
+            return totals
+        else:
+            time.sleep(watch_poll)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point: run one worker against a seeded job."""
     parser = argparse.ArgumentParser(
@@ -219,7 +292,35 @@ def main(argv: "list[str] | None" = None) -> int:
         help="store address shared with the coordinator (dir:/path, mem:name)",
     )
     parser.add_argument(
-        "--job", required=True, help="job id printed by the coordinator"
+        "--job",
+        default=None,
+        help="job id printed by the coordinator (required unless --watch)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="daemon mode: poll the store's job prefix and work every job "
+        "found instead of exiting after one --job",
+    )
+    parser.add_argument(
+        "--watch-poll",
+        type=float,
+        default=DEFAULT_WATCH_POLL,
+        help="seconds between job-prefix polls in --watch mode "
+        f"(default {DEFAULT_WATCH_POLL})",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit --watch mode after this many seconds without work "
+        "(default: watch forever)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="exit --watch mode after completing this many jobs",
     )
     parser.add_argument(
         "--worker-id",
@@ -251,16 +352,30 @@ def main(argv: "list[str] | None" = None) -> int:
         help="extra seconds slept per tile (kill-window testing hook)",
     )
     args = parser.parse_args(argv)
+    if args.watch == (args.job is not None):
+        parser.error("pass exactly one of --job ID or --watch")
     try:
-        worker = TileWorker(
-            args.store,
-            args.job,
-            worker_id=args.worker_id,
-            ttl=args.ttl,
-            poll=args.poll,
-            tile_delay=args.tile_delay,
-        )
-        stats = worker.run(max_tiles=args.max_tiles)
+        if args.watch:
+            stats = watch_jobs(
+                args.store,
+                worker_id=args.worker_id,
+                ttl=args.ttl,
+                poll=args.poll,
+                watch_poll=args.watch_poll,
+                tile_delay=args.tile_delay,
+                idle_timeout=args.idle_timeout,
+                max_jobs=args.max_jobs,
+            )
+        else:
+            worker = TileWorker(
+                args.store,
+                args.job,
+                worker_id=args.worker_id,
+                ttl=args.ttl,
+                poll=args.poll,
+                tile_delay=args.tile_delay,
+            )
+            stats = worker.run(max_tiles=args.max_tiles)
     except DistributedError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -67,5 +67,10 @@ class DistributedError(ReproError):
     """A distributed tile job is misconfigured, incomplete, or timed out."""
 
 
+class CampaignError(ReproError):
+    """A campaign DAG, its job queue, or one of its nodes is invalid,
+    failed, or inconsistent with its recorded state."""
+
+
 class ConvergenceWarning(UserWarning):
     """An iterative solver stopped at its iteration cap before converging."""

@@ -15,6 +15,11 @@ until N is in the hundreds), so this experiment times the two stages
 *separately* and fits a log-log slope per stage: the pairwise slope should
 sit near 2 and the preparation slope near 1, which together are exactly
 the paper's O(N²n³) once M is folded back into the constant.
+
+Each sweep point is one ``complexity.probe`` campaign node
+(:func:`build_complexity_campaign`), so long sweeps interrupt and resume
+like every other campaign; the slopes are fitted at render time from
+whatever probes are recorded.
 """
 
 from __future__ import annotations
@@ -23,12 +28,29 @@ import time
 
 import numpy as np
 
+from repro.campaign import (
+    Campaign,
+    CampaignNode,
+    CampaignPlan,
+    node_key,
+    register_campaign,
+    register_executor,
+)
 from repro.engine import SerialEngine
 from repro.engine.base import resolve_engine
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import ReportOutput, format_table
 from repro.graphs.generators import erdos_renyi
 from repro.kernels import HAQJSKKernelA
 from repro.utils.rng import as_rng, spawn_seed
+
+#: Default sweep sizes (kept here so the campaign builder, the report
+#: renderer and the benchmarks agree on the probe grid).
+VERTEX_SWEEP = (16, 24, 36, 54)
+GRAPH_SWEEP = (8, 16, 32, 64, 128)
+
+#: The fixed probe-kernel configuration every timing runs with; part of
+#: each probe's node key so a changed probe invalidates recorded timings.
+_PROBE_KERNEL = {"prototypes": 16, "levels": 2, "layers": 4}
 
 
 def _probe_graphs(n_graphs: int, n_vertices: int, seed: int) -> list:
@@ -54,7 +76,12 @@ def time_gram_stages(
     with an explicit engine re-times the sweep on that backend instead.
     """
     graphs = _probe_graphs(n_graphs, n_vertices, seed)
-    kernel = HAQJSKKernelA(n_prototypes=16, n_levels=2, max_layers=4, seed=seed)
+    kernel = HAQJSKKernelA(
+        n_prototypes=_PROBE_KERNEL["prototypes"],
+        n_levels=_PROBE_KERNEL["levels"],
+        max_layers=_PROBE_KERNEL["layers"],
+        seed=seed,
+    )
     if ctx is not None and ctx.engine is not None:
         engine = resolve_engine(ctx.engine_argument(kernel))
     else:
@@ -82,64 +109,167 @@ def fit_loglog_slope(xs, ys) -> float:
     return float(slope)
 
 
+# ---------------------------------------------------------------------- #
+# Campaign declaration
+# ---------------------------------------------------------------------- #
+
+
+@register_campaign("complexity")
+def build_complexity_campaign(
+    *,
+    vertex_sweep=VERTEX_SWEEP,
+    graph_sweep=GRAPH_SWEEP,
+    seed: int = 0,
+    ctx=None,
+) -> CampaignPlan:
+    """One ``complexity.probe`` node per sweep point, both sweeps."""
+    nodes = []
+    for n_vertices in vertex_sweep:
+        nodes.append(_probe_node("vertices", 10, int(n_vertices), seed, ctx))
+    for n_graphs in graph_sweep:
+        nodes.append(_probe_node("graphs", int(n_graphs), 20, seed, ctx))
+    return CampaignPlan(Campaign("complexity", nodes), render_complexity)
+
+
+def _probe_node(sweep: str, n_graphs: int, n_vertices: int, seed: int, ctx):
+    point = n_vertices if sweep == "vertices" else n_graphs
+    params = {
+        "n_graphs": n_graphs,
+        "n_vertices": n_vertices,
+        "seed": seed,
+        "kernel": _PROBE_KERNEL,
+    }
+    return CampaignNode(
+        name=f"{sweep}:{point}",
+        kind="complexity.probe",
+        key=node_key("complexity.probe", ctx=ctx, params=params),
+        payload={"n_graphs": n_graphs, "n_vertices": n_vertices, "seed": seed},
+    )
+
+
+@register_executor("complexity.probe")
+def _execute_probe_node(payload: dict, ctx) -> dict:
+    return time_gram_stages(
+        payload["n_graphs"], payload["n_vertices"], seed=payload["seed"],
+        ctx=ctx,
+    )
+
+
 def run_complexity(
     *,
-    vertex_sweep=(16, 24, 36, 54),
-    graph_sweep=(8, 16, 32, 64, 128),
+    vertex_sweep=VERTEX_SWEEP,
+    graph_sweep=GRAPH_SWEEP,
     seed: int = 0,
     ctx=None,
 ) -> dict:
     """Measure both sweeps and fit per-stage scaling exponents."""
-    vertex_rows = []
-    for n in vertex_sweep:
-        stages = time_gram_stages(10, n, seed=seed, ctx=ctx)
-        vertex_rows.append(
-            {
-                "n (vertices)": n,
-                "prepare s": round(stages["prepare"], 4),
-                "pairwise s": round(stages["pairwise"], 4),
-                "total s": round(stages["total"], 4),
-            }
+    from repro.campaign import run_campaign_plan
+    from repro.errors import CampaignError
+
+    plan = build_complexity_campaign(
+        vertex_sweep=vertex_sweep, graph_sweep=graph_sweep, seed=seed, ctx=ctx
+    )
+    run = run_campaign_plan(plan, ctx=ctx)
+    if run.failed:
+        first = run.failed[0]
+        raise CampaignError(
+            f"complexity campaign: {len(run.failed)} probes failed; first "
+            f"{first.name}:\n{first.error}"
         )
-    graph_rows = []
-    for count in graph_sweep:
-        stages = time_gram_stages(count, 20, seed=seed, ctx=ctx)
-        graph_rows.append(
-            {
-                "N (graphs)": count,
-                "prepare s": round(stages["prepare"], 4),
-                "pairwise s": round(stages["pairwise"], 4),
-                "total s": round(stages["total"], 4),
-            }
-        )
+    vertex_rows = [
+        _vertex_row(int(name.split(":", 1)[1]), stages)
+        for name, stages in run.results.items()
+        if name.startswith("vertices:")
+    ]
+    graph_rows = [
+        _graph_row(int(name.split(":", 1)[1]), stages)
+        for name, stages in run.results.items()
+        if name.startswith("graphs:")
+    ]
     return {
         "vertex_rows": vertex_rows,
         "graph_rows": graph_rows,
         "vertex_slope": fit_loglog_slope(
-            vertex_sweep, [row["total s"] for row in vertex_rows]
+            [row["n (vertices)"] for row in vertex_rows],
+            [row["total s"] for row in vertex_rows],
         ),
         "graph_prepare_slope": fit_loglog_slope(
-            graph_sweep, [row["prepare s"] for row in graph_rows]
+            [row["N (graphs)"] for row in graph_rows],
+            [row["prepare s"] for row in graph_rows],
         ),
         "graph_pairwise_slope": fit_loglog_slope(
-            graph_sweep, [row["pairwise s"] for row in graph_rows]
+            [row["N (graphs)"] for row in graph_rows],
+            [row["pairwise s"] for row in graph_rows],
         ),
     }
 
 
+def _vertex_row(n_vertices: int, stages: dict) -> dict:
+    return {
+        "n (vertices)": n_vertices,
+        "prepare s": round(stages["prepare"], 4),
+        "pairwise s": round(stages["pairwise"], 4),
+        "total s": round(stages["total"], 4),
+    }
+
+
+def _graph_row(n_graphs: int, stages: dict) -> dict:
+    return {
+        "N (graphs)": n_graphs,
+        "prepare s": round(stages["prepare"], 4),
+        "pairwise s": round(stages["pairwise"], 4),
+        "total s": round(stages["total"], 4),
+    }
+
+
+def render_complexity(results: "dict[str, dict]") -> str:
+    """Render both sweep tables plus fitted slopes from probe results."""
+    vertex_rows = [
+        _vertex_row(int(name.split(":", 1)[1]), stages)
+        for name, stages in results.items()
+        if name.startswith("vertices:")
+    ]
+    graph_rows = [
+        _graph_row(int(name.split(":", 1)[1]), stages)
+        for name, stages in results.items()
+        if name.startswith("graphs:")
+    ]
+    if not vertex_rows or not graph_rows:
+        return "(no results)"
+    vertex_slope = fit_loglog_slope(
+        [row["n (vertices)"] for row in vertex_rows],
+        [row["total s"] for row in vertex_rows],
+    )
+    prepare_slope = fit_loglog_slope(
+        [row["N (graphs)"] for row in graph_rows],
+        [row["prepare s"] for row in graph_rows],
+    )
+    pairwise_slope = fit_loglog_slope(
+        [row["N (graphs)"] for row in graph_rows],
+        [row["pairwise s"] for row in graph_rows],
+    )
+    return (
+        format_table(vertex_rows)
+        + f"\nlog-log total slope vs n: {vertex_slope:.2f} "
+        + "(n enters the O(N n^3) preparation term only)\n\n"
+        + format_table(graph_rows)
+        + f"\nlog-log slope vs N — prepare: {prepare_slope:.2f}"
+        + " (expected ~1), pairwise: "
+        + f"{pairwise_slope:.2f} (expected ~2; the paper's"
+        + " O(N^2) term)"
+    )
+
+
 def main(argv=None) -> str:  # pragma: no cover - CLI glue
+    from repro.campaign import run_campaign_plan
     from repro.experiments.config import execution_context
 
-    result = run_complexity(ctx=execution_context())
-    output = (
-        format_table(result["vertex_rows"])
-        + f"\nlog-log total slope vs n: {result['vertex_slope']:.2f} "
-        + "(n enters the O(N n^3) preparation term only)\n\n"
-        + format_table(result["graph_rows"])
-        + f"\nlog-log slope vs N — prepare: {result['graph_prepare_slope']:.2f}"
-        + " (expected ~1), pairwise: "
-        + f"{result['graph_pairwise_slope']:.2f} (expected ~2; the paper's"
-        + " O(N^2) term)"
+    ctx = execution_context()
+    plan = build_complexity_campaign(ctx=ctx)
+    run = run_campaign_plan(plan, ctx=ctx)
+    output = ReportOutput(
+        run.report(),
+        failed=[(state.name, state.error) for state in run.failed],
     )
     print(output)
     return output

@@ -15,8 +15,16 @@ import numpy as np
 
 from repro.alignment.depth_based import DBRepresentationExtractor
 from repro.alignment.prototypes import fit_prototype_hierarchy
+from repro.campaign import (
+    Campaign,
+    CampaignNode,
+    CampaignPlan,
+    node_key,
+    register_campaign,
+    register_executor,
+)
 from repro.datasets import load_dataset
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import ReportOutput, format_table
 
 
 def run_figure2(
@@ -78,13 +86,68 @@ def ascii_scatter(
     return "\n".join("".join(row) for row in canvas)
 
 
-def main(argv=None) -> str:  # pragma: no cover - CLI glue
-    result = run_figure2()
+# ---------------------------------------------------------------------- #
+# Campaign declaration
+# ---------------------------------------------------------------------- #
+
+
+@register_campaign("figure2")
+def build_figure2_campaign(
+    *,
+    n_prototypes: int = 16,
+    n_levels: int = 3,
+    seed: int = 0,
+    ctx=None,
+) -> CampaignPlan:
+    """One ``figure2.hierarchy`` node: the whole construction is one cell."""
+    params = {
+        "n_prototypes": int(n_prototypes),
+        "n_levels": int(n_levels),
+        "seed": int(seed),
+    }
+    node = CampaignNode(
+        name="hierarchy",
+        kind="figure2.hierarchy",
+        key=node_key("figure2.hierarchy", ctx=ctx, params=params),
+        payload=params,
+    )
+    return CampaignPlan(Campaign("figure2", [node]), render_figure2)
+
+
+@register_executor("figure2.hierarchy")
+def _execute_hierarchy_node(payload: dict, ctx) -> dict:
+    result = run_figure2(
+        n_prototypes=payload["n_prototypes"],
+        n_levels=payload["n_levels"],
+        seed=payload["seed"],
+    )
+    # The fitted hierarchy object is not JSON-able (and not needed for
+    # the report) — the recorded result keeps only the renderable facts.
+    return {key: result[key] for key in ("n_points", "levels", "ascii")}
+
+
+def render_figure2(results: "dict[str, dict]") -> str:
+    result = results.get("hierarchy")
+    if result is None:
+        return "(no results)"
     table = format_table(result["levels"])
-    output = (
+    return (
         f"{result['n_points']} vertex representations\n\n{table}\n\n"
         f"level-1 prototypes (#) over vertex representations (.):\n"
         f"{result['ascii']}"
+    )
+
+
+def main(argv=None) -> str:  # pragma: no cover - CLI glue
+    from repro.campaign import run_campaign_plan
+    from repro.experiments.config import execution_context
+
+    ctx = execution_context()
+    plan = build_figure2_campaign(ctx=ctx)
+    run = run_campaign_plan(plan, ctx=ctx)
+    output = ReportOutput(
+        run.report(),
+        failed=[(state.name, state.error) for state in run.failed],
     )
     print(output)
     return output

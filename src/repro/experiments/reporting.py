@@ -11,6 +11,26 @@ import os
 from typing import Sequence
 
 
+class ReportOutput(str):
+    """A rendered report that also carries the run's failures.
+
+    Behaves exactly like the report string (every existing caller keeps
+    printing/saving it), but the CLI dispatcher reads ``failed`` —
+    ``(node name, stored traceback)`` pairs from the campaign run — to
+    list what broke and exit non-zero instead of silently saving a
+    partial table.
+    """
+
+    failed: "tuple[tuple[str, str], ...]" = ()
+
+    def __new__(cls, text: str, *, failed=()):
+        output = super().__new__(cls, text)
+        output.failed = tuple(
+            (str(name), str(error or "")) for name, error in failed
+        )
+        return output
+
+
 def format_table(rows: Sequence[dict], *, columns: "list[str] | None" = None) -> str:
     """Render row dicts as a GitHub-markdown table.
 

@@ -109,6 +109,19 @@ def main(argv=None) -> int:
         )
         path = save_report(name, output, metadata=metadata)
         print(f"\n[saved to {path}]")
+    failures = getattr(output, "failed", ())
+    if failures:
+        # A failed cell must fail the invocation (CI depends on the exit
+        # code), after the partial report is saved for triage; the full
+        # stored tracebacks are in `python -m repro.campaign status`.
+        print(f"\n{len(failures)} cells failed:", file=sys.stderr)
+        for cell_name, error in failures:
+            lines = (error or "").strip().splitlines()
+            print(
+                f"  {cell_name}: {lines[-1] if lines else 'no error recorded'}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -5,6 +5,13 @@ scale, compute the normalised Gram matrix, repair indefinite baselines to
 PSD, run the repeated stratified 10-fold C-SVM protocol, and report
 ``mean ± standard error`` exactly as the paper does.
 
+The sweep itself is declared as a campaign (:mod:`repro.campaign`):
+:func:`build_table4_campaign` emits, per cell, a Gram node and a CV node
+keyed by kernel fingerprint + dataset digest + the value-relevant
+context record, so ``python -m repro.campaign run table4`` can be killed
+and resumed with only the unfinished cells recomputing. This module
+keeps only the per-node executors and the thin row formatting.
+
 Paper accuracies are included for side-by-side comparison; the *shape*
 (who wins where) is the reproduction target, not the absolute numbers —
 our datasets are synthetic surrogates (DESIGN.md §2).
@@ -14,6 +21,14 @@ from __future__ import annotations
 
 import time
 
+from repro.campaign import (
+    Campaign,
+    CampaignNode,
+    CampaignPlan,
+    node_key,
+    register_campaign,
+    register_executor,
+)
 from repro.datasets import load_dataset
 from repro.experiments.config import (
     TABLE4_DATASETS,
@@ -22,7 +37,7 @@ from repro.experiments.config import (
     dataset_scale,
 )
 from repro.experiments.kernel_zoo import INDEFINITE_KERNELS
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import ReportOutput, format_table
 from repro.ml import GramConditioner, cross_validate_kernel
 from repro.utils.logging import get_logger
 
@@ -86,6 +101,18 @@ def cell_kernel_spec(kernel_name: str, *, seed: int = 0, n_prototypes: int = 32)
     ).resolved()
 
 
+def _cell_dataset(dataset_name: str, seed: int):
+    """The dataset one cell evaluates on, at the configured scale."""
+    scale_cfg = dataset_scale(dataset_name)
+    dataset = load_dataset(
+        dataset_name,
+        scale=scale_cfg.scale,
+        size_scale=scale_cfg.size_scale,
+        seed=seed,
+    )
+    return scale_cfg, dataset
+
+
 def evaluate_cell(
     kernel_name: str,
     dataset_name: str,
@@ -94,6 +121,7 @@ def evaluate_cell(
     n_repeats: "int | None" = None,
     store=None,
     ctx=None,
+    dataset_digest: "str | None" = None,
 ) -> dict:
     """One Table IV cell: accuracy of ``kernel_name`` on ``dataset_name``.
 
@@ -104,11 +132,9 @@ def evaluate_cell(
     on a miss. The miss computation itself runs as a tile-checkpointed
     execution plan: every finished tile commits to the store before the
     next is computed, so a sweep killed *mid-Gram* resumes at the first
-    unfinished tile, not from the cell boundary (PR 2's whole-Gram
-    granularity). Completed cells still reload in milliseconds and
-    produce the identical report (the CV protocol is deterministic given
-    the seed); the per-cell tile counters land in the report footer,
-    and each cell records its resolved kernel spec + context.
+    unfinished tile, not from the cell boundary. ``dataset_digest`` is
+    the precomputed collection digest — campaign builders hash each
+    dataset once and thread it through every cell of the sweep.
     """
     from repro.api import ExecutionContext
 
@@ -116,13 +142,7 @@ def evaluate_cell(
         ctx = ExecutionContext(store=store)
     elif store is not None:
         ctx = ctx.replace(store=store)
-    scale_cfg = dataset_scale(dataset_name)
-    dataset = load_dataset(
-        dataset_name,
-        scale=scale_cfg.scale,
-        size_scale=scale_cfg.size_scale,
-        seed=seed,
-    )
+    scale_cfg, dataset = _cell_dataset(dataset_name, seed)
     spec = cell_kernel_spec(
         kernel_name, seed=seed, n_prototypes=scale_cfg.haqjsk_prototypes
     )
@@ -143,6 +163,7 @@ def evaluate_cell(
         tile_checkpoint=ctx.tile_checkpoint,
         stats=stats,
         ctx=ctx.replace(store=None),
+        digest=dataset_digest,
     )
     gram_seconds = time.perf_counter() - started
     gram_cached = stats["cached"]
@@ -189,6 +210,130 @@ def evaluate_cell(
     }
 
 
+# ---------------------------------------------------------------------- #
+# Campaign declaration
+# ---------------------------------------------------------------------- #
+
+
+@register_campaign("table4")
+def build_table4_campaign(
+    *,
+    kernels=None,
+    datasets=None,
+    seed: int = 0,
+    n_repeats: "int | None" = None,
+    ctx=None,
+) -> CampaignPlan:
+    """Declare the Table IV sweep as a campaign DAG.
+
+    Per cell: a ``table4.gram`` node (the dominant cost, persisted to the
+    context's store — emitted only when a store is configured) feeding a
+    ``table4.cell`` node (conditioning + CV + row values). Each dataset
+    is loaded and digested exactly once here; the digest threads through
+    every node key and payload of its column, so the cells never re-hash
+    the collection.
+    """
+    from repro.graphs.hashing import collection_digest
+
+    repeats = n_repeats or cv_repeats()
+    has_store = ctx is not None and getattr(ctx, "store", None) is not None
+    nodes = []
+    for dataset_name in datasets or TABLE4_DATASETS:
+        scale_cfg, dataset = _cell_dataset(dataset_name, seed)
+        digest = collection_digest(dataset.graphs)
+        for kernel_name in kernels or TABLE4_KERNELS:
+            spec = cell_kernel_spec(
+                kernel_name, seed=seed, n_prototypes=scale_cfg.haqjsk_prototypes
+            )
+            fingerprint = spec.fingerprint()
+            ensure_psd = kernel_name in INDEFINITE_KERNELS
+            payload = {
+                "kernel": kernel_name,
+                "dataset": dataset_name,
+                "seed": seed,
+                "repeats": repeats,
+                "digest": digest,
+            }
+            deps = ()
+            if has_store:
+                gram_name = f"gram:{kernel_name}:{dataset_name}"
+                nodes.append(
+                    CampaignNode(
+                        name=gram_name,
+                        kind="table4.gram",
+                        key=node_key(
+                            "table4.gram",
+                            fingerprint=fingerprint,
+                            digest=digest,
+                            ctx=ctx,
+                            params={"normalize": True, "ensure_psd": ensure_psd},
+                        ),
+                        payload=payload,
+                        priority=1,
+                    )
+                )
+                deps = (gram_name,)
+            nodes.append(
+                CampaignNode(
+                    name=f"cell:{kernel_name}:{dataset_name}",
+                    kind="table4.cell",
+                    key=node_key(
+                        "table4.cell",
+                        fingerprint=fingerprint,
+                        digest=digest,
+                        ctx=ctx,
+                        params={"seed": seed, "repeats": repeats},
+                    ),
+                    payload=payload,
+                    deps=deps,
+                )
+            )
+    return CampaignPlan(Campaign("table4", nodes), render_table4)
+
+
+@register_executor("table4.gram")
+def _execute_gram_node(payload: dict, ctx) -> dict:
+    """Compute and persist one cell's Gram matrix (the heavy stage)."""
+    from repro.api import ExecutionContext
+    from repro.store import store_backed_gram
+
+    if ctx is None:
+        ctx = ExecutionContext()
+    scale_cfg, dataset = _cell_dataset(payload["dataset"], payload["seed"])
+    spec = cell_kernel_spec(
+        payload["kernel"], seed=payload["seed"],
+        n_prototypes=scale_cfg.haqjsk_prototypes,
+    )
+    stats: dict = {}
+    started = time.perf_counter()
+    store_backed_gram(
+        spec.make(),
+        dataset.graphs,
+        ctx.store,
+        normalize=True,
+        ensure_psd=payload["kernel"] in INDEFINITE_KERNELS,
+        tile_checkpoint=ctx.tile_checkpoint,
+        stats=stats,
+        ctx=ctx.replace(store=None),
+        digest=payload.get("digest"),
+    )
+    stats["seconds"] = time.perf_counter() - started
+    return stats
+
+
+@register_executor("table4.cell")
+def _execute_cell_node(payload: dict, ctx) -> dict:
+    """Conditioning + CV for one cell (its Gram node already persisted)."""
+    return evaluate_cell(
+        payload["kernel"],
+        payload["dataset"],
+        seed=payload["seed"],
+        n_repeats=payload.get("repeats"),
+        ctx=ctx,
+        dataset_digest=payload.get("digest"),
+    )
+
+
 def run_table4(
     *,
     kernels=None,
@@ -198,21 +343,37 @@ def run_table4(
     store=None,
     ctx=None,
 ) -> "list[dict]":
-    """All requested Table IV cells (defaults: the full paper grid)."""
-    cells = []
-    for dataset_name in datasets or TABLE4_DATASETS:
-        for kernel_name in kernels or TABLE4_KERNELS:
-            cells.append(
-                evaluate_cell(
-                    kernel_name,
-                    dataset_name,
-                    seed=seed,
-                    n_repeats=n_repeats,
-                    store=store,
-                    ctx=ctx,
-                )
-            )
-    return cells
+    """All requested Table IV cells (defaults: the full paper grid).
+
+    Declares the sweep as a campaign and drives it through the runner —
+    with a store-backed context the campaign database rides the store
+    directory, so a killed call resumes where it stopped; without one
+    the scheduling state is ephemeral. A failed cell raises with the
+    stored executor traceback.
+    """
+    from repro.api import ExecutionContext
+    from repro.campaign import run_campaign_plan
+    from repro.errors import CampaignError
+
+    if ctx is None:
+        ctx = ExecutionContext(store=store)
+    elif store is not None:
+        ctx = ctx.replace(store=store)
+    plan = build_table4_campaign(
+        kernels=kernels, datasets=datasets, seed=seed, n_repeats=n_repeats,
+        ctx=ctx,
+    )
+    run = run_campaign_plan(plan, ctx=ctx)
+    if run.failed:
+        first = run.failed[0]
+        raise CampaignError(
+            f"table4 campaign: {len(run.failed)} nodes failed; first "
+            f"{first.name}:\n{first.error}"
+        )
+    return [
+        result for name, result in run.results.items()
+        if name.startswith("cell:")
+    ]
 
 
 def cells_to_rows(cells: "list[dict]") -> "list[dict]":
@@ -231,6 +392,20 @@ def cells_to_rows(cells: "list[dict]") -> "list[dict]":
     return ordered
 
 
+def render_table4(results: "dict[str, dict]") -> str:
+    """Render the paper-shaped table from campaign results.
+
+    Pure function of the recorded cell *values* (accuracy ± stderr), so
+    an interrupted-and-resumed campaign renders byte-identical output to
+    an uninterrupted one — scheduling accounting never enters the table.
+    """
+    cells = [
+        result for name, result in results.items()
+        if name.startswith("cell:")
+    ]
+    return format_table(cells_to_rows(cells))
+
+
 def main(argv=None) -> str:  # pragma: no cover - CLI glue
     import argparse
 
@@ -246,30 +421,26 @@ def main(argv=None) -> str:  # pragma: no cover - CLI glue
         "(default: $REPRO_STORE; unset = recompute everything)",
     )
     args = parser.parse_args(argv)
+    from repro.campaign import run_campaign_plan
     from repro.experiments.config import execution_context
 
     ctx = execution_context(args.store)
-    cells = run_table4(
+    plan = build_table4_campaign(
         kernels=args.kernels, datasets=args.datasets, seed=args.seed,
         n_repeats=args.repeats, ctx=ctx,
     )
-    table = format_table(cells_to_rows(cells))
+    run = run_campaign_plan(plan, ctx=ctx)
+    table = run.report()
     if ctx.store is not None:
-        # Tile-resume accounting for the report footer (italic line, so
-        # report diffs that strip metadata ignore it): how much of the
-        # sweep's pair work came back from checkpointed tiles.
-        cached = sum(1 for cell in cells if cell["gram_cached"])
-        restored = sum(cell["gram_tiles_restored"] for cell in cells)
-        computed = sum(cell["gram_tiles_computed"] for cell in cells)
         # Single "\n": the line must start with "_" so report diffs that
         # strip italic metadata (grep -v '^_') see identical tables with
         # and without a store.
-        table += (
-            f"\n_tile resume: {cached}/{len(cells)} Grams cached whole, "
-            f"{restored} tiles restored, {computed} tiles computed_"
-        )
-    print(table)
-    return table
+        table += f"\n_{run.summary()}_"
+    output = ReportOutput(
+        table, failed=[(state.name, state.error) for state in run.failed]
+    )
+    print(output)
+    return output
 
 
 if __name__ == "__main__":  # pragma: no cover

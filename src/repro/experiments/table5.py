@@ -3,12 +3,26 @@
 The deep models (DGCNN, PSGCNN, DCNN) are trained per CV fold with Adam on
 the numpy autograd; the embedding methods (DGK, AWE) produce Gram matrices
 and reuse the kernel CV protocol, exactly as their original papers do.
+
+Like Table IV, the sweep is declared as a campaign
+(:func:`build_table5_campaign`): one ``table5.cell`` node per (model,
+dataset), keyed by the model's configuration, the dataset digest and the
+value-relevant context record, so a killed ``python -m repro.campaign
+run table5`` resumes with only the unfinished cells recomputing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.campaign import (
+    Campaign,
+    CampaignNode,
+    CampaignPlan,
+    node_key,
+    register_campaign,
+    register_executor,
+)
 from repro.datasets import load_dataset
 from repro.experiments.config import (
     TABLE5_DATASETS,
@@ -17,7 +31,7 @@ from repro.experiments.config import (
     dataset_scale,
 )
 from repro.experiments.kernel_zoo import make_kernel
-from repro.experiments.reporting import format_table
+from repro.experiments.reporting import ReportOutput, format_table
 from repro.gnn import (
     DCNN,
     DGCNN,
@@ -146,21 +160,110 @@ def evaluate_cell(
     }
 
 
+# ---------------------------------------------------------------------- #
+# Campaign declaration
+# ---------------------------------------------------------------------- #
+
+
+@register_campaign("table5")
+def build_table5_campaign(
+    *,
+    models=None,
+    datasets=None,
+    seed: int = 0,
+    n_repeats: "int | None" = None,
+    ctx=None,
+) -> CampaignPlan:
+    """Declare the Table V sweep: one ``table5.cell`` node per cell.
+
+    Kernel rows key on the kernel's configuration fingerprint; trained /
+    embedding models carry their identity in the node parameters. Each
+    dataset is loaded and digested once, here.
+    """
+    from repro.graphs.hashing import collection_digest
+
+    nodes = []
+    for dataset_name in datasets or TABLE5_DATASETS:
+        scale_cfg = dataset_scale(dataset_name)
+        dataset = load_dataset(
+            dataset_name, scale=scale_cfg.scale,
+            size_scale=scale_cfg.size_scale, seed=seed,
+        )
+        digest = collection_digest(dataset.graphs)
+        for model_name in models or TABLE5_MODELS:
+            fingerprint = None
+            if (
+                model_name not in _TRAINED_MODELS
+                and model_name not in _EMBEDDING_KERNELS
+            ):
+                fingerprint = make_kernel(
+                    model_name, n_prototypes=scale_cfg.haqjsk_prototypes,
+                    seed=seed,
+                ).fingerprint()
+            nodes.append(
+                CampaignNode(
+                    name=f"cell:{model_name}:{dataset_name}",
+                    kind="table5.cell",
+                    key=node_key(
+                        "table5.cell",
+                        fingerprint=fingerprint,
+                        digest=digest,
+                        ctx=ctx,
+                        params={
+                            "model": model_name,
+                            "seed": seed,
+                            "repeats": n_repeats,
+                            "cv": cv_repeats(),
+                            "epochs": 40,
+                            "prototypes": scale_cfg.haqjsk_prototypes,
+                        },
+                    ),
+                    payload={
+                        "model": model_name,
+                        "dataset": dataset_name,
+                        "seed": seed,
+                        "repeats": n_repeats,
+                    },
+                )
+            )
+    return CampaignPlan(Campaign("table5", nodes), render_table5)
+
+
+@register_executor("table5.cell")
+def _execute_cell_node(payload: dict, ctx) -> dict:
+    return evaluate_cell(
+        payload["model"],
+        payload["dataset"],
+        seed=payload["seed"],
+        n_repeats=payload.get("repeats"),
+        ctx=ctx,
+    )
+
+
 def run_table5(
     *, models=None, datasets=None, seed: int = 0,
     n_repeats: "int | None" = None, ctx=None,
 ) -> "list[dict]":
-    """All requested Table V cells (defaults: the paper grid)."""
-    cells = []
-    for dataset_name in datasets or TABLE5_DATASETS:
-        for model_name in models or TABLE5_MODELS:
-            cells.append(
-                evaluate_cell(
-                    model_name, dataset_name, seed=seed,
-                    n_repeats=n_repeats, ctx=ctx,
-                )
-            )
-    return cells
+    """All requested Table V cells (defaults: the paper grid).
+
+    Runs through the campaign runner; a failed cell raises with the
+    stored executor traceback.
+    """
+    from repro.campaign import run_campaign_plan
+    from repro.errors import CampaignError
+
+    plan = build_table5_campaign(
+        models=models, datasets=datasets, seed=seed, n_repeats=n_repeats,
+        ctx=ctx,
+    )
+    run = run_campaign_plan(plan, ctx=ctx)
+    if run.failed:
+        first = run.failed[0]
+        raise CampaignError(
+            f"table5 campaign: {len(run.failed)} nodes failed; first "
+            f"{first.name}:\n{first.error}"
+        )
+    return list(run.results.values())
 
 
 def cells_to_rows(cells: "list[dict]") -> "list[dict]":
@@ -174,6 +277,11 @@ def cells_to_rows(cells: "list[dict]") -> "list[dict]":
     return list(rows.values())
 
 
+def render_table5(results: "dict[str, dict]") -> str:
+    """Render the table from campaign results (pure value formatting)."""
+    return format_table(cells_to_rows(list(results.values())))
+
+
 def main(argv=None) -> str:  # pragma: no cover - CLI glue
     import argparse
 
@@ -183,15 +291,21 @@ def main(argv=None) -> str:  # pragma: no cover - CLI glue
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
+    from repro.campaign import run_campaign_plan
     from repro.experiments.config import execution_context
 
-    cells = run_table5(
+    ctx = execution_context()
+    plan = build_table5_campaign(
         models=args.models, datasets=args.datasets, seed=args.seed,
-        n_repeats=args.repeats, ctx=execution_context(),
+        n_repeats=args.repeats, ctx=ctx,
     )
-    table = format_table(cells_to_rows(cells))
-    print(table)
-    return table
+    run = run_campaign_plan(plan, ctx=ctx)
+    output = ReportOutput(
+        run.report(),
+        failed=[(state.name, state.error) for state in run.failed],
+    )
+    print(output)
+    return output
 
 
 if __name__ == "__main__":  # pragma: no cover

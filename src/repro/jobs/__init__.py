@@ -1,0 +1,21 @@
+"""Durable job scheduling: a sqlite-persisted priority queue.
+
+The queue is the scheduling substrate shared by the campaign runner
+(:mod:`repro.campaign`) and, per the roadmap, the future HTTP serving
+layer: long-running work (Gram computations, training, experiment cells)
+is submitted as :class:`QueuedJob` records that survive process death —
+statuses, retries with backoff, cancellation and lease-style requeue all
+live in one crash-safe sqlite file.
+"""
+
+from repro.jobs.queue import (
+    JOB_STATUSES,
+    JobQueue,
+    QueuedJob,
+)
+
+__all__ = [
+    "JOB_STATUSES",
+    "JobQueue",
+    "QueuedJob",
+]

@@ -59,17 +59,22 @@ def gram_key(
     normalize: bool = False,
     ensure_psd: bool = False,
     extra: "dict | None" = None,
+    digest: "str | None" = None,
 ) -> str:
     """The store key of ``kernel.gram(graphs, normalize=, ensure_psd=)``.
 
     Combines the kernel's configuration fingerprint, the ordered
     collection digest and the Gram options; ``extra`` mixes in run-level
     context (e.g. whether downstream conditioning was applied).
+    ``digest`` is the precomputed collection digest of ``graphs`` — a
+    caller that already hashed the collection (a campaign builder keying
+    a whole sweep over one dataset) passes it through rather than paying
+    the full-collection hash again per cell.
     """
     payload = json.dumps(
         {
             "kernel": kernel.fingerprint(),
-            "graphs": collection_digest(graphs),
+            "graphs": digest if digest is not None else collection_digest(graphs),
             "normalize": bool(normalize),
             "ensure_psd": bool(ensure_psd),
             "extra": extra or {},
@@ -364,6 +369,7 @@ def store_backed_gram(
     tile_checkpoint: bool = False,
     stats: "dict | None" = None,
     ctx=None,
+    digest: "str | None" = None,
 ) -> np.ndarray:
     """Fetch ``kernel.gram(graphs, ...)`` from the store, computing on miss.
 
@@ -418,7 +424,8 @@ def store_backed_gram(
     streams = tile_checkpoint and getattr(kernel, "streams_tiles", False)
     dependent = not getattr(kernel, "collection_independent", False)
     key = gram_key(
-        kernel, graphs, normalize=normalize, ensure_psd=ensure_psd, extra=extra
+        kernel, graphs, normalize=normalize, ensure_psd=ensure_psd,
+        extra=extra, digest=digest,
     )
     cached = store.get_array("gram", key)
     if cached is not None:

@@ -1,0 +1,102 @@
+"""SIGKILL a campaign mid-node; resume recomputes only the unfinished DAG.
+
+The acceptance path for the campaign layer: ``python -m repro.campaign
+run table4 --store DIR`` killed at an arbitrary instant, then resumed —
+the campaign database must show only the unfinished nodes executing on
+the second run, and the final report must be byte-identical to an
+uninterrupted run.
+"""
+
+import os
+import re
+import sqlite3
+import subprocess
+import sys
+import time
+
+#: table4 restricted to 2 kernels x 1 dataset = 4 nodes (gram + cell each).
+TOTAL_NODES = 4
+
+
+def _run_cmd(store, report):
+    return [
+        sys.executable, "-m", "repro.campaign", "run", "table4",
+        "--store", store, "--kernels", "QJSK", "WLSK",
+        "--datasets", "MUTAG", "--repeats", "1", "--report", report,
+    ]
+
+
+def _done_count(db_path):
+    """Committed done nodes, read from outside the dying process."""
+    if not os.path.exists(db_path):
+        return 0
+    try:
+        conn = sqlite3.connect(db_path, timeout=5.0)
+        try:
+            row = conn.execute(
+                "SELECT COUNT(*) FROM campaign_nodes WHERE status='done'"
+            ).fetchone()
+            return int(row[0])
+        finally:
+            conn.close()
+    except sqlite3.OperationalError:
+        return 0  # schema not created yet
+
+
+def test_sigkill_mid_campaign_resume_recomputes_only_unfinished(tmp_path):
+    store = str(tmp_path / "store")
+    db_path = os.path.join(store, "campaign.db")
+
+    # Reference: the same campaign run uninterrupted in a fresh store.
+    ref_report = str(tmp_path / "reference.md")
+    ref = subprocess.run(
+        _run_cmd(str(tmp_path / "ref-store"), ref_report),
+        capture_output=True, text=True, timeout=600, env=os.environ.copy(),
+    )
+    assert ref.returncode == 0, ref.stderr
+
+    # Start the real run and SIGKILL it as soon as one node has landed.
+    proc = subprocess.Popen(
+        _run_cmd(store, str(tmp_path / "killed.md")),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        env=os.environ.copy(),
+    )
+    try:
+        deadline = time.monotonic() + 300
+        while _done_count(db_path) < 1:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    "campaign finished before it could be killed"
+                )
+            if time.monotonic() > deadline:
+                raise AssertionError("campaign never recorded a done node")
+            time.sleep(0.01)
+    finally:
+        proc.kill()  # SIGKILL: no cleanup, schedule left mid-flight
+    proc.wait(timeout=60)
+
+    done_before = _done_count(db_path)
+    assert 1 <= done_before < TOTAL_NODES
+
+    # Resume against the surviving sqlite file: only the unfinished
+    # nodes may execute; everything recorded as done must be skipped.
+    resumed_report = str(tmp_path / "resumed.md")
+    resumed = subprocess.run(
+        _run_cmd(store, resumed_report),
+        capture_output=True, text=True, timeout=600, env=os.environ.copy(),
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    summary = re.search(
+        r"done (\d+)/(\d+) \(executed (\d+), skipped (\d+)", resumed.stderr
+    )
+    assert summary is not None, resumed.stderr
+    done, total, executed, skipped = map(int, summary.groups())
+    assert (done, total) == (TOTAL_NODES, TOTAL_NODES)
+    assert executed == TOTAL_NODES - done_before
+    assert skipped == done_before
+    assert _done_count(db_path) == TOTAL_NODES
+
+    # The interrupted-then-resumed report is byte-identical to the
+    # uninterrupted one.
+    with open(ref_report, "rb") as ref_file, open(resumed_report, "rb") as res_file:
+        assert ref_file.read() == res_file.read()

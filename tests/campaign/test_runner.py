@@ -1,0 +1,247 @@
+"""CampaignRunner: queue-backed scheduling, resume, reuse, failure."""
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignDB,
+    CampaignNode,
+    CampaignPlan,
+    CampaignRunner,
+    node_key,
+    register_executor,
+    run_campaign_plan,
+)
+from repro.errors import CampaignError
+from repro.jobs import JobQueue
+
+#: Execution trace the synthetic executors append to (reset per test).
+CALLS = []
+
+
+@register_executor("runnertest.ok")
+def _ok_executor(payload, ctx):
+    CALLS.append(payload["name"])
+    return {"value": payload.get("value", 0)}
+
+
+@register_executor("runnertest.boom")
+def _boom_executor(payload, ctx):
+    CALLS.append(payload["name"])
+    raise RuntimeError(f"boom in {payload['name']}")
+
+
+@pytest.fixture(autouse=True)
+def _reset_calls():
+    CALLS.clear()
+
+
+@pytest.fixture()
+def db(tmp_path):
+    db = CampaignDB(str(tmp_path / "campaign.db"))
+    yield db
+    db.close()
+
+
+def _node(name, deps=(), kind="runnertest.ok", value=0, **params):
+    return CampaignNode(
+        name,
+        kind,
+        node_key(kind, params={"name": name, "value": value, **params}),
+        payload={"name": name, "value": value},
+        deps=deps,
+    )
+
+
+def _chain(campaign_name="chain", **params):
+    return Campaign(
+        campaign_name,
+        [
+            _node("gram", value=1, **params),
+            _node("cell", deps=("gram",), value=2, **params),
+            _node("row", deps=("cell",), value=3, **params),
+        ],
+    )
+
+
+def test_runs_nodes_in_dependency_order(db):
+    run = CampaignRunner(_chain(), db).run()
+    assert run.ok
+    assert run.executed == 3
+    assert CALLS == ["gram", "cell", "row"]
+    assert run.results["row"] == {"value": 3}
+    assert run.counts["done"] == 3
+
+
+def test_resume_skips_every_done_node(db):
+    campaign = _chain()
+    CampaignRunner(campaign, db).run()
+    CALLS.clear()
+
+    resumed = CampaignRunner(_chain(), db).run()
+    assert resumed.ok
+    assert resumed.executed == 0
+    assert resumed.restored == 3
+    assert CALLS == []
+    # The resumed results render to the identical report.
+    plan = CampaignPlan(campaign, render=lambda r: repr(sorted(r.items())))
+    assert plan.report(resumed.results) == plan.report(db.results(resumed.campaign_id))
+
+
+def test_max_nodes_stops_then_resume_finishes_the_rest(db):
+    partial = CampaignRunner(_chain(), db).run(max_nodes=1)
+    assert partial.stopped
+    assert not partial.ok
+    assert partial.executed == 1
+    assert partial.counts["done"] == 1
+    assert partial.counts["pending"] == 2
+
+    resumed = CampaignRunner(_chain(), db).run()
+    assert resumed.ok
+    assert resumed.executed == 2
+    assert resumed.restored == 1
+    assert CALLS == ["gram", "cell", "row"]
+
+
+def test_results_are_reused_across_campaigns_by_content_key(db):
+    first = CampaignRunner(Campaign("one", [_node("a", value=7)]), db).run()
+    assert first.executed == 1
+    CALLS.clear()
+
+    # A *different* campaign declares a node with the same content key:
+    # the recorded result is adopted without executing anything.
+    other = Campaign("two", [_node("a", value=7), _node("b", value=8)])
+    run = CampaignRunner(other, db).run()
+    assert run.ok
+    assert run.reused == 1
+    assert run.executed == 1
+    assert CALLS == ["b"]
+    assert run.results["a"] == {"value": 7}
+    states = db.node_states(run.campaign_id)
+    assert states["a"].reused and not states["b"].reused
+
+
+def test_changed_params_recompute_only_the_changed_node(db):
+    v1 = Campaign("grid", [_node("a", value=1), _node("b", value=2)])
+    CampaignRunner(v1, db).run()
+    CALLS.clear()
+
+    # Same grid, one cell's inputs changed: new campaign identity, but
+    # the unchanged cell still skips through key-level reuse.
+    v2 = Campaign("grid", [_node("a", value=1), _node("b", value=2, seed=1)])
+    assert v2.campaign_id != v1.campaign_id
+    run = CampaignRunner(v2, db).run()
+    assert run.ok
+    assert run.reused == 1
+    assert run.executed == 1
+    assert CALLS == ["b"]
+
+
+def test_failed_node_blocks_dependents(db):
+    campaign = Campaign(
+        "failing",
+        [
+            _node("bad", kind="runnertest.boom"),
+            _node("downstream", deps=("bad",)),
+            _node("independent"),
+        ],
+    )
+    run = CampaignRunner(campaign, db).run()
+    assert not run.ok
+    assert [s.name for s in run.failed] == ["bad"]
+    assert run.blocked == ["downstream"]
+    assert run.executed == 1  # only `independent` completed
+    assert CALLS == ["bad", "independent"]
+    assert "RuntimeError: boom in bad" in run.failed[0].error
+    assert run.counts == {
+        "pending": 1, "running": 0, "done": 1, "failed": 1, "cancelled": 0,
+    }
+
+
+def test_resume_retries_failed_and_cancelled_nodes(db):
+    campaign = Campaign("flaky", [_node("bad", kind="runnertest.boom")])
+    first = CampaignRunner(campaign, db).run()
+    assert [s.name for s in first.failed] == ["bad"]
+    db.cancel_pending(first.campaign_id)  # no-op: nothing pending
+
+    # Running again is the retry: the failed node is revived and
+    # re-executed (and fails again here, with a fresh stored error).
+    again = CampaignRunner(campaign, db).run()
+    assert CALLS == ["bad", "bad"]
+    assert [s.name for s in again.failed] == ["bad"]
+
+
+def test_reconcile_requeues_torn_claim_from_a_killed_run(db):
+    campaign = Campaign("torn", [_node("a")])
+    queue = JobQueue(db.path)
+    cid = db.ensure(campaign)
+    node = campaign.node("a")
+    job = queue.submit(
+        f"campaign:{cid}",
+        {"campaign": cid, "node": "a"},
+        key=f"{cid}:a:{node.key[:16]}",
+    )
+    queue.claim("dead-worker", kinds=(f"campaign:{cid}",))
+
+    # DB says pending, queue says running: the runner must heal the tear
+    # immediately (not wait out the lease) and execute the node.
+    run = CampaignRunner(campaign, db, queue).run()
+    assert run.ok and run.executed == 1
+    assert queue.get(job.id).status == "done"
+    queue.close()
+
+
+def test_reconcile_completes_job_for_already_done_node(db):
+    campaign = Campaign("torn2", [_node("a")])
+    queue = JobQueue(db.path)
+    cid = db.ensure(campaign)
+    node = campaign.node("a")
+    job = queue.submit(
+        f"campaign:{cid}",
+        {"campaign": cid, "node": "a"},
+        key=f"{cid}:a:{node.key[:16]}",
+    )
+    queue.claim("dead-worker", kinds=(f"campaign:{cid}",))
+    db.mark_running(cid, "a")
+    db.mark_done(cid, "a", {"value": 0})
+
+    # Killed between the DB commit and the queue ack: nothing re-runs.
+    run = CampaignRunner(campaign, db, queue).run()
+    assert run.ok
+    assert run.executed == 0 and run.restored == 1
+    assert CALLS == []
+    assert queue.get(job.id).status == "done"
+    queue.close()
+
+
+def test_unknown_executor_kind_is_a_stored_failure(db):
+    campaign = Campaign(
+        "unknown", [_node("a", kind="runnertest.not-registered")]
+    )
+    run = CampaignRunner(campaign, db).run()
+    assert [s.name for s in run.failed] == ["a"]
+    assert "no executor registered" in run.failed[0].error
+
+
+def test_runner_rejects_non_plans(db):
+    with pytest.raises(CampaignError):
+        CampaignRunner(object(), db)
+
+
+def test_run_campaign_plan_is_ephemeral_without_db():
+    plan = CampaignPlan(
+        Campaign("ephemeral", [_node("a", value=5)]),
+        render=lambda results: f"value={results['a']['value']}",
+    )
+    run = run_campaign_plan(plan)
+    assert run.ok
+    assert run.report() == "value=5"
+
+
+def test_summary_line_counts(db):
+    run = CampaignRunner(_chain(), db).run()
+    summary = run.summary()
+    assert "done 3/3" in summary
+    assert "executed 3" in summary
+    resumed = CampaignRunner(_chain(), db).run()
+    assert "executed 0, skipped 3" in resumed.summary()

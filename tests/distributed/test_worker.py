@@ -173,3 +173,62 @@ class TestWorkStealingThreads:
         out = job.assemble(persist=False)
         ref = reference_gram("WLSK", graphs, ctx)
         assert out.tobytes() == ref.tobytes()
+
+
+class TestWatchMode:
+    def test_watch_works_every_seeded_job(self, graphs, ctx):
+        from repro.distributed import watch_jobs
+
+        store = ArtifactStore("mem:watch-two")
+        jobs = [
+            DistributedJob.submit(store, name, graphs, ctx=ctx)
+            for name in ("WLSK", "QJSK")
+        ]
+        totals = watch_jobs(store, worker_id="watcher", max_jobs=2)
+        assert totals["jobs"] == 2
+        assert totals["computed"] == sum(j.ledger.total() for j in jobs)
+        for job, name in zip(jobs, ("WLSK", "QJSK")):
+            out = job.assemble(persist=False)
+            ref = reference_gram(name, graphs, ctx)
+            assert out.tobytes() == ref.tobytes()
+
+    def test_watch_idle_timeout_returns(self, ctx):
+        from repro.distributed import watch_jobs
+
+        store = ArtifactStore("mem:watch-idle")
+        totals = watch_jobs(
+            store, worker_id="watcher", watch_poll=0.01, idle_timeout=0.05
+        )
+        assert totals["jobs"] == 0
+        assert totals["sweeps"] >= 1
+
+    def test_watch_picks_up_jobs_seeded_later(self, graphs, ctx):
+        from repro.distributed import watch_jobs
+
+        store = ArtifactStore("mem:watch-late")
+        seeded = {}
+
+        def seed_after_delay():
+            import time as _time
+
+            _time.sleep(0.1)
+            seeded["job"] = DistributedJob.submit(store, "WLSK", graphs, ctx=ctx)
+
+        seeder = threading.Thread(target=seed_after_delay)
+        seeder.start()
+        # The watcher starts against an empty store; the job arrives
+        # mid-watch and must still be worked to completion.
+        totals = watch_jobs(
+            store, worker_id="watcher", watch_poll=0.01, max_jobs=1
+        )
+        seeder.join()
+        assert totals["jobs"] == 1
+        assert not seeded["job"].ledger.pending()
+
+    def test_worker_cli_requires_exactly_one_mode(self, capsys):
+        from repro.distributed.worker import main
+
+        with pytest.raises(SystemExit):
+            main(["--store", "mem:cli-mode"])
+        with pytest.raises(SystemExit):
+            main(["--store", "mem:cli-mode", "--job", "x", "--watch"])

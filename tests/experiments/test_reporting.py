@@ -58,3 +58,34 @@ class TestBoldBest:
         rows = [{"acc": "n/a"}, {"acc": 5.0}]
         bold_best(rows, ["acc"])
         assert rows[0]["acc"] == "n/a"
+
+
+class TestReportOutput:
+    def test_is_a_string_carrying_failures(self):
+        from repro.experiments.reporting import ReportOutput
+
+        plain = ReportOutput("| table |")
+        assert plain == "| table |" and plain.failed == ()
+        failed = ReportOutput("| table |", failed=[("cell:a", "boom")])
+        assert failed.failed == (("cell:a", "boom"),)
+
+    def test_runner_exit_code_reflects_failed_cells(
+        self, monkeypatch, capsys, tmp_path
+    ):
+        from repro.experiments import runner
+        from repro.experiments.reporting import ReportOutput
+
+        monkeypatch.chdir(tmp_path)  # save_report writes ./results
+        bad = ReportOutput(
+            "| partial |",
+            failed=(("cell:X:Y", "Traceback ...\nValueError: bad cell"),),
+        )
+        monkeypatch.setitem(runner._EXPERIMENTS, "fake", lambda argv: bad)
+        assert runner.main(["fake"]) == 1
+        err = capsys.readouterr().err
+        assert "1 cells failed" in err
+        assert "cell:X:Y: ValueError: bad cell" in err
+
+        good = ReportOutput("| full |")
+        monkeypatch.setitem(runner._EXPERIMENTS, "fake", lambda argv: good)
+        assert runner.main(["fake"]) == 0
