@@ -63,6 +63,32 @@ class ServingError(ReproError):
     """A model bundle is missing, corrupt, or inconsistent with its data."""
 
 
+class ProtocolError(ServingError):
+    """A serving request body failed to parse or validate (HTTP 400).
+
+    Raised by :mod:`repro.serve.protocol` while decoding wire-format
+    graphs and request payloads — the message names the offending field,
+    and the HTTP layer maps the whole class to a 400 response.
+    """
+
+
+class ServerBusyError(ServingError):
+    """The serving queue passed its high-water mark (HTTP 503).
+
+    Backpressure, not failure: the micro-batcher refuses new work instead
+    of queueing unboundedly, and carries ``retry_after`` seconds the HTTP
+    layer surfaces as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ServeTimeoutError(ServingError):
+    """A serving request waited past its deadline (HTTP 504)."""
+
+
 class DistributedError(ReproError):
     """A distributed tile job is misconfigured, incomplete, or timed out."""
 

@@ -419,6 +419,28 @@ class JobQueue:
             raise CampaignError(f"no job {job_id!r} in {self.path!r}")
         return QueuedJob.from_row(row)
 
+    def wait(
+        self, job_id: int, *, timeout: float = 60.0, poll: float = 0.05
+    ) -> QueuedJob:
+        """Block until the job reaches a terminal state; return it.
+
+        Polling, not notification — sqlite has no wakeups, and the
+        waiters (serve-layer tests, CLI train-and-wait flows) are not
+        latency-critical. Raises :class:`CampaignError` on timeout with
+        the job's last observed status, so a hung worker is diagnosable.
+        """
+        deadline = time.monotonic() + float(timeout)
+        while True:
+            job = self.get(job_id)
+            if job.terminal:
+                return job
+            if time.monotonic() >= deadline:
+                raise CampaignError(
+                    f"job {job_id} still {job.status!r} after "
+                    f"{timeout:.1f}s (worker {job.worker!r})"
+                )
+            time.sleep(poll)
+
     def by_key(self, key: str) -> "QueuedJob | None":
         with self._lock:
             row = self._conn.execute(

@@ -1,4 +1,4 @@
-"""End-to-end prediction serving: train → persist → predict.
+"""End-to-end prediction serving: train → persist → predict — and HTTP.
 
 The missing last mile between the paper's protocol and the ROADMAP's
 serving north-star. :func:`train_bundle` fits the full pipeline (Gram →
@@ -17,17 +17,30 @@ never fresh statistics of the cross block (transductive) — the latter
 silently disagrees with the Gram the SVM was trained on. See the module
 docstring of :mod:`repro.ml.kernel_utils`.
 
-CLI: ``python -m repro.serve {train,predict,info}``.
+Networked serving lives in :mod:`repro.serve.server`: a stdlib threaded
+HTTP server whose :class:`~repro.serve.batcher.MicroBatcher` coalesces
+concurrent predict requests into one cross-block evaluation — the engine
+is far cheaper per graph on big ``(ΔN, N)`` rectangles — with training
+jobs flowing through the persistent :class:`~repro.jobs.JobQueue`.
+
+CLI: ``python -m repro.serve {train,predict,info,serve}``.
 """
 
+from repro.serve.batcher import BatchedPrediction, MicroBatcher
 from repro.serve.bundle import BUNDLE_KIND, ModelBundle, bundle_key, train_bundle
+from repro.serve.server import ServeApp, ServeServer, make_server
 from repro.serve.service import PredictionResult, PredictionService
 
 __all__ = [
     "BUNDLE_KIND",
+    "BatchedPrediction",
+    "MicroBatcher",
     "ModelBundle",
     "PredictionResult",
     "PredictionService",
+    "ServeApp",
+    "ServeServer",
     "bundle_key",
+    "make_server",
     "train_bundle",
 ]

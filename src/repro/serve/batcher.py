@@ -1,0 +1,336 @@
+"""Micro-batching request coalescing — the serving-throughput core.
+
+The engine's cross-block math is far cheaper per graph when the
+``(ΔN, N)`` rectangle is big (``benchmarks/bench_serve.py``: graphs/sec
+rises steeply with batch size — one batched eigendecomposition sweep and
+one conditioning/voting pass amortise over every row). A request-per-call
+server throws that away: each caller pays the one-graph price.
+
+:class:`MicroBatcher` recovers the batch shape from *concurrent* traffic:
+
+* a request's graphs enqueue into a coalescing window; the caller blocks
+  on a per-request future;
+* the dispatcher thread wakes on the first enqueue, waits out the window
+  (``window_ms``) while more requests pile in — or cuts it short the
+  moment ``max_batch_graphs`` is reached;
+* it drains the queue into **one** ``predict`` over the concatenated
+  graph list — one cross-block rectangle — and fans the result slices
+  back to each waiter.
+
+The identity guarantee (tested in ``tests/serve`` and asserted by
+``benchmarks/bench_http_serve.py``): each waiter's slice equals what a
+solo ``predict`` over just its graphs would have returned, because cross
+rows are computed row-independently — coalescing changes *when* rows are
+computed, never their values' meaning. Batching is therefore a pure
+throughput knob: ``window_ms=0`` degrades to per-request calls.
+
+Backpressure is explicit: past ``max_queue_graphs`` queued graphs,
+:meth:`submit` raises :class:`~repro.errors.ServerBusyError` (→ HTTP 503
+with ``Retry-After``) instead of queueing unboundedly — under sustained
+overload the queue would otherwise grow without limit while every
+caller's latency diverges.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import (
+    ServeTimeoutError,
+    ServerBusyError,
+    ServingError,
+    ValidationError,
+)
+
+#: Default seconds a caller waits on its future before giving up.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class BatchedPrediction:
+    """One request's slice of a coalesced prediction.
+
+    ``coalesced_graphs`` / ``coalesced_requests`` report the batch this
+    request rode in — a request served alone reports its own size and 1.
+    """
+
+    result: object
+    coalesced_graphs: int
+    coalesced_requests: int
+
+
+class _Pending:
+    """One enqueued request: graphs in, a filled slice (or error) out."""
+
+    __slots__ = ("graphs", "event", "outcome", "error", "enqueued_at")
+
+    def __init__(self, graphs: list) -> None:
+        self.graphs = graphs
+        self.event = threading.Event()
+        self.outcome: "BatchedPrediction | None" = None
+        self.error: "BaseException | None" = None
+        self.enqueued_at = time.monotonic()
+
+
+class MicroBatcher:
+    """Coalesces concurrent predict calls into one cross-block evaluation.
+
+    Parameters
+    ----------
+    predict:
+        ``graphs -> PredictionResult`` — typically a bound
+        :meth:`~repro.serve.service.PredictionService.predict`. Must be
+        row-independent: the slice of a batched result belonging to a
+        request equals the result of predicting that request alone.
+    window_ms:
+        Coalescing window in milliseconds, measured from the first
+        request that opens a batch. ``0`` disables batching entirely —
+        :meth:`submit` calls ``predict`` synchronously (the no-batching
+        baseline the benchmarks compare against).
+    max_batch_graphs:
+        Dispatch early once this many graphs are queued; also the drain
+        bound, so one evaluation never exceeds it (a single oversized
+        request still runs, alone — refusing it would turn a throughput
+        knob into a request-size limit).
+    max_queue_graphs:
+        Backpressure high-water mark: :meth:`submit` raises
+        :class:`ServerBusyError` when accepting the request would leave
+        more than this many graphs queued.
+    timeout:
+        Default seconds a caller blocks awaiting its slice before
+        :class:`ServeTimeoutError`; per-call override via ``submit``.
+    """
+
+    def __init__(
+        self,
+        predict,
+        *,
+        window_ms: float = 5.0,
+        max_batch_graphs: int = 64,
+        max_queue_graphs: int = 512,
+        timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        if window_ms < 0:
+            raise ValidationError(f"window_ms must be >= 0, got {window_ms}")
+        if max_batch_graphs < 1:
+            raise ValidationError(
+                f"max_batch_graphs must be >= 1, got {max_batch_graphs}"
+            )
+        if max_queue_graphs < max_batch_graphs:
+            raise ValidationError(
+                f"max_queue_graphs ({max_queue_graphs}) must be >= "
+                f"max_batch_graphs ({max_batch_graphs})"
+            )
+        self.predict = predict
+        self.window_seconds = float(window_ms) / 1000.0
+        self.max_batch_graphs = int(max_batch_graphs)
+        self.max_queue_graphs = int(max_queue_graphs)
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: "deque[_Pending]" = deque()
+        self._queued_graphs = 0
+        self._closed = False
+        self._stats = {
+            "requests": 0,
+            "graphs": 0,
+            "batches": 0,
+            "coalesced_requests_max": 0,
+            "coalesced_graphs_max": 0,
+            "rejected": 0,
+        }
+        self._dispatcher: "threading.Thread | None" = None
+        if self.window_seconds > 0:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="serve-microbatcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Caller side
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, graphs: list, *, timeout: "float | None" = None
+    ) -> BatchedPrediction:
+        """Block until this request's slice is ready; return it.
+
+        Raises :class:`ServerBusyError` at the high-water mark,
+        :class:`ServeTimeoutError` past the deadline, and re-raises any
+        exception the coalesced ``predict`` call died with (every waiter
+        in the batch sees it).
+        """
+        graphs = list(graphs)
+        deadline = self.timeout if timeout is None else float(timeout)
+        if self.window_seconds <= 0 or not graphs:
+            # No-batching baseline (and the trivial empty request): call
+            # through synchronously, still counted in the stats so /info
+            # reflects all traffic.
+            with self._lock:
+                if self._closed:
+                    raise ServingError("MicroBatcher is closed")
+                self._record_batch(len(graphs), 1)
+            return BatchedPrediction(
+                result=self.predict(graphs),
+                coalesced_graphs=len(graphs),
+                coalesced_requests=1,
+            )
+        pending = _Pending(graphs)
+        with self._wake:
+            if self._closed:
+                raise ServingError("MicroBatcher is closed")
+            if self._queued_graphs + len(graphs) > self.max_queue_graphs:
+                self._stats["rejected"] += 1
+                raise ServerBusyError(
+                    f"serving queue full ({self._queued_graphs} graphs "
+                    f"queued, high-water mark {self.max_queue_graphs}); "
+                    "retry shortly",
+                    retry_after=max(self.window_seconds * 2, 0.05),
+                )
+            self._queue.append(pending)
+            self._queued_graphs += len(graphs)
+            self._wake.notify_all()
+        if not pending.event.wait(deadline):
+            raise ServeTimeoutError(
+                f"prediction not ready within {deadline:.1f}s "
+                f"({len(graphs)} graphs submitted)"
+            )
+        if pending.error is not None:
+            raise pending.error
+        assert pending.outcome is not None
+        return pending.outcome
+
+    def stats(self) -> dict:
+        """Coalescing accounting for ``/info`` and the benchmarks."""
+        with self._lock:
+            stats = dict(self._stats)
+        stats["window_ms"] = self.window_seconds * 1000.0
+        stats["max_batch_graphs"] = self.max_batch_graphs
+        stats["max_queue_graphs"] = self.max_queue_graphs
+        requests = stats["requests"] or 1
+        batches = stats["batches"] or 1
+        stats["mean_coalesced_requests"] = round(requests / batches, 3)
+        return stats
+
+    def close(self) -> None:
+        """Stop the dispatcher; wake every waiter with a ServingError."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            drained = list(self._queue)
+            self._queue.clear()
+            self._queued_graphs = 0
+            self._wake.notify_all()
+        for pending in drained:
+            pending.error = ServingError("MicroBatcher closed while queued")
+            pending.event.set()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5.0)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher side
+    # ------------------------------------------------------------------ #
+
+    def _record_batch(self, n_graphs: int, n_requests: int) -> None:
+        # Caller holds self._lock.
+        self._stats["requests"] += n_requests
+        self._stats["graphs"] += n_graphs
+        self._stats["batches"] += 1
+        self._stats["coalesced_requests_max"] = max(
+            self._stats["coalesced_requests_max"], n_requests
+        )
+        self._stats["coalesced_graphs_max"] = max(
+            self._stats["coalesced_graphs_max"], n_graphs
+        )
+
+    def _dispatch_loop(self) -> None:
+        skip_window = False
+        while True:
+            batch = self._collect_batch(skip_window)
+            if batch is None:
+                return
+            self._run_batch(batch)
+            with self._lock:
+                # A drain that left requests behind (the batch filled up
+                # without them) owes those requests immediate dispatch:
+                # they already waited a window. Under saturation this
+                # degenerates to back-to-back full batches with no idle
+                # window waits — the throughput-optimal regime.
+                skip_window = bool(self._queue)
+
+    def _collect_batch(self, skip_window: bool = False) -> "list[_Pending] | None":
+        """Wait for the window of the next batch; drain and return it.
+
+        Returns ``None`` when the batcher closed with nothing queued.
+        """
+        with self._wake:
+            while not self._queue and not self._closed:
+                self._wake.wait()
+            if not self._queue:
+                return None  # closed
+            # The window opens when the OLDEST queued request enqueued —
+            # not when this collect started — and is skipped entirely for
+            # requests a previous full batch passed over.
+            deadline = self._queue[0].enqueued_at + self.window_seconds
+            while (
+                not skip_window
+                and not self._closed
+                and self._queued_graphs < self.max_batch_graphs
+                and time.monotonic() < deadline
+            ):
+                self._wake.wait(timeout=deadline - time.monotonic())
+            batch: "list[_Pending]" = []
+            total = 0
+            while self._queue:
+                nxt = self._queue[0]
+                if batch and total + len(nxt.graphs) > self.max_batch_graphs:
+                    break
+                batch.append(self._queue.popleft())
+                total += len(nxt.graphs)
+            self._queued_graphs -= total
+            self._record_batch(total, len(batch))
+            return batch
+
+    def _run_batch(self, batch: "list[_Pending]") -> None:
+        """One coalesced predict; fan slices (or the error) back out."""
+        graphs: list = []
+        for pending in batch:
+            graphs.extend(pending.graphs)
+        try:
+            result = self.predict(graphs)
+            start = 0
+            for pending in batch:
+                stop = start + len(pending.graphs)
+                pending.outcome = BatchedPrediction(
+                    result=_slice_result(result, start, stop),
+                    coalesced_graphs=len(graphs),
+                    coalesced_requests=len(batch),
+                )
+                start = stop
+        except BaseException as exc:  # noqa: BLE001 - fanned to waiters
+            for pending in batch:
+                pending.error = exc
+        for pending in batch:
+            pending.event.set()
+
+
+def _slice_result(result, start: int, stop: int):
+    """Rows ``start:stop`` of a PredictionResult (classes shared)."""
+    from repro.serve.service import PredictionResult
+
+    return PredictionResult(
+        labels=result.labels[start:stop],
+        votes=result.votes[start:stop],
+        margins=result.margins[start:stop],
+        classes=result.classes,
+    )

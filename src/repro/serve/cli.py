@@ -169,8 +169,47 @@ def _command_info(args) -> int:
 
     store = _resolve_store(args.store)
     bundle = ModelBundle.load(store, args.name)
-    for key, value in bundle.info().items():
-        print(f"{key}: {value}")
+    if args.json:
+        # One formatter with the server's GET /info: tooling that parses
+        # this output parses the HTTP body unchanged (and vice versa).
+        from repro.serve.protocol import bundle_info
+
+        json.dump(bundle_info(bundle), sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        for key, value in bundle.info().items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def _command_serve(args) -> int:
+    from repro.api import ExecutionContext
+    from repro.serve.server import make_server
+
+    ctx = ExecutionContext.from_env(store=_resolve_store(args.store))
+    if args.engine:
+        ctx = ctx.replace(engine=args.engine)
+    server = make_server(
+        ctx.store,
+        host=args.host,
+        port=args.port,
+        default_bundle=args.bundle,
+        ctx=ctx,
+        batch_window_ms=args.batch_window_ms,
+        max_batch_graphs=args.max_batch_graphs,
+        max_queue_graphs=args.max_queue_graphs,
+        request_timeout=args.request_timeout,
+        jobs_db=args.jobs_db,
+    )
+    _LOGGER.info("serving on %s (window %.1f ms, max batch %d graphs)",
+                 server.url, args.batch_window_ms, args.max_batch_graphs)
+    print(f"serving on {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -212,7 +251,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = commands.add_parser("info", help="print bundle metadata")
     _add_store_arguments(info)
+    info.add_argument("--json", action="store_true",
+                      help="machine-readable JSON (same document as the "
+                           "HTTP server's GET /info)")
     info.set_defaults(func=_command_info)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the HTTP prediction server with micro-batching",
+    )
+    serve.add_argument(
+        "--store", default=None,
+        help="artifact-store address holding the bundles (default: "
+             "$REPRO_STORE)",
+    )
+    serve.add_argument("--bundle", default=None,
+                       help="default bundle served when a predict request "
+                            "names none")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8008)
+    serve.add_argument("--engine", default=None,
+                       help="gram engine: serial | batched | process")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0,
+                       help="micro-batching coalescing window in ms "
+                            "(0 disables batching)")
+    serve.add_argument("--max-batch-graphs", type=int, default=64,
+                       help="dispatch a batch early at this many queued "
+                            "graphs")
+    serve.add_argument("--max-queue-graphs", type=int, default=512,
+                       help="backpressure high-water mark: more queued "
+                            "graphs than this -> 503 + Retry-After")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="seconds a request may wait for its batch")
+    serve.add_argument("--jobs-db", default=None,
+                       help="sqlite path for the training job queue "
+                            "(default: serve-jobs.db inside a directory "
+                            "store, else in-memory)")
+    serve.set_defaults(func=_command_serve)
     return parser
 
 

@@ -18,6 +18,7 @@ margins as the confidence signal.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -112,7 +113,11 @@ class PredictionService:
         # Prepared states of the training collection, computed once per
         # service (legal: the bundle kernel is collection-independent, so
         # states do not depend on which newcomers they are paired with).
+        # The lock makes concurrent first predicts prepare exactly once:
+        # one service is shared across the HTTP server's request threads,
+        # and after preparation the states are only ever read.
         self._train_states: "list | None" = None
+        self._prepare_lock = threading.Lock()
 
     @classmethod
     def from_store(
@@ -153,10 +158,15 @@ class PredictionService:
         graphs = list(graphs)
         model = self.bundle.model
         if not graphs:
+            # Explicit empty result: no engine call, no conditioning, no
+            # vote pass — shapes and dtypes exactly match a non-empty
+            # prediction sliced to zero rows (pinned in tests/serve).
             classes = model.classes_
-            empty = np.zeros((0, classes.size))
             return PredictionResult(
-                labels=classes[:0], votes=empty, margins=empty, classes=classes
+                labels=classes[:0],
+                votes=np.zeros((0, classes.size)),
+                margins=np.zeros((0, classes.size)),
+                classes=classes,
             )
         # End-to-end streaming bound: each loop iteration materialises at
         # most chunk × N kernel values (rows are dropped after voting),
@@ -210,7 +220,11 @@ class PredictionService:
             # max_block_graphs, the rectangle streams in bounded row
             # chunks — each engine call sees at most step × N pairs.
             if self._train_states is None:
-                self._train_states = kernel.prepare(list(bundle.training_graphs))
+                with self._prepare_lock:
+                    if self._train_states is None:
+                        self._train_states = kernel.prepare(
+                            list(bundle.training_graphs)
+                        )
             new_states = kernel.prepare(graphs)
             engine = kernel._resolve_engine(self.engine)
             chunks = [

@@ -96,3 +96,45 @@ class TestInfo:
         assert "kernel_fingerprint:" in out
         assert "training_digest:" in out
         assert "classes: [0, 1]" in out
+
+    def test_info_json_is_machine_readable(self, trained_store, capsys):
+        code = main([
+            "info", "--store", trained_store, "--name", "cli-bundle", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["kernel_fingerprint"]) == 64
+        assert len(payload["training_digest"]) == 64
+        assert payload["classes"] == [0, 1]
+
+    def test_info_json_matches_server_document(self, trained_store, capsys):
+        """The CLI --json document IS the server's /info body (minus the
+        server-runtime section) — one formatter, two transports."""
+        from repro.serve.server import ServeApp
+
+        main(["info", "--store", trained_store, "--name", "cli-bundle", "--json"])
+        cli_payload = json.loads(capsys.readouterr().out)
+        app = ServeApp(trained_store, default_bundle="cli-bundle", jobs_db=":memory:")
+        try:
+            status, http_payload, _ = app.handle("GET", "/info", {}, None)
+        finally:
+            app.close()
+        assert status == 200
+        for key, value in cli_payload.items():
+            assert http_payload[key] == value
+
+
+class TestServeParser:
+    def test_serve_flags_parse(self):
+        from repro.serve.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--store", "mem:x", "--bundle", "b",
+            "--batch-window-ms", "12.5", "--max-batch-graphs", "32",
+            "--max-queue-graphs", "128", "--port", "0",
+        ])
+        assert args.batch_window_ms == 12.5
+        assert args.max_batch_graphs == 32
+        assert args.max_queue_graphs == 128
+        assert args.bundle == "b"
+        assert args.func.__name__ == "_command_serve"

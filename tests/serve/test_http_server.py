@@ -1,0 +1,375 @@
+"""End-to-end tests for the HTTP serving layer (:mod:`repro.serve.server`).
+
+Everything runs over a real socket (``ThreadingHTTPServer`` on an
+ephemeral port) against a real bundle in a ``mem:`` store, so these tests
+cover the full path: JSON wire decode → micro-batcher → shared
+PredictionService → cross-block engine math → JSON response. The
+load-bearing assertion is the coalescing identity: responses served from
+a shared batch must be byte-identical to solo predictions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import ExecutionContext
+from repro.datasets import load_dataset
+from repro.errors import ProtocolError
+from repro.kernels import WeisfeilerLehmanKernel
+from repro.serve import MicroBatcher, PredictionService, make_server, train_bundle
+from repro.serve.protocol import (
+    graph_from_wire,
+    graph_to_wire,
+    graphs_from_wire,
+    parse_predict_request,
+)
+from repro.store import ArtifactStore
+
+C = 10.0
+
+
+@pytest.fixture(scope="module")
+def training_set():
+    return load_dataset("MUTAG", scale=0.15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def newcomers():
+    return load_dataset("MUTAG", scale=0.1, seed=7).graphs
+
+
+@pytest.fixture(scope="module")
+def store(training_set):
+    store = ArtifactStore("mem:http-tests")
+    bundle = train_bundle(
+        WeisfeilerLehmanKernel(),
+        training_set.graphs,
+        training_set.targets,
+        c=C,
+    )
+    bundle.save(store, "wl")
+    return store
+
+
+@pytest.fixture(scope="module")
+def server(store):
+    server = make_server(
+        store,
+        default_bundle="wl",
+        batch_window_ms=40.0,
+        max_batch_graphs=512,
+        max_queue_graphs=1024,
+    ).start()
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def reference_service(store):
+    return PredictionService.from_store(
+        store, "wl", ctx=ExecutionContext.from_env(store=None)
+    )
+
+
+def _post(url, payload, *, headers=None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.load(response)
+
+
+def _get(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.load(response)
+
+
+class TestWireProtocol:
+    def test_graph_roundtrip(self, newcomers):
+        for graph in newcomers[:5]:
+            clone = graph_from_wire(graph_to_wire(graph))
+            assert np.array_equal(clone.adjacency, graph.adjacency)
+            assert np.array_equal(clone.labels, graph.labels)
+
+    def test_weighted_edges_roundtrip(self):
+        from repro.graphs.graph import Graph
+
+        graph = Graph(np.array([[0.0, 2.5], [2.5, 0.0]]))
+        doc = graph_to_wire(graph)
+        assert doc["edges"] == [[0, 1, 2.5]]
+        assert np.array_equal(graph_from_wire(doc).adjacency, graph.adjacency)
+
+    @pytest.mark.parametrize(
+        "doc, message",
+        [
+            ("not-a-dict", "expected an object"),
+            ({}, "missing vertex count"),
+            ({"n": -1}, "must be >= 0"),
+            ({"n": 2, "edges": [[0]]}, r"\[u, v\]"),
+            ({"n": 2, "edges": [[0, 5]]}, "outside 0..1"),
+            ({"n": 2, "labels": [1]}, "2 integers"),
+        ],
+    )
+    def test_malformed_graphs_raise_named_errors(self, doc, message):
+        with pytest.raises(ProtocolError, match=message):
+            graph_from_wire(doc, index=3)
+
+    def test_errors_carry_the_graph_index(self):
+        with pytest.raises(ProtocolError, match=r"graphs\[2\]"):
+            graphs_from_wire([{"n": 1}, {"n": 1}, {"n": -4}])
+
+    def test_predict_request_requires_graphs(self):
+        with pytest.raises(ProtocolError, match="missing 'graphs'"):
+            parse_predict_request({"bundle": "wl"})
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, payload = _get(server.url + "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["default_bundle"] == "wl"
+        assert "jobs" in payload
+
+    def test_info_carries_identities_and_batcher_stats(self, server, store):
+        from repro.serve.bundle import ModelBundle
+        from repro.serve.protocol import bundle_info
+
+        status, payload = _get(server.url + "/info")
+        assert status == 200
+        bundle = ModelBundle.load(store, "wl")
+        assert payload["kernel_fingerprint"] == bundle.kernel_fingerprint
+        assert payload["training_digest"] == bundle.training_digest
+        # /info is the CLI --json document plus the server section.
+        expected = bundle_info(bundle)
+        for key, value in expected.items():
+            assert payload[key] == value
+        assert payload["server"]["batch_window_ms"] == 40.0
+
+    def test_predict_matches_direct_service(
+        self, server, newcomers, reference_service
+    ):
+        reference = reference_service.predict(newcomers[:6])
+        status, payload = _post(
+            server.url + "/predict",
+            {"graphs": [graph_to_wire(g) for g in newcomers[:6]], "votes": True},
+        )
+        assert status == 200
+        assert payload["bundle"] == "wl"
+        assert payload["labels"] == [int(l) for l in reference.labels]
+        assert np.allclose(payload["margins"], reference.margins)
+        assert np.allclose(payload["votes"], reference.votes)
+        assert payload["batch"]["coalesced_requests"] >= 1
+
+    def test_concurrent_requests_coalesce_with_identical_labels(
+        self, server, newcomers, reference_service
+    ):
+        # 8 clients, distinct slices, fired together: every response must
+        # equal its solo prediction, and the window must have coalesced.
+        slices = [newcomers[i % 4 : i % 4 + 3] for i in range(8)]
+        expected = [
+            [int(l) for l in reference_service.predict(s).labels] for s in slices
+        ]
+        payloads = [None] * 8
+
+        def fire(i):
+            _, payloads[i] = _post(
+                server.url + "/predict",
+                {"graphs": [graph_to_wire(g) for g in slices[i]]},
+            )
+
+        threads = [threading.Thread(target=fire, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for payload, labels in zip(payloads, expected):
+            assert payload is not None
+            assert payload["labels"] == labels
+        assert max(p["batch"]["coalesced_requests"] for p in payloads) > 1
+
+    def test_empty_graph_list_is_served(self, server):
+        status, payload = _post(server.url + "/predict", {"graphs": []})
+        assert status == 200
+        assert payload["labels"] == []
+        assert payload["classes"] == [0, 1]
+
+    def test_unknown_bundle_is_404(self, server, newcomers):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(
+                server.url + "/predict",
+                {"bundle": "nope", "graphs": [graph_to_wire(newcomers[0])]},
+            )
+        assert excinfo.value.code == 404
+        body = json.load(excinfo.value)
+        assert "no bundle named 'nope'" in body["error"]["message"]
+
+    def test_malformed_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/predict",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert json.load(excinfo.value)["error"]["kind"] == "protocol"
+
+    def test_malformed_graph_is_400_with_index(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/predict", {"graphs": [{"n": 2, "edges": [[0, 9]]}]})
+        assert excinfo.value.code == 400
+        assert "graphs[0]" in json.load(excinfo.value)["error"]["message"]
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nothing/here")
+        assert excinfo.value.code == 404
+
+    def test_unknown_job_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/jobs/99999")
+        assert excinfo.value.code == 404
+
+
+class TestBackpressure:
+    def test_queue_past_high_water_is_503_with_retry_after(self, server, newcomers):
+        # Swap in a batcher whose predict blocks, then overfill its queue.
+        release = threading.Event()
+
+        def stuck_predict(graphs):
+            release.wait(15.0)
+            return server.app.service("wl").predict(graphs)
+
+        blocked = MicroBatcher(
+            stuck_predict, window_ms=5.0, max_batch_graphs=1, max_queue_graphs=1
+        )
+        with server.app._lock:
+            original = server.app._batchers.pop("wl", None)
+            server.app._batchers["wl"] = blocked
+        try:
+            background = threading.Thread(
+                target=lambda: blocked.submit([newcomers[0]], timeout=20.0)
+            )
+            background.start()
+            deadline = 5.0
+            import time as _time
+
+            start = _time.monotonic()
+            while blocked.stats()["batches"] < 1:
+                assert _time.monotonic() - start < deadline
+                _time.sleep(0.005)
+            filler = threading.Thread(
+                target=lambda: blocked.submit([newcomers[1]], timeout=20.0)
+            )
+            filler.start()
+            while blocked._queued_graphs < 1:
+                assert _time.monotonic() - start < deadline
+                _time.sleep(0.005)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(
+                    server.url + "/predict",
+                    {"graphs": [graph_to_wire(newcomers[2])]},
+                )
+            assert excinfo.value.code == 503
+            assert float(excinfo.value.headers["Retry-After"]) > 0
+            assert json.load(excinfo.value)["error"]["kind"] == "busy"
+            release.set()
+            background.join(timeout=20)
+            filler.join(timeout=20)
+        finally:
+            release.set()
+            with server.app._lock:
+                server.app._batchers.pop("wl", None)
+                if original is not None:
+                    server.app._batchers["wl"] = original
+            blocked.close()
+
+
+class TestTrainEndpoint:
+    def test_train_then_predict_roundtrip(self, server, newcomers):
+        status, job = _post(
+            server.url + "/train",
+            {
+                "name": "trained-via-http",
+                "dataset": "MUTAG",
+                "scale": 0.1,
+                "seed": 1,
+                "kernel": "WLSK",
+                "c": C,
+            },
+        )
+        assert status == 202
+        assert job["kind"] == "serve-train"
+        assert job["key"] == "serve-train:trained-via-http"
+        done = server.app.queue.wait(job["id"], timeout=120)
+        assert done.status == "done", done.error
+        assert done.result["bundle"] == "trained-via-http"
+        assert done.result["train_accuracy"] > 0.5
+        # Poll endpoint agrees with the queue.
+        status, polled = _get(server.url + f"/jobs/{job['id']}")
+        assert status == 200
+        assert polled["status"] == "done"
+        # The trained bundle serves immediately.
+        status, payload = _post(
+            server.url + "/predict",
+            {
+                "bundle": "trained-via-http",
+                "graphs": [graph_to_wire(g) for g in newcomers[:4]],
+            },
+        )
+        assert status == 200
+        assert len(payload["labels"]) == 4
+
+    def test_resubmission_is_idempotent_by_bundle_key(self, server):
+        body = {
+            "name": "trained-via-http",
+            "dataset": "MUTAG",
+            "scale": 0.1,
+            "seed": 1,
+            "kernel": "WLSK",
+            "c": C,
+        }
+        status_a, first = _post(server.url + "/train", body)
+        server.app.queue.wait(first["id"], timeout=120)
+        status_b, second = _post(server.url + "/train", body)
+        # Same key -> same job row; a finished job reports 200, not 202.
+        assert second["id"] == first["id"]
+        assert status_b == 200
+
+    def test_train_rejects_unknown_fields(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server.url + "/train", {"name": "x", "keernel": "WLSK"})
+        assert excinfo.value.code == 400
+        assert "keernel" in json.load(excinfo.value)["error"]["message"]
+
+    def test_train_failure_is_recorded_on_the_job(self, server):
+        status, job = _post(
+            server.url + "/train",
+            {"name": "doomed", "dataset": "NOPE-DATASET", "kernel": "WLSK"},
+        )
+        assert status == 202
+        done = server.app.queue.wait(job["id"], timeout=60)
+        assert done.status == "failed"
+        assert "NOPE-DATASET" in done.error
+
+
+class TestServerLifecycle:
+    def test_close_then_context_manager_reopen(self, store, newcomers):
+        with make_server(store, default_bundle="wl", batch_window_ms=0) as server:
+            server.start()
+            status, payload = _post(
+                server.url + "/predict",
+                {"graphs": [graph_to_wire(newcomers[0])]},
+            )
+            assert status == 200
+            # window 0: the no-batching baseline serves alone.
+            assert payload["batch"]["coalesced_requests"] == 1

@@ -140,12 +140,37 @@ class TestServingEquivalence:
         assert np.allclose(rows, expected, atol=1e-10)
 
     def test_empty_batch(self, split):
-        train_graphs, train_y, _, _ = split
+        """An empty graph list returns an explicit empty PredictionResult —
+        no cross block, no conditioning, no vote pass — whose shapes and
+        dtypes exactly match a non-empty prediction sliced to zero rows."""
+        train_graphs, train_y, new_graphs, _ = split
         kernel = _serving_kernels(train_graphs)["WLSK"]
         service = PredictionService(train_bundle(kernel, train_graphs, train_y, c=C))
         result = service.predict([])
         assert result.labels.shape == (0,)
+        assert result.votes.shape == (0, 2)
         assert result.margins.shape == (0, 2)
+        assert len(result) == 0
+        assert np.array_equal(result.classes, np.array([0, 1]))
+        # votes and margins must be independent buffers, not one shared
+        # array under two names.
+        assert result.votes is not result.margins
+        nonempty = service.predict(new_graphs[:1])
+        assert result.labels.dtype == nonempty.labels.dtype
+        assert result.margins.dtype == nonempty.margins.dtype
+
+    def test_empty_batch_runs_no_kernel_math(self, split):
+        """The empty path short-circuits before any pair evaluation or
+        train-state preparation (it used to fall through to array ops)."""
+        train_graphs, train_y, _, _ = split
+        kernel = _CountingQJSK()
+        service = PredictionService(
+            train_bundle(kernel, train_graphs, train_y, c=C), engine="serial"
+        )
+        before = kernel.pair_calls
+        service.predict([])
+        assert kernel.pair_calls == before
+        assert service._train_states is None  # not even preparation
 
 
 class _CountingQJSK(QJSKUnaligned):
@@ -311,3 +336,89 @@ class TestTrainValidation:
         second = _CountingQJSK()
         train_bundle(second, train_graphs, train_y, c=C, store=store, engine="serial")
         assert second.pair_calls == 0  # same content key: Gram from store
+
+
+class TestConcurrentUse:
+    """One PredictionService shared across threads — the HTTP server's
+    usage pattern — must not corrupt its cached prepared train states."""
+
+    def test_two_threads_prepare_train_states_exactly_once(self, split):
+        import threading
+
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["QJSK"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        reference = PredictionService(bundle).predict(new_graphs)
+
+        service = PredictionService(bundle)
+        prepare_calls = []
+        original_prepare = service.bundle.kernel.prepare
+
+        def counting_prepare(graphs):
+            # Record only training-collection preparations; newcomer
+            # preparations legitimately happen once per predict call.
+            if len(graphs) == len(train_graphs):
+                prepare_calls.append(threading.get_ident())
+            return original_prepare(graphs)
+
+        service.bundle.kernel.prepare = counting_prepare
+        try:
+            barrier = threading.Barrier(2)
+            results = [None, None]
+            errors = []
+
+            def worker(slot):
+                try:
+                    barrier.wait(timeout=30)
+                    for _ in range(3):
+                        results[slot] = service.predict(new_graphs)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(slot,)) for slot in (0, 1)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            service.bundle.kernel.prepare = original_prepare
+        assert not errors, errors
+        # The _prepare_lock makes the racing first predicts prepare the
+        # training states exactly once, not once per thread.
+        assert len(prepare_calls) == 1
+        for result in results:
+            assert result is not None
+            assert np.array_equal(result.labels, reference.labels)
+            assert np.allclose(result.margins, reference.margins, atol=1e-10)
+
+    def test_many_threads_many_batches_agree_with_solo_predictions(self, split):
+        import threading
+
+        train_graphs, train_y, new_graphs, _ = split
+        kernel = _serving_kernels(train_graphs)["WLSK"]
+        bundle = train_bundle(kernel, train_graphs, train_y, c=C)
+        service = PredictionService(bundle)
+        batches = [new_graphs[i % 3 : i % 3 + 2] for i in range(6)]
+        expected = [PredictionService(bundle).predict(b).labels for b in batches]
+
+        outcomes = [None] * len(batches)
+        errors = []
+
+        def worker(index):
+            try:
+                outcomes[index] = service.predict(batches[index]).labels
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(len(batches))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        for got, want in zip(outcomes, expected):
+            assert np.array_equal(got, want)
