@@ -27,6 +27,7 @@ import os
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.campaign.nodes import Campaign
@@ -128,6 +129,36 @@ class CampaignDB:
             self._conn.close()
 
     # ------------------------------------------------------------------ #
+    # Transaction discipline (REPRO005): every statement on the shared
+    # connection runs inside one of these two helpers.
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _txn(self):
+        """One committed write transaction (``BEGIN IMMEDIATE``).
+
+        Same contract as :meth:`repro.jobs.queue.JobQueue._txn`: the
+        write lock is taken up front, and every exit path commits or
+        rolls back, so a SIGKILL anywhere inside leaves whole rows.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                if self._conn.in_transaction:
+                    self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._conn.execute("COMMIT")
+
+    @contextmanager
+    def _read(self):
+        """The shared connection for reads (thread lock, no transaction)."""
+        with self._lock:
+            yield self._conn
+
+    # ------------------------------------------------------------------ #
     # Campaign registration / resume
     # ------------------------------------------------------------------ #
 
@@ -141,70 +172,63 @@ class CampaignDB:
         """
         cid = campaign.campaign_id
         now = self.clock()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                self._conn.execute(
-                    "INSERT INTO campaigns (id, name, created_at, updated_at) "
-                    "VALUES (?, ?, ?, ?) ON CONFLICT(id) DO UPDATE SET "
-                    "updated_at=excluded.updated_at",
-                    (cid, campaign.name, now, now),
+        with self._txn() as conn:
+            conn.execute(
+                "INSERT INTO campaigns (id, name, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?) ON CONFLICT(id) DO UPDATE SET "
+                "updated_at=excluded.updated_at",
+                (cid, campaign.name, now, now),
+            )
+            declared = {node.name for node in campaign}
+            rows = conn.execute(
+                "SELECT name, key FROM campaign_nodes WHERE campaign=?",
+                (cid,),
+            ).fetchall()
+            recorded = {row["name"]: row["key"] for row in rows}
+            for stale in set(recorded) - declared:
+                conn.execute(
+                    "DELETE FROM campaign_nodes WHERE campaign=? AND name=?",
+                    (cid, stale),
                 )
-                declared = {node.name for node in campaign}
-                rows = self._conn.execute(
-                    "SELECT name, key FROM campaign_nodes WHERE campaign=?",
-                    (cid,),
-                ).fetchall()
-                recorded = {row["name"]: row["key"] for row in rows}
-                for stale in set(recorded) - declared:
-                    self._conn.execute(
-                        "DELETE FROM campaign_nodes WHERE campaign=? AND name=?",
-                        (cid, stale),
+            for position, node in enumerate(campaign):
+                payload = json.dumps(node.payload, sort_keys=True)
+                deps = json.dumps(list(node.deps))
+                if node.name not in recorded:
+                    conn.execute(
+                        "INSERT INTO campaign_nodes (campaign, name, kind, "
+                        "key, payload, deps, position, updated_at) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                        (cid, node.name, node.kind, node.key, payload,
+                         deps, position, now),
                     )
-                for position, node in enumerate(campaign):
-                    payload = json.dumps(node.payload, sort_keys=True)
-                    deps = json.dumps(list(node.deps))
-                    if node.name not in recorded:
-                        self._conn.execute(
-                            "INSERT INTO campaign_nodes (campaign, name, kind, "
-                            "key, payload, deps, position, updated_at) "
-                            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-                            (cid, node.name, node.kind, node.key, payload,
-                             deps, position, now),
-                        )
-                    elif recorded[node.name] != node.key:
-                        self._conn.execute(
-                            "UPDATE campaign_nodes SET kind=?, key=?, "
-                            "payload=?, deps=?, position=?, status='pending', "
-                            "reused=0, result=NULL, error=NULL, attempts=0, "
-                            "started_at=NULL, finished_at=NULL, updated_at=? "
-                            "WHERE campaign=? AND name=?",
-                            (node.kind, node.key, payload, deps, position,
-                             now, cid, node.name),
-                        )
-                    else:
-                        self._conn.execute(
-                            "UPDATE campaign_nodes SET kind=?, payload=?, "
-                            "deps=?, position=?, updated_at=? "
-                            "WHERE campaign=? AND name=?",
-                            (node.kind, payload, deps, position, now, cid,
-                             node.name),
-                        )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+                elif recorded[node.name] != node.key:
+                    conn.execute(
+                        "UPDATE campaign_nodes SET kind=?, key=?, "
+                        "payload=?, deps=?, position=?, status='pending', "
+                        "reused=0, result=NULL, error=NULL, attempts=0, "
+                        "started_at=NULL, finished_at=NULL, updated_at=? "
+                        "WHERE campaign=? AND name=?",
+                        (node.kind, node.key, payload, deps, position,
+                         now, cid, node.name),
+                    )
+                else:
+                    conn.execute(
+                        "UPDATE campaign_nodes SET kind=?, payload=?, "
+                        "deps=?, position=?, updated_at=? "
+                        "WHERE campaign=? AND name=?",
+                        (node.kind, payload, deps, position, now, cid,
+                         node.name),
+                    )
         return cid
 
     def reset_running(self, campaign_id: str) -> int:
         """Nodes a dead process left ``running`` go back to ``pending``."""
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 "UPDATE campaign_nodes SET status='pending', updated_at=? "
                 "WHERE campaign=? AND status='running'",
                 (self.clock(), str(campaign_id)),
             )
-            self._conn.commit()
         return cursor.rowcount
 
     # ------------------------------------------------------------------ #
@@ -247,35 +271,32 @@ class CampaignDB:
         the retry. ``done`` rows are untouched — the skip-by-key resume
         path never recomputes a recorded result.
         """
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 "UPDATE campaign_nodes SET status='pending', error=NULL, "
                 "finished_at=NULL, updated_at=? "
                 "WHERE campaign=? AND status IN ('failed', 'cancelled')",
                 (self.clock(), str(campaign_id)),
             )
-            self._conn.commit()
         return cursor.rowcount
 
     def cancel_pending(self, campaign_id: str) -> int:
         """Cancel every pending/running node; returns how many moved."""
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 "UPDATE campaign_nodes SET status='cancelled', updated_at=? "
                 "WHERE campaign=? AND status IN ('pending', 'running')",
                 (self.clock(), str(campaign_id)),
             )
-            self._conn.commit()
         return cursor.rowcount
 
     def _transition(self, campaign_id: str, name: str, set_clause: str, params) -> None:
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 f"UPDATE campaign_nodes SET {set_clause} "
                 "WHERE campaign=? AND name=?",
                 tuple(params) + (str(campaign_id), str(name)),
             )
-            self._conn.commit()
         if cursor.rowcount == 0:
             raise CampaignError(
                 f"campaign {campaign_id!r} has no node {name!r} in {self.path!r}"
@@ -287,8 +308,8 @@ class CampaignDB:
 
     def node_states(self, campaign_id: str) -> "dict[str, NodeState]":
         """Every node of the campaign, in declared order."""
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT * FROM campaign_nodes WHERE campaign=? "
                 "ORDER BY position ASC",
                 (str(campaign_id),),
@@ -334,14 +355,14 @@ class CampaignDB:
             query += " AND NOT (campaign=? AND name=?)"
             params.extend([str(exclude[0]), str(exclude[1])])
         query += " ORDER BY finished_at DESC LIMIT 1"
-        with self._lock:
-            row = self._conn.execute(query, params).fetchone()
+        with self._read() as conn:
+            row = conn.execute(query, params).fetchone()
         return None if row is None else json.loads(row["result"])
 
     def campaigns(self) -> "list[dict]":
         """Every recorded campaign: id, name, per-status node counts."""
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT id, name, created_at FROM campaigns "
                 "ORDER BY created_at ASC"
             ).fetchall()

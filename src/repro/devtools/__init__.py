@@ -1,0 +1,7 @@
+"""Developer-facing correctness tooling (not part of the public API).
+
+:mod:`repro.devtools.lint` is the static invariant checker: it turns the
+contracts the code comments and DESIGN.md document — the named-error
+policy, the fingerprint boundary, lock/lease/clock discipline — into
+machine-checked rules that run in CI before the test matrix.
+"""

@@ -1,0 +1,50 @@
+"""repro.devtools.lint — AST invariant checks for the repro codebase.
+
+A small, dependency-free static analyser that turns the contracts
+DESIGN.md states in prose into machine-checked rules: error policy,
+the fingerprint boundary, lock/clock/sqlite discipline, float64
+accumulation, mutable defaults, thread hygiene, and the public API
+surface. Run it as ``python -m repro.devtools.lint``; see DESIGN.md
+"Static invariants" for the rule-by-rule rationale.
+"""
+
+from repro.devtools.lint.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineEntry,
+)
+from repro.devtools.lint.driver import (
+    LintResult,
+    ModuleContext,
+    ProjectContext,
+    discover_files,
+    lint_source,
+    run_lint,
+)
+from repro.devtools.lint.findings import UNUSED_SUPPRESSION_RULE, Finding
+from repro.devtools.lint.registry import (
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    select_rules,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "ProjectContext",
+    "Rule",
+    "UNUSED_SUPPRESSION_RULE",
+    "all_rules",
+    "discover_files",
+    "get_rule",
+    "lint_source",
+    "register_rule",
+    "run_lint",
+    "select_rules",
+]

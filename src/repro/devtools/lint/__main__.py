@@ -1,0 +1,7 @@
+"""Module entry point: ``python -m repro.devtools.lint``."""
+
+import sys
+
+from repro.devtools.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,184 @@
+"""The committed baseline: grandfathered findings, each with a reason.
+
+The baseline file (``lint-baseline.json`` at the repo root) records
+findings that are *deliberate* — a contract exception the code comments
+justify — so the linter can gate on **new** findings while the accepted
+ones stay visible and accounted for. Three properties keep it honest:
+
+* every entry carries a non-empty ``justification`` (enforced by
+  ``--check-baseline`` in CI);
+* entries match findings by ``(rule, path, stripped snippet)`` — not by
+  line number — so unrelated edits never churn the file;
+* an entry that no longer matches any finding is *stale* and fails
+  ``--check-baseline``: the baseline only shrinks, it never silently
+  accumulates dead exemptions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.devtools.lint.findings import Finding
+from repro.errors import ValidationError
+
+#: Default baseline filename, resolved against the lint root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+#: Placeholder --write-baseline leaves for a human to replace.
+TODO_JUSTIFICATION = "TODO: justify this exemption"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding and why it is accepted."""
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str
+
+    @property
+    def fingerprint(self) -> "tuple[str, str, str]":
+        return (self.rule, self.path, self.snippet.strip())
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A loaded baseline file plus the matching/stale bookkeeping."""
+
+    def __init__(self, entries: "tuple[BaselineEntry, ...]" = (), *, path=None):
+        self.entries = tuple(entries)
+        self.path = path
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls((), path=path)
+        with open(path, encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"lint baseline {path!r} is not valid JSON: {exc}"
+                ) from None
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValidationError(
+                f"lint baseline {path!r} must be an object with an "
+                "'entries' list"
+            )
+        entries = []
+        for record in payload["entries"]:
+            missing = {"rule", "path", "snippet"} - set(record)
+            if missing:
+                raise ValidationError(
+                    f"lint baseline {path!r}: entry {record!r} is missing "
+                    f"{sorted(missing)}"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(record["rule"]),
+                    path=str(record["path"]),
+                    snippet=str(record["snippet"]),
+                    justification=str(record.get("justification", "")),
+                )
+            )
+        return cls(tuple(entries), path=path)
+
+    def save(self, path: "str | None" = None) -> None:
+        target = path or self.path
+        if target is None:
+            raise ValidationError("Baseline.save needs a path")
+        payload = {
+            "version": 1,
+            "entries": [entry.to_dict() for entry in sorted(
+                self.entries, key=lambda e: (e.path, e.rule, e.snippet)
+            )],
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+
+    def split(
+        self, findings: "list[Finding]"
+    ) -> "tuple[list[Finding], list[Finding], list[BaselineEntry]]":
+        """``(new, grandfathered, stale_entries)`` for this run.
+
+        One entry may absorb several identical findings (the same
+        offending line duplicated by a refactor still describes one
+        accepted exemption).
+        """
+        known = {entry.fingerprint: entry for entry in self.entries}
+        new: "list[Finding]" = []
+        grandfathered: "list[Finding]" = []
+        used: "set[tuple[str, str, str]]" = set()
+        for finding in findings:
+            if finding.fingerprint in known:
+                grandfathered.append(finding)
+                used.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.entries if entry.fingerprint not in used
+        ]
+        return new, grandfathered, stale
+
+    def problems(self, findings: "list[Finding]") -> "list[str]":
+        """Everything ``--check-baseline`` refuses: stale entries and
+        missing/placeholder justifications."""
+        issues = []
+        _, _, stale = self.split(findings)
+        for entry in stale:
+            issues.append(
+                f"stale baseline entry {entry.rule} for {entry.path!r} "
+                f"({entry.snippet.strip()!r}) matches no current finding — "
+                "remove it; the baseline only shrinks"
+            )
+        for entry in self.entries:
+            justification = entry.justification.strip()
+            if not justification or justification == TODO_JUSTIFICATION:
+                issues.append(
+                    f"baseline entry {entry.rule} for {entry.path!r} has no "
+                    "justification — every grandfathered finding needs a "
+                    "one-line reason"
+                )
+        return issues
+
+    def regenerated(self, findings: "list[Finding]") -> "Baseline":
+        """The baseline covering exactly ``findings`` (``--write-baseline``).
+
+        Entries that still match keep their justifications, stale entries
+        are dropped (the expire half of the contract), and genuinely new
+        findings get a placeholder justification that
+        ``--check-baseline`` rejects until a human replaces it.
+        """
+        known = {entry.fingerprint: entry for entry in self.entries}
+        entries: "list[BaselineEntry]" = []
+        seen: "set[tuple[str, str, str]]" = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            entries.append(
+                known.get(fingerprint)
+                or BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    snippet=finding.snippet.strip(),
+                    justification=TODO_JUSTIFICATION,
+                )
+            )
+        return Baseline(tuple(entries), path=self.path)

@@ -1,0 +1,131 @@
+"""``python -m repro.devtools.lint`` — the command-line entry point.
+
+Exit codes:
+
+* ``0`` — clean (modulo the committed baseline);
+* ``1`` — new findings, or ``--check-baseline`` problems;
+* ``2`` — usage errors (unknown rule id, unreadable path, bad baseline).
+
+The default invocation lints ``src/repro`` against
+``<root>/lint-baseline.json``; CI adds ``--check-baseline`` so stale or
+unjustified baseline entries fail the build too ("the baseline only
+shrinks").
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.devtools.lint.baseline import BASELINE_FILENAME, Baseline
+from repro.devtools.lint.driver import run_lint
+from repro.devtools.lint.registry import all_rules
+from repro.devtools.lint.reporters import render_json, render_text
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "AST-based invariant checker for the repro codebase "
+            "(see DESIGN.md 'Static invariants')."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint, relative to --root "
+             "(default: src/repro)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repo root paths are resolved against (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: <root>/{BASELINE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: every finding gates",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RULE",
+        help="run only these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RULE",
+        help="skip these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover exactly the current findings "
+             "(keeps existing justifications, drops stale entries, new "
+             "entries get a TODO placeholder to fill in)",
+    )
+    parser.add_argument(
+        "--check-baseline", action="store_true",
+        help="also fail on stale or unjustified baseline entries",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules with their rationales and exit",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}[{rule.name}] ({rule.scope})")
+            print(f"    {rule.rationale}")
+        return 0
+    root = os.path.abspath(options.root)
+    paths = tuple(options.paths) if options.paths else ("src/repro",)
+    try:
+        if options.no_baseline:
+            baseline = Baseline()
+        else:
+            baseline_path = options.baseline or os.path.join(
+                root, BASELINE_FILENAME
+            )
+            baseline = Baseline.load(baseline_path)
+        result = run_lint(
+            root=root,
+            paths=paths,
+            select=tuple(options.select) if options.select else None,
+            ignore=tuple(options.ignore) if options.ignore else None,
+            baseline=baseline,
+        )
+        if options.write_baseline:
+            if options.no_baseline:
+                parser.error("--write-baseline conflicts with --no-baseline")
+            # Regenerate from the pre-baseline findings: everything the
+            # rules reported this run, grandfathered or not.
+            findings = sorted(result.new + result.grandfathered)
+            baseline.regenerated(findings).save()
+            print(
+                f"baseline rewritten with {len(findings)} finding(s); "
+                "replace any TODO justifications before committing",
+                file=sys.stderr,
+            )
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = (
+        render_json(result) if options.format == "json"
+        else render_text(result)
+    )
+    print(report, end="" if report.endswith("\n") else "\n")
+    failed = bool(result.gating)
+    if options.check_baseline and result.baseline_problems:
+        failed = True
+    return 1 if failed else 0

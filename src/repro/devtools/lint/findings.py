@@ -1,0 +1,61 @@
+"""Structured lint findings and their stable identity.
+
+A :class:`Finding` is one rule violation at one source location. Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number:
+baseline entries must survive unrelated edits above the offending line,
+so identity is ``(rule, path, stripped source line)`` — the same triple
+the baseline file records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Pseudo-rule id reported for suppression comments that matched nothing.
+UNUSED_SUPPRESSION_RULE = "REPRO000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation: where it is, which contract it breaks, why."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str = ""
+    col: int = 0
+    rule_name: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> "tuple[str, str, str]":
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet.strip())
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "rule_name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Finding":
+        return cls(
+            rule=str(record["rule"]),
+            rule_name=str(record.get("rule_name", "")),
+            path=str(record["path"]),
+            line=int(record["line"]),
+            col=int(record.get("col", 0)),
+            message=str(record["message"]),
+            snippet=str(record.get("snippet", "")),
+        )
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line: RULE message``."""
+        label = f"{self.rule}[{self.rule_name}]" if self.rule_name else self.rule
+        return f"{self.path}:{self.line}: {label} {self.message}"

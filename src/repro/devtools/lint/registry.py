@@ -1,0 +1,116 @@
+"""The lint-rule registry: ``@register_rule("REPRO001", ...)``.
+
+Rules come in two scopes:
+
+* ``module`` — called once per linted file with a
+  :class:`~repro.devtools.lint.driver.ModuleContext` (source + parsed
+  AST); yields :class:`~repro.devtools.lint.findings.Finding` records.
+* ``project`` — called once per run with a
+  :class:`~repro.devtools.lint.driver.ProjectContext` (repo root +
+  linted paths); for cross-file contracts like the public-surface guard.
+
+Registration is import-time side effect of :mod:`repro.devtools.lint.rules`;
+ids must be unique and are the stable names suppressions, baselines and
+``--select/--ignore`` address.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+_RULE_ID = re.compile(r"^REPRO\d{3}$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: identity, scope, and the check callable."""
+
+    id: str
+    name: str
+    rationale: str
+    scope: str
+    check: object
+
+    def __call__(self, ctx):
+        return self.check(ctx)
+
+
+_RULES: "dict[str, Rule]" = {}
+
+
+def register_rule(rule_id: str, *, name: str, rationale: str, scope: str = "module"):
+    """Class the decorated callable as the checker for ``rule_id``.
+
+    ``name`` is the short kebab-case label shown next to the id,
+    ``rationale`` the one-paragraph contract statement (surfaced by
+    ``--list-rules``), ``scope`` either ``"module"`` or ``"project"``.
+    """
+    if not _RULE_ID.match(rule_id):
+        raise ValidationError(
+            f"lint rule ids look like 'REPRO001', got {rule_id!r}"
+        )
+    if scope not in ("module", "project"):
+        raise ValidationError(
+            f"lint rule scope must be 'module' or 'project', got {scope!r}"
+        )
+
+    def decorator(func):
+        if rule_id in _RULES:
+            raise ValidationError(f"lint rule {rule_id} registered twice")
+        _RULES[rule_id] = Rule(
+            id=rule_id, name=str(name), rationale=str(rationale),
+            scope=scope, check=func,
+        )
+        return func
+
+    return decorator
+
+
+def all_rules() -> "tuple[Rule, ...]":
+    """Every registered rule, ordered by id."""
+    _ensure_builtin_rules()
+    return tuple(_RULES[rule_id] for rule_id in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ValidationError(
+            f"unknown lint rule {rule_id!r}; registered: "
+            f"{', '.join(sorted(_RULES))}"
+        ) from None
+
+
+def select_rules(
+    select: "tuple[str, ...] | None" = None,
+    ignore: "tuple[str, ...] | None" = None,
+) -> "tuple[Rule, ...]":
+    """The rule set after ``--select`` / ``--ignore`` filtering.
+
+    Unknown ids in either list raise a named error — a typo'd selection
+    silently checking nothing is worse than no linter at all.
+    """
+    rules = all_rules()
+    known = {rule.id for rule in rules}
+    for requested in (select or ()) + (ignore or ()):
+        if requested not in known:
+            raise ValidationError(
+                f"unknown lint rule {requested!r}; registered: "
+                f"{', '.join(sorted(known))}"
+            )
+    if select:
+        rules = tuple(rule for rule in rules if rule.id in set(select))
+    if ignore:
+        rules = tuple(rule for rule in rules if rule.id not in set(ignore))
+    return rules
+
+
+def _ensure_builtin_rules() -> None:
+    # The built-in rules register themselves on import; importing here
+    # (not at module import) keeps registry <-> rules acyclic.
+    from repro.devtools.lint import rules  # noqa: F401

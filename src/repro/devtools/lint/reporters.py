@@ -1,0 +1,73 @@
+"""Reporters: the text view for humans, the JSON view for tooling.
+
+Both render the same :class:`~repro.devtools.lint.driver.LintResult`;
+the JSON payload round-trips through ``Finding.from_dict`` so CI
+annotations and editors can rebuild the exact findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.driver import LintResult
+from repro.devtools.lint.findings import Finding
+
+#: ``--format json`` payload version; bump on shape changes.
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """The human report: one line per finding, then the tallies."""
+    lines: "list[str]" = []
+    for finding in result.new:
+        lines.append(finding.render())
+    if result.grandfathered:
+        lines.append("")
+        lines.append(f"grandfathered (baseline, {len(result.grandfathered)}):")
+        for finding in result.grandfathered:
+            lines.append(f"  {finding.render()}")
+    if result.baseline_problems:
+        lines.append("")
+        lines.append("baseline problems:")
+        for problem in result.baseline_problems:
+            lines.append(f"  {problem}")
+    lines.append("")
+    lines.append(
+        f"{result.checked_files} files checked, "
+        f"{len(result.new)} new finding(s), "
+        f"{len(result.grandfathered)} grandfathered, "
+        f"{len(result.baseline_problems)} baseline problem(s)"
+    )
+    return "\n".join(lines).lstrip("\n")
+
+
+def render_json(result: LintResult) -> str:
+    """The machine report (stable shape, see ``JSON_REPORT_VERSION``)."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "findings": [finding.to_dict() for finding in result.new],
+        "grandfathered": [
+            finding.to_dict() for finding in result.grandfathered
+        ],
+        "baseline_problems": list(result.baseline_problems),
+        "counts": {
+            "files": result.checked_files,
+            "new": len(result.new),
+            "grandfathered": len(result.grandfathered),
+            "baseline_problems": len(result.baseline_problems),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def parse_json_report(text: str) -> "dict":
+    """Inverse of :func:`render_json`, with findings rebuilt as objects."""
+    payload = json.loads(text)
+    payload["findings"] = [
+        Finding.from_dict(record) for record in payload.get("findings", [])
+    ]
+    payload["grandfathered"] = [
+        Finding.from_dict(record)
+        for record in payload.get("grandfathered", [])
+    ]
+    return payload

@@ -1,0 +1,105 @@
+"""Inline suppressions: ``# repro-lint: ignore[REPRO004]``.
+
+A suppression comment silences the named rule(s):
+
+* on its own line — for the next following source line that carries code
+  (the common "comment above the offending statement" form);
+* at the end of a code line — for that line exactly.
+
+Every suppression must name rule ids (``ignore[REPRO003, REPRO008]``);
+a blanket ignore-everything form does not exist on purpose. Suppressions
+that match no finding are themselves reported (rule ``REPRO000``) so
+stale exemptions cannot linger after the offending code is fixed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PATTERN = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+_MALFORMED = re.compile(r"#\s*repro-lint:")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment and its usage accounting."""
+
+    comment_line: int
+    target_line: int
+    rules: "tuple[str, ...]"
+    used: "set[str]" = field(default_factory=set)
+
+    @property
+    def unused_rules(self) -> "tuple[str, ...]":
+        return tuple(rule for rule in self.rules if rule not in self.used)
+
+
+def parse_suppressions(source: str) -> "list[Suppression]":
+    """Every suppression comment in ``source``, with its target line.
+
+    Malformed ``repro-lint:`` comments (wrong verb, missing bracket,
+    empty rule list) parse to a rule-less suppression, which the driver
+    then reports as unused — a typo'd suppression must be visible, not
+    silently inert.
+    """
+    lines = source.splitlines()
+    suppressions: "list[Suppression]" = []
+    for index, col, text in _comments(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            if _MALFORMED.search(text):
+                suppressions.append(
+                    Suppression(comment_line=index, target_line=index, rules=())
+                )
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        target = index
+        line_text = lines[index - 1] if index <= len(lines) else ""
+        before_comment = line_text[:col].strip()
+        if not before_comment:
+            # Comment-only line: the suppression covers the next line
+            # that holds code (skipping further comment/blank lines).
+            for offset, following in enumerate(lines[index:], start=index + 1):
+                stripped = following.strip()
+                if stripped and not stripped.startswith("#"):
+                    target = offset
+                    break
+        suppressions.append(
+            Suppression(comment_line=index, target_line=target, rules=rules)
+        )
+    return suppressions
+
+
+def _comments(source: str) -> "list[tuple[int, int, str]]":
+    """``(line, col, text)`` for every real comment token in ``source``.
+
+    Tokenising (rather than scanning lines) keeps suppression syntax
+    quoted inside a docstring or string literal — e.g. this module's own
+    documentation — from being parsed as a live suppression.
+    """
+    found: "list[tuple[int, int, str]]" = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                found.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source is reported by the driver as a finding;
+        # treat it as suppression-free rather than failing here too.
+        return []
+    return found
+
+
+def suppression_index(
+    suppressions: "list[Suppression]",
+) -> "dict[int, list[Suppression]]":
+    """``{target_line: suppressions}`` for O(1) lookup per finding."""
+    index: "dict[int, list[Suppression]]" = {}
+    for suppression in suppressions:
+        index.setdefault(suppression.target_line, []).append(suppression)
+    return index

@@ -33,6 +33,7 @@ import os
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import CampaignError
@@ -166,6 +167,38 @@ class JobQueue:
             self._conn.close()
 
     # ------------------------------------------------------------------ #
+    # Transaction discipline (REPRO005): every statement on the shared
+    # connection runs inside one of these two helpers.
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _txn(self):
+        """One committed write transaction on the shared connection.
+
+        ``BEGIN IMMEDIATE`` takes the database write lock up front so
+        racing processes serialise at entry instead of deadlocking
+        mid-transaction; commit-or-rollback on every exit path means a
+        process killed anywhere inside leaves whole rows, never torn
+        ones.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                if self._conn.in_transaction:
+                    self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._conn.execute("COMMIT")
+
+    @contextmanager
+    def _read(self):
+        """The shared connection for reads (thread lock, no transaction)."""
+        with self._lock:
+            yield self._conn
+
+    # ------------------------------------------------------------------ #
     # Producer side
     # ------------------------------------------------------------------ #
 
@@ -193,39 +226,33 @@ class JobQueue:
             raise CampaignError(f"lease_ttl must be > 0 seconds, got {lease_ttl!r}")
         now = self.clock()
         encoded = json.dumps(payload or {}, sort_keys=True)
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                job_id = None
-                if key is not None:
-                    row = self._conn.execute(
-                        "SELECT * FROM jobs WHERE key = ?", (key,)
-                    ).fetchone()
-                    if row is not None:
-                        if row["status"] in ("failed", "cancelled"):
-                            self._conn.execute(
-                                "UPDATE jobs SET status='pending', attempts=0, "
-                                "worker=NULL, lease_deadline=NULL, error=NULL, "
-                                "not_before=0.0, payload=?, priority=?, "
-                                "max_retries=?, backoff=?, lease_ttl=?, "
-                                "updated_at=? WHERE id = ?",
-                                (encoded, int(priority), int(max_retries),
-                                 float(backoff), float(lease_ttl), now, row["id"]),
-                            )
-                        job_id = int(row["id"])
-                if job_id is None:
-                    cursor = self._conn.execute(
-                        "INSERT INTO jobs (kind, key, payload, priority, "
-                        "max_retries, backoff, lease_ttl, created_at, updated_at) "
-                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                        (str(kind), key, encoded, int(priority), int(max_retries),
-                         float(backoff), float(lease_ttl), now, now),
-                    )
-                    job_id = int(cursor.lastrowid)
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+        with self._txn() as conn:
+            job_id = None
+            if key is not None:
+                row = conn.execute(
+                    "SELECT * FROM jobs WHERE key = ?", (key,)
+                ).fetchone()
+                if row is not None:
+                    if row["status"] in ("failed", "cancelled"):
+                        conn.execute(
+                            "UPDATE jobs SET status='pending', attempts=0, "
+                            "worker=NULL, lease_deadline=NULL, error=NULL, "
+                            "not_before=0.0, payload=?, priority=?, "
+                            "max_retries=?, backoff=?, lease_ttl=?, "
+                            "updated_at=? WHERE id = ?",
+                            (encoded, int(priority), int(max_retries),
+                             float(backoff), float(lease_ttl), now, row["id"]),
+                        )
+                    job_id = int(row["id"])
+            if job_id is None:
+                cursor = conn.execute(
+                    "INSERT INTO jobs (kind, key, payload, priority, "
+                    "max_retries, backoff, lease_ttl, created_at, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (str(kind), key, encoded, int(priority), int(max_retries),
+                     float(backoff), float(lease_ttl), now, now),
+                )
+                job_id = int(cursor.lastrowid)
         return self.get(job_id)
 
     def cancel(self, job_id: int) -> bool:
@@ -236,14 +263,13 @@ class JobQueue:
         the status, not interrupted.
         """
         now = self.clock()
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 "UPDATE jobs SET status='cancelled', updated_at=?, "
                 "lease_deadline=NULL WHERE id=? AND status IN "
                 "('pending', 'running')",
                 (now, int(job_id)),
             )
-            self._conn.commit()
         return cursor.rowcount > 0
 
     # ------------------------------------------------------------------ #
@@ -269,23 +295,16 @@ class JobQueue:
             query += f" AND kind IN ({marks})"
             params.extend(str(kind) for kind in kinds)
         query += " ORDER BY priority DESC, id ASC LIMIT 1"
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                row = self._conn.execute(query, params).fetchone()
-                if row is None:
-                    self._conn.execute("COMMIT")
-                    return None
-                self._conn.execute(
-                    "UPDATE jobs SET status='running', worker=?, "
-                    "attempts=attempts+1, lease_deadline=?, updated_at=? "
-                    "WHERE id=?",
-                    (str(worker), now + float(row["lease_ttl"]), now, row["id"]),
-                )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+        with self._txn() as conn:
+            row = conn.execute(query, params).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET status='running', worker=?, "
+                "attempts=attempts+1, lease_deadline=?, updated_at=? "
+                "WHERE id=?",
+                (str(worker), now + float(row["lease_ttl"]), now, row["id"]),
+            )
         return self.get(int(row["id"]))
 
     def heartbeat(self, job_id: int, worker: str) -> bool:
@@ -293,26 +312,24 @@ class JobQueue:
         (cancelled, requeued after an expiry, or claimed by another
         worker) — the signal for the worker to abandon it."""
         now = self.clock()
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 "UPDATE jobs SET lease_deadline = ? + lease_ttl, updated_at=? "
                 "WHERE id=? AND status='running' AND worker=?",
                 (now, now, int(job_id), str(worker)),
             )
-            self._conn.commit()
         return cursor.rowcount > 0
 
     def complete(self, job_id: int, result: "dict | None" = None) -> QueuedJob:
         """Mark a job done, storing its JSON result."""
         now = self.clock()
-        with self._lock:
-            self._conn.execute(
+        with self._txn() as conn:
+            conn.execute(
                 "UPDATE jobs SET status='done', result=?, error=NULL, "
                 "lease_deadline=NULL, updated_at=? WHERE id=?",
                 (json.dumps(result, sort_keys=True) if result is not None else None,
                  now, int(job_id)),
             )
-            self._conn.commit()
         return self.get(int(job_id))
 
     def fail(self, job_id: int, error: str) -> QueuedJob:
@@ -324,36 +341,28 @@ class JobQueue:
         it lands in ``failed`` with ``error`` stored for triage.
         """
         now = self.clock()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                row = self._conn.execute(
-                    "SELECT * FROM jobs WHERE id=?", (int(job_id),)
-                ).fetchone()
-                if row is None:
-                    self._conn.execute("ROLLBACK")
-                    raise CampaignError(f"no job {job_id!r} in {self.path!r}")
-                if int(row["attempts"]) <= int(row["max_retries"]):
-                    delay = float(row["backoff"]) * (
-                        2.0 ** max(int(row["attempts"]) - 1, 0)
-                    )
-                    self._conn.execute(
-                        "UPDATE jobs SET status='pending', worker=NULL, "
-                        "lease_deadline=NULL, not_before=?, error=?, "
-                        "updated_at=? WHERE id=?",
-                        (now + delay, str(error), now, int(job_id)),
-                    )
-                else:
-                    self._conn.execute(
-                        "UPDATE jobs SET status='failed', worker=NULL, "
-                        "lease_deadline=NULL, error=?, updated_at=? WHERE id=?",
-                        (str(error), now, int(job_id)),
-                    )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                if self._conn.in_transaction:
-                    self._conn.execute("ROLLBACK")
-                raise
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE id=?", (int(job_id),)
+            ).fetchone()
+            if row is None:
+                raise CampaignError(f"no job {job_id!r} in {self.path!r}")
+            if int(row["attempts"]) <= int(row["max_retries"]):
+                delay = float(row["backoff"]) * (
+                    2.0 ** max(int(row["attempts"]) - 1, 0)
+                )
+                conn.execute(
+                    "UPDATE jobs SET status='pending', worker=NULL, "
+                    "lease_deadline=NULL, not_before=?, error=?, "
+                    "updated_at=? WHERE id=?",
+                    (now + delay, str(error), now, int(job_id)),
+                )
+            else:
+                conn.execute(
+                    "UPDATE jobs SET status='failed', worker=NULL, "
+                    "lease_deadline=NULL, error=?, updated_at=? WHERE id=?",
+                    (str(error), now, int(job_id)),
+                )
         return self.get(int(job_id))
 
     def requeue(self, job_id: int) -> "QueuedJob | None":
@@ -363,14 +372,13 @@ class JobQueue:
         out the TTL. Returns the requeued job, or ``None`` when the row
         was not running."""
         now = self.clock()
-        with self._lock:
-            cursor = self._conn.execute(
+        with self._txn() as conn:
+            cursor = conn.execute(
                 "UPDATE jobs SET status='pending', worker=NULL, "
                 "lease_deadline=NULL, attempts=attempts-1, updated_at=? "
                 "WHERE id=? AND status='running'",
                 (now, int(job_id)),
             )
-            self._conn.commit()
         return self.get(int(job_id)) if cursor.rowcount else None
 
     def requeue_expired(self) -> "list[QueuedJob]":
@@ -384,26 +392,20 @@ class JobQueue:
         evidence the job itself fails (``fail`` handles that).
         """
         now = self.clock()
-        with self._lock:
-            self._conn.execute("BEGIN IMMEDIATE")
-            try:
-                rows = self._conn.execute(
-                    "SELECT id FROM jobs WHERE status='running' AND "
-                    "lease_deadline IS NOT NULL AND lease_deadline < ?",
-                    (now,),
-                ).fetchall()
-                ids = [int(row["id"]) for row in rows]
-                for job_id in ids:
-                    self._conn.execute(
-                        "UPDATE jobs SET status='pending', worker=NULL, "
-                        "lease_deadline=NULL, attempts=attempts-1, "
-                        "updated_at=? WHERE id=?",
-                        (now, job_id),
-                    )
-                self._conn.execute("COMMIT")
-            except BaseException:
-                self._conn.execute("ROLLBACK")
-                raise
+        with self._txn() as conn:
+            rows = conn.execute(
+                "SELECT id FROM jobs WHERE status='running' AND "
+                "lease_deadline IS NOT NULL AND lease_deadline < ?",
+                (now,),
+            ).fetchall()
+            ids = [int(row["id"]) for row in rows]
+            for job_id in ids:
+                conn.execute(
+                    "UPDATE jobs SET status='pending', worker=NULL, "
+                    "lease_deadline=NULL, attempts=attempts-1, "
+                    "updated_at=? WHERE id=?",
+                    (now, job_id),
+                )
         return [self.get(job_id) for job_id in ids]
 
     # ------------------------------------------------------------------ #
@@ -411,8 +413,8 @@ class JobQueue:
     # ------------------------------------------------------------------ #
 
     def get(self, job_id: int) -> QueuedJob:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM jobs WHERE id=?", (int(job_id),)
             ).fetchone()
         if row is None:
@@ -442,8 +444,8 @@ class JobQueue:
             time.sleep(poll)
 
     def by_key(self, key: str) -> "QueuedJob | None":
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM jobs WHERE key=?", (str(key),)
             ).fetchone()
         return None if row is None else QueuedJob.from_row(row)
@@ -467,14 +469,14 @@ class JobQueue:
         if clauses:
             query += " WHERE " + " AND ".join(clauses)
         query += " ORDER BY priority DESC, id ASC"
-        with self._lock:
-            rows = self._conn.execute(query, params).fetchall()
+        with self._read() as conn:
+            rows = conn.execute(query, params).fetchall()
         return [QueuedJob.from_row(row) for row in rows]
 
     def counts(self) -> "dict[str, int]":
         """``{status: n}`` over every status (zero-filled)."""
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
             ).fetchall()
         counts = {status: 0 for status in JOB_STATUSES}

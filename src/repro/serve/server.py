@@ -81,6 +81,7 @@ class ServeApp:
         max_queue_graphs: int = 512,
         request_timeout: float = 30.0,
         jobs_db: "str | None" = None,
+        clock=time.time,
     ) -> None:
         from repro.api import ExecutionContext
         from repro.jobs import JobQueue
@@ -107,8 +108,11 @@ class ServeApp:
                 store.backend, "local_path"
             ) else None
             jobs_db = root if isinstance(root, str) else ":memory:"
-        self.queue = JobQueue(jobs_db)
-        self.started_at = time.time()
+        # One injected clock drives uptime *and* the queue's lease
+        # accounting, so virtual-time tests see a consistent world.
+        self.clock = clock
+        self.queue = JobQueue(jobs_db, clock=clock)
+        self.started_at = clock()
         self._lock = threading.Lock()
         self._services: dict = {}
         self._batchers: dict = {}
@@ -206,7 +210,7 @@ class ServeApp:
         return 200, {
             "status": "ok",
             "protocol_version": protocol.PROTOCOL_VERSION,
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(self.clock() - self.started_at, 3),
             "default_bundle": self.default_bundle,
             "loaded_bundles": loaded,
             "jobs": self.queue.counts(),

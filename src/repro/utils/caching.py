@@ -10,6 +10,8 @@ from __future__ import annotations
 import functools
 from typing import Callable, TypeVar
 
+from repro.errors import ValidationError
+
 T = TypeVar("T")
 
 
@@ -24,7 +26,7 @@ def cached_on_instance(method: Callable[..., T]) -> Callable[..., T]:
     @functools.wraps(method)
     def wrapper(self, *args, **kwargs):
         if args or kwargs:
-            raise TypeError(
+            raise ValidationError(
                 f"{method.__name__} is cached and takes no arguments beyond self"
             )
         cache = self.__dict__.get(attr, _MISSING)
@@ -63,7 +65,9 @@ class KeyedCache:
 
     def __init__(self, *, max_entries: "int | None" = None) -> None:
         if max_entries is not None and int(max_entries) < 1:
-            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+            raise ValidationError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.max_entries = None if max_entries is None else int(max_entries)
         self._store: dict = {}
 

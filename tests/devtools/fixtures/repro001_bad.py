@@ -1,0 +1,7 @@
+"""Fixture: bare builtin raise in library code (REPRO001 positive)."""
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(f"missing {key!r}")
+    return table[key]

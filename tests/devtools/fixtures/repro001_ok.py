@@ -1,0 +1,9 @@
+"""Fixture: named error from the repro hierarchy (REPRO001 negative)."""
+
+from repro.errors import ValidationError
+
+
+def lookup(table, key):
+    if key not in table:
+        raise ValidationError(f"missing {key!r}")
+    return table[key]

@@ -1,0 +1,8 @@
+"""Fixture: bare raise, explicitly exempted (REPRO001 suppressed)."""
+
+
+def lookup(table, key):
+    if key not in table:
+        # repro-lint: ignore[REPRO001]
+        raise KeyError(f"missing {key!r}")
+    return table[key]

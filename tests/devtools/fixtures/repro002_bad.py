@@ -1,0 +1,5 @@
+"""Fixture: schedule-only fields inside a key function (REPRO002 positive)."""
+
+
+def node_key(ctx, config):
+    return (config["kernel"], ctx.engine, ctx.tile_size)

@@ -1,0 +1,6 @@
+"""Fixture: schedule field in a key function, exempted (REPRO002 suppressed)."""
+
+
+def node_key(ctx, config):
+    # repro-lint: ignore[REPRO002]
+    return (config["kernel"], ctx.engine)

@@ -1,0 +1,15 @@
+"""Fixture: naked acquire/release pair (REPRO003 positive).
+
+An exception between acquire and release leaks the lock forever.
+"""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def risky(work):
+    _LOCK.acquire()
+    result = work()
+    _LOCK.release()
+    return result

@@ -1,0 +1,18 @@
+"""Fixture: locks held via `with` or acquire+try/finally (REPRO003 negative)."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def safe_with(work):
+    with _LOCK:
+        return work()
+
+
+def safe_manual(work):
+    _LOCK.acquire()
+    try:
+        return work()
+    finally:
+        _LOCK.release()

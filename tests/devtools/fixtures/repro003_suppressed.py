@@ -1,0 +1,10 @@
+"""Fixture: naked acquire, exempted end-of-line (REPRO003 suppressed)."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def handoff():
+    _LOCK.acquire()  # repro-lint: ignore[REPRO003]
+    return _LOCK

@@ -1,0 +1,7 @@
+"""Fixture: naked wall-clock read in lease logic (REPRO004 positive)."""
+
+import time
+
+
+def lease_deadline(ttl):
+    return time.time() + ttl

@@ -1,0 +1,19 @@
+"""Fixture: wall clock through the injected seam (REPRO004 negative).
+
+The ``clock=time.time`` default is the one legal bare reference — it
+names the function without calling it. ``time.monotonic()`` stays legal
+too: it measures elapsed real time, which a FakeClock cannot replace.
+"""
+
+import time
+
+
+class Leases:
+    def __init__(self, clock=time.time):
+        self.clock = clock
+
+    def deadline(self, ttl):
+        return self.clock() + ttl
+
+    def poll_budget(self, started):
+        return time.monotonic() - started

@@ -1,0 +1,9 @@
+"""Fixture: naked wall-clock read, exempted (REPRO004 suppressed)."""
+
+import time
+
+
+def wall_clock_log_stamp():
+    # Log timestamps are cosmetic, not lease arithmetic.
+    # repro-lint: ignore[REPRO004]
+    return time.time()

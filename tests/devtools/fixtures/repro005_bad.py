@@ -1,0 +1,7 @@
+"""Fixture: raw statement on a shared connection (REPRO005 positive)."""
+
+
+class Store:
+    def put(self, key, value):
+        self._conn.execute("INSERT INTO kv VALUES (?, ?)", (key, value))
+        self._conn.commit()

@@ -1,0 +1,30 @@
+"""Fixture: statements routed through _txn()/_read() (REPRO005 negative)."""
+
+from contextlib import contextmanager
+
+
+class Store:
+    @contextmanager
+    def _txn(self):
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        else:
+            self._conn.execute("COMMIT")
+
+    @contextmanager
+    def _read(self):
+        yield self._conn
+
+    def put(self, key, value):
+        with self._txn() as conn:
+            conn.execute("INSERT INTO kv VALUES (?, ?)", (key, value))
+
+    def get(self, key):
+        with self._read() as conn:
+            return conn.execute(
+                "SELECT value FROM kv WHERE key=?", (key,)
+            ).fetchone()

@@ -1,0 +1,8 @@
+"""Fixture: raw statement on a shared connection, exempted (REPRO005)."""
+
+
+class Store:
+    def bootstrap(self):
+        # Runs before the instance is shared with any other thread.
+        # repro-lint: ignore[REPRO005]
+        self._conn.execute("PRAGMA journal_mode=WAL")

@@ -1,0 +1,8 @@
+"""Fixture: float32 accumulator inside a reduction (REPRO006 positive)."""
+
+import numpy as np
+
+
+class Backend:
+    def trace(self, matrix):
+        return float(np.trace(matrix, dtype=np.float32))

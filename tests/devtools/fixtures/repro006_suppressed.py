@@ -1,0 +1,9 @@
+"""Fixture: float32 in a reduction, exempted (REPRO006 suppressed)."""
+
+import numpy as np
+
+
+class Backend:
+    def trace(self, matrix):
+        # repro-lint: ignore[REPRO006]
+        return float(np.trace(matrix, dtype=np.float32))

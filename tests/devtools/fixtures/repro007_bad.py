@@ -1,0 +1,11 @@
+"""Fixture: mutable default arguments (REPRO007 positive)."""
+
+
+def collect(item, into=[]):
+    into.append(item)
+    return into
+
+
+def tally(key, *, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,12 @@
+"""Fixture: None defaults materialised in the body (REPRO007 negative)."""
+
+
+def collect(item, into=None):
+    if into is None:
+        into = []
+    into.append(item)
+    return into
+
+
+def label(item, prefix=""):
+    return prefix + str(item)

@@ -1,0 +1,5 @@
+"""Fixture: mutable default, exempted (REPRO007 suppressed)."""
+
+
+def intern_cache(key, _cache={}):  # repro-lint: ignore[REPRO007]
+    return _cache.setdefault(key, key)

@@ -1,0 +1,8 @@
+"""Fixture: fire-and-forget non-daemon thread (REPRO008 positive)."""
+
+import threading
+
+
+def spawn(target):
+    worker = threading.Thread(target=target)
+    worker.start()

@@ -1,0 +1,18 @@
+"""Fixture: daemon threads, or joined by their owner (REPRO008 negative)."""
+
+import threading
+
+
+def spawn_daemon(target):
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    return worker
+
+
+class Owner:
+    def start(self, target):
+        self._worker = threading.Thread(target=target)
+        self._worker.start()
+
+    def close(self):
+        self._worker.join()

@@ -1,0 +1,10 @@
+"""Fixture: untracked thread, exempted (REPRO008 suppressed)."""
+
+import threading
+
+
+def spawn(target):
+    # The caller owns the join; this helper only constructs.
+    # repro-lint: ignore[REPRO008]
+    worker = threading.Thread(target=target)
+    return worker

@@ -124,6 +124,29 @@ class TestInfo:
             assert http_payload[key] == value
 
 
+class TestServeAppClock:
+    def test_injected_clock_drives_uptime(self, trained_store):
+        """The serve app and its job queue share one injectable clock."""
+        from repro.serve.server import ServeApp
+
+        now = [1000.0]
+        app = ServeApp(
+            trained_store,
+            default_bundle="cli-bundle",
+            jobs_db=":memory:",
+            clock=lambda: now[0],
+        )
+        try:
+            status, payload, _ = app.handle("GET", "/healthz", {}, None)
+            assert status == 200
+            assert payload["uptime_seconds"] == 0.0
+            now[0] += 12.5
+            _, payload, _ = app.handle("GET", "/healthz", {}, None)
+            assert payload["uptime_seconds"] == 12.5
+        finally:
+            app.close()
+
+
 class TestServeParser:
     def test_serve_flags_parse(self):
         from repro.serve.cli import build_parser

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.utils.caching import KeyedCache, cached_on_instance
 
 
@@ -30,7 +31,7 @@ class TestCachedOnInstance:
 
     def test_rejects_arguments(self):
         counter = Counter()
-        with pytest.raises(TypeError):
+        with pytest.raises(ValidationError):
             counter.expensive(1)
 
     def test_caches_none(self):
